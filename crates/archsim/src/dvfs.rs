@@ -1,0 +1,222 @@
+//! Per-core DVFS operating points (Table 4 / Section 5 of the paper).
+//!
+//! Six voltage/frequency pairs, SpeedStep style: frequency from 2.5 GHz down
+//! to 1.0 GHz in 300 MHz steps, voltage from 1.45 V down to 0.95 V in 0.1 V
+//! steps. Voltage scales (approximately) linearly with frequency, matching
+//! the paper's assumption (1).
+
+use std::fmt;
+
+use pv::units::{Hertz, Volts};
+
+use crate::error::ArchError;
+
+/// The (frequency GHz, voltage V) table, fastest first.
+const VF_POINTS: [(f64, f64); 6] = [
+    (2.5, 1.45),
+    (2.2, 1.35),
+    (1.9, 1.25),
+    (1.6, 1.15),
+    (1.3, 1.05),
+    (1.0, 0.95),
+];
+
+/// A voltage/frequency operating point; index 0 is the fastest.
+///
+/// Ordering: a *larger* `VfLevel` in the `Ord` sense is a *faster* level, so
+/// `VfLevel::highest() > VfLevel::lowest()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VfLevel(usize);
+
+impl VfLevel {
+    /// Number of supported operating points.
+    pub const COUNT: usize = VF_POINTS.len();
+
+    /// The fastest operating point (2.5 GHz / 1.45 V).
+    pub const fn highest() -> Self {
+        VfLevel(0)
+    }
+
+    /// The slowest operating point (1.0 GHz / 0.95 V).
+    pub const fn lowest() -> Self {
+        VfLevel(VF_POINTS.len() - 1)
+    }
+
+    /// Builds a level from a raw table index (0 = fastest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidLevel`] if `index >= COUNT`.
+    pub fn from_index(index: usize) -> Result<Self, ArchError> {
+        if index < Self::COUNT {
+            Ok(VfLevel(index))
+        } else {
+            Err(ArchError::InvalidLevel { index })
+        }
+    }
+
+    /// All levels, fastest first.
+    pub fn all() -> impl Iterator<Item = VfLevel> {
+        (0..Self::COUNT).map(VfLevel)
+    }
+
+    /// Raw table index (0 = fastest).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Clock frequency at this level.
+    pub fn frequency(self) -> Hertz {
+        Hertz::from_ghz(VF_POINTS[self.0].0)
+    }
+
+    /// Supply voltage at this level.
+    pub fn voltage(self) -> Volts {
+        Volts::new(VF_POINTS[self.0].1)
+    }
+
+    /// One step faster, or `None` at the top.
+    pub fn faster(self) -> Option<Self> {
+        self.0.checked_sub(1).map(VfLevel)
+    }
+
+    /// One step slower, or `None` at the bottom.
+    pub fn slower(self) -> Option<Self> {
+        if self.0 + 1 < Self::COUNT {
+            Some(VfLevel(self.0 + 1))
+        } else {
+            None
+        }
+    }
+
+    /// `true` at the fastest level.
+    pub fn is_highest(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` at the slowest level.
+    pub fn is_lowest(self) -> bool {
+        self.0 == Self::COUNT - 1
+    }
+
+    /// The 6-bit Voltage Identification Digital code communicated between
+    /// controller and VRM (paper Section 4.1: Xeon-style VID, 0.8375–1.6 V
+    /// in 25 mV steps): `code = (1.6 V − V) / 25 mV`.
+    pub fn vid(self) -> u8 {
+        ((1.6 - VF_POINTS[self.0].1) / 0.025).round() as u8
+    }
+
+    /// Decodes a VID back to the operating point it addresses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidVid`] if the code does not map to one of
+    /// the six supported voltages.
+    pub fn from_vid(code: u8) -> Result<Self, ArchError> {
+        VfLevel::all()
+            .find(|l| l.vid() == code)
+            .ok_or(ArchError::InvalidVid { code })
+    }
+}
+
+impl PartialOrd for VfLevel {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for VfLevel {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: smaller index = faster = "greater" level.
+        other.0.cmp(&self.0)
+    }
+}
+
+impl Default for VfLevel {
+    /// Cores boot at the fastest level, like the paper's baseline CMP.
+    fn default() -> Self {
+        VfLevel::highest()
+    }
+}
+
+impl fmt::Display for VfLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} GHz/{:.2} V",
+            self.frequency().to_ghz(),
+            self.voltage().get()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_levels_matching_table4() {
+        assert_eq!(VfLevel::COUNT, 6);
+        let top = VfLevel::highest();
+        assert_eq!(top.frequency(), Hertz::from_ghz(2.5));
+        assert_eq!(top.voltage(), Volts::new(1.45));
+        let bottom = VfLevel::lowest();
+        assert_eq!(bottom.frequency(), Hertz::from_ghz(1.0));
+        assert_eq!(bottom.voltage(), Volts::new(0.95));
+    }
+
+    #[test]
+    fn stepping_is_300mhz_and_100mv() {
+        let mut level = VfLevel::highest();
+        while let Some(next) = level.slower() {
+            let df = level.frequency().to_ghz() - next.frequency().to_ghz();
+            let dv = level.voltage().get() - next.voltage().get();
+            assert!((df - 0.3).abs() < 1e-9);
+            assert!((dv - 0.1).abs() < 1e-9);
+            level = next;
+        }
+    }
+
+    #[test]
+    fn faster_slower_saturate() {
+        assert_eq!(VfLevel::highest().faster(), None);
+        assert_eq!(VfLevel::lowest().slower(), None);
+        assert_eq!(VfLevel::highest().slower().unwrap().index(), 1);
+        assert_eq!(VfLevel::lowest().faster().unwrap().index(), 4);
+    }
+
+    #[test]
+    fn ordering_is_by_speed() {
+        assert!(VfLevel::highest() > VfLevel::lowest());
+        let l2 = VfLevel::from_index(2).unwrap();
+        let l4 = VfLevel::from_index(4).unwrap();
+        assert!(l2 > l4);
+    }
+
+    #[test]
+    fn vid_roundtrip() {
+        for level in VfLevel::all() {
+            let code = level.vid();
+            assert!(code < 64, "6-bit code");
+            assert_eq!(VfLevel::from_vid(code).unwrap(), level);
+        }
+        assert!(VfLevel::from_vid(63).is_err());
+    }
+
+    #[test]
+    fn vid_codes_match_25mv_grid() {
+        assert_eq!(VfLevel::highest().vid(), 6); // (1.6 − 1.45)/0.025
+        assert_eq!(VfLevel::lowest().vid(), 26); // (1.6 − 0.95)/0.025
+    }
+
+    #[test]
+    fn from_index_bounds() {
+        assert!(VfLevel::from_index(5).is_ok());
+        assert!(VfLevel::from_index(6).is_err());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(VfLevel::highest().to_string(), "2.5 GHz/1.45 V");
+    }
+}

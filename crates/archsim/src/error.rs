@@ -1,0 +1,84 @@
+//! Error types for the `archsim` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the multi-core substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A V/F level index outside the supported table.
+    InvalidLevel {
+        /// The rejected index.
+        index: usize,
+    },
+    /// A VID code that does not address a supported voltage.
+    InvalidVid {
+        /// The rejected 6-bit code.
+        code: u8,
+    },
+    /// A core id outside the chip.
+    InvalidCore {
+        /// The rejected core index.
+        index: usize,
+        /// Number of cores on the chip.
+        cores: usize,
+    },
+    /// A step was driven with the wrong number of phase multipliers.
+    PhaseCountMismatch {
+        /// Multipliers supplied.
+        got: usize,
+        /// Cores on the chip.
+        expected: usize,
+    },
+    /// A non-positive or non-finite timestep.
+    InvalidTimestep {
+        /// The rejected dt in seconds.
+        dt: f64,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidLevel { index } => write!(f, "invalid v/f level index {index}"),
+            ArchError::InvalidVid { code } => write!(f, "vid code {code} addresses no v/f level"),
+            ArchError::InvalidCore { index, cores } => {
+                write!(f, "core {index} out of range (chip has {cores} cores)")
+            }
+            ArchError::PhaseCountMismatch { got, expected } => {
+                write!(f, "got {got} phase multipliers for {expected} cores")
+            }
+            ArchError::InvalidTimestep { dt } => write!(f, "invalid timestep {dt} s"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(ArchError::InvalidLevel { index: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(ArchError::InvalidCore { index: 8, cores: 8 }
+            .to_string()
+            .contains("8 cores"));
+        assert!(ArchError::PhaseCountMismatch {
+            got: 4,
+            expected: 8
+        }
+        .to_string()
+        .contains('4'));
+        assert!(ArchError::InvalidTimestep { dt: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(ArchError::InvalidVid { code: 63 }
+            .to_string()
+            .contains("63"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Core-level power model (the Wattch/CACTI substitute).
+//!
+//! A benchmark's Table 5 EPI is the *measured total* energy per instruction
+//! at the nominal operating point, so per-core power at top V/F is
+//! `P_top = EPI·IPC·f_nom`. Internally that budget splits three ways, as in
+//! Wattch/CACTI-era breakdowns:
+//!
+//! * **switching (dynamic) power**, which follows the paper's model — with
+//!   voltage linear in frequency, `P_dyn ≈ c·V³` (we scale the top-level
+//!   residual by `(V/V₀)²·IPS(f)/IPS₀`);
+//! * **leakage**, `∝ V·exp(k·T)` with die temperature linear in core power
+//!   (first-order thermal resistance), solved by fixed-point iteration;
+//! * **uncore power** (the core's private 2 MB L2, clock distribution,
+//!   memory interface — Table 4 hardware), which does not scale with the
+//!   core's V/F setting.
+//!
+//! Power-gated cores dissipate nothing, including their uncore (PCPG cuts
+//! the whole power domain).
+
+use pv::units::{Celsius, Watts};
+use workloads::BenchmarkSpec;
+
+use crate::dvfs::VfLevel;
+
+/// Nominal leakage per core at top voltage and 45 °C die temperature, in
+/// watts (≈20 % of a core's peak power — the paper's 90 nm node, where
+/// leakage is a first-class budget item in Wattch/CACTI models).
+const LEAKAGE_NOMINAL_W: f64 = 3.2;
+
+/// Die temperature the nominal leakage is referenced to, °C.
+const LEAKAGE_REF_TEMP: f64 = 45.0;
+
+/// Exponential temperature sensitivity of sub-threshold leakage, 1/°C
+/// (leakage roughly doubles every ~40 °C).
+const LEAKAGE_TEMP_COEFF: f64 = 0.017;
+
+/// Junction-to-ambient thermal resistance per core, °C/W.
+const THETA_JA: f64 = 1.8;
+
+/// Machine-room ambient temperature around the chip, °C.
+pub const MACHINE_AMBIENT: Celsius = Celsius::new(25.0);
+
+/// Per-core power that does not scale with the core's V/F point: the
+/// private 2 MB L2, clock distribution and memory interface (Table 4).
+/// Falls to zero only when the core's whole domain is power-gated.
+pub const UNCORE_W: f64 = 4.0;
+
+/// The switching-power budget at the top V/F level: total nominal power
+/// (`EPI·IPC·f_nom`) minus the reference leakage and uncore shares.
+fn dynamic_power_top(spec: &BenchmarkSpec) -> f64 {
+    let f_nom = VfLevel::highest().frequency().get();
+    let total = spec.epi_nj * 1e-9 * spec.ipc * f_nom;
+    (total - LEAKAGE_NOMINAL_W - UNCORE_W).max(0.5)
+}
+
+/// Per-core switching (dynamic) power for a benchmark at a V/F level with a
+/// phase multiplier (1.0 = the program's average phase):
+/// `P_dyn = P_dyn_top · (V/V₀)² · IPS(f)/IPS₀ · phase`.
+pub fn dynamic_power(spec: &BenchmarkSpec, level: VfLevel, phase: f64) -> Watts {
+    let v = level.voltage().get();
+    let v0 = VfLevel::highest().voltage().get();
+    let f = level.frequency().get();
+    let f_nom = VfLevel::highest().frequency().get();
+    let ips_ratio = spec.ips_at(f, f_nom) / spec.ips_at(f_nom, f_nom);
+    Watts::new(dynamic_power_top(spec) * (v / v0).powi(2) * ips_ratio * phase.max(0.0))
+}
+
+/// Per-core leakage power at a supply voltage and die temperature.
+pub fn leakage_power(level: VfLevel, die_temp: Celsius) -> Watts {
+    let v = level.voltage().get();
+    let v0 = VfLevel::highest().voltage().get();
+    let scale = (LEAKAGE_TEMP_COEFF * (die_temp.get() - LEAKAGE_REF_TEMP)).exp();
+    Watts::new(LEAKAGE_NOMINAL_W * (v / v0) * scale)
+}
+
+/// Total per-core power (dynamic + leakage) with the die temperature solved
+/// self-consistently: `T_die = T_amb + θ_ja · P_total(T_die)`.
+///
+/// Returns `(power, die_temperature)`. Power-gated cores should not call
+/// this — gating is handled by [`crate::core::Core`].
+pub fn core_power(
+    spec: &BenchmarkSpec,
+    level: VfLevel,
+    phase: f64,
+    ambient: Celsius,
+) -> (Watts, Celsius) {
+    let p_dyn = dynamic_power(spec, level, phase);
+    let p_uncore = Watts::new(UNCORE_W);
+    let mut die = Celsius::new(ambient.get() + THETA_JA * (p_dyn.get() + UNCORE_W));
+    let mut total = p_dyn + p_uncore;
+    // The leakage/temperature coupling is weak (≤ ~25 % of power), so a few
+    // fixed-point sweeps converge far below solver tolerance.
+    for _ in 0..4 {
+        let p_leak = leakage_power(level, die);
+        total = p_dyn + p_uncore + p_leak;
+        die = Celsius::new(ambient.get() + THETA_JA * total.get());
+    }
+    (total, die)
+}
+
+/// Per-core instruction throughput (IPS) at a level and phase multiplier.
+pub fn core_ips(spec: &BenchmarkSpec, level: VfLevel, phase: f64) -> f64 {
+    let f_nom = VfLevel::highest().frequency().get();
+    spec.ips_at(level.frequency().get(), f_nom) * phase.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec2000;
+
+    #[test]
+    fn dynamic_power_scales_roughly_cubically() {
+        // Between the top and bottom levels, P_dyn should shrink by about
+        // (V_lo/V_hi)²·(f_lo/f_hi) ≈ 0.43·0.4 ≈ 0.17 (modulo the IPC
+        // correction for memory-bound codes).
+        let gzip = spec2000::gzip(); // nearly compute bound
+        let hi = dynamic_power(&gzip, VfLevel::highest(), 1.0).get();
+        let lo = dynamic_power(&gzip, VfLevel::lowest(), 1.0).get();
+        let ratio = lo / hi;
+        assert!((0.14..=0.22).contains(&ratio), "ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn dynamic_power_monotone_in_level() {
+        for spec in spec2000::all() {
+            let mut prev = f64::INFINITY;
+            for level in VfLevel::all() {
+                let p = dynamic_power(&spec, level, 1.0).get();
+                assert!(p < prev, "{}: power must fall with level", spec.name);
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn phase_multiplier_scales_power_linearly() {
+        let art = spec2000::art();
+        let base = dynamic_power(&art, VfLevel::highest(), 1.0).get();
+        let up = dynamic_power(&art, VfLevel::highest(), 1.3).get();
+        assert!((up / base - 1.3).abs() < 1e-9);
+        assert_eq!(dynamic_power(&art, VfLevel::highest(), -1.0).get(), 0.0);
+    }
+
+    #[test]
+    fn leakage_grows_with_temperature_and_voltage() {
+        let cool = leakage_power(VfLevel::highest(), Celsius::new(45.0));
+        let hot = leakage_power(VfLevel::highest(), Celsius::new(85.0));
+        assert!(hot.get() > 1.7 * cool.get());
+        let lo_v = leakage_power(VfLevel::lowest(), Celsius::new(45.0));
+        assert!(lo_v < cool);
+        assert!((cool.get() - LEAKAGE_NOMINAL_W).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_power_converges_and_heats_the_die() {
+        let art = spec2000::art();
+        let (p, die) = core_power(&art, VfLevel::highest(), 1.0, MACHINE_AMBIENT);
+        assert!(p > dynamic_power(&art, VfLevel::highest(), 1.0));
+        assert!(die.get() > MACHINE_AMBIENT.get() + 15.0);
+        // Self-consistency: T = amb + θ·P within tolerance.
+        assert!((die.get() - (MACHINE_AMBIENT.get() + THETA_JA * p.get())).abs() < 0.1);
+    }
+
+    #[test]
+    fn chip_peak_power_matches_paper_scale() {
+        // 8 × art at top V/F must land in the ~110–170 W window the paper's
+        // budget traces show, and close to the EPI-implied total
+        // (EPI·IPC·f = 15.75 W/core; the self-consistent hot leakage adds
+        // a little on top of the 45 °C reference the split uses).
+        let art = spec2000::art();
+        let (p, _) = core_power(&art, VfLevel::highest(), 1.0, MACHINE_AMBIENT);
+        let chip = 8.0 * p.get();
+        assert!((110.0..=170.0).contains(&chip), "chip peak {chip:.0} W");
+        let epi_implied = 8.0 * art.epi_nj * 1e-9 * art.ipc * 2.5e9;
+        assert!(
+            (chip - epi_implied).abs() / epi_implied < 0.15,
+            "chip {chip:.0} vs EPI-implied {epi_implied:.0}"
+        );
+    }
+
+    #[test]
+    fn energy_per_instruction_is_only_mildly_better_at_low_vf() {
+        // The uncore + leakage floor keeps the DVFS energy advantage in the
+        // ~1.1–1.4× range the paper's battery comparison implies, rather
+        // than the raw (V₀/V)² ≈ 1.6×.
+        let art = spec2000::art();
+        let nj = |level: VfLevel| {
+            let (p, _) = core_power(&art, level, 1.0, MACHINE_AMBIENT);
+            p.get() / core_ips(&art, level, 1.0) * 1e9
+        };
+        let top = nj(VfLevel::highest());
+        let mid = nj(VfLevel::from_index(3).unwrap());
+        let ratio = top / mid;
+        assert!((1.02..=1.45).contains(&ratio), "nJ ratio {ratio:.3}");
+    }
+
+    #[test]
+    fn uncore_power_is_constant_across_levels() {
+        // The uncore share does not scale with V/F; only dynamic + leakage
+        // move. Verified indirectly: power at the bottom level stays above
+        // the uncore floor.
+        let swim = spec2000::swim();
+        let (p, _) = core_power(&swim, VfLevel::lowest(), 1.0, MACHINE_AMBIENT);
+        assert!(p.get() > UNCORE_W);
+    }
+
+    #[test]
+    fn throughput_at_level_uses_effective_ipc() {
+        let mcf = spec2000::mcf();
+        let hi = core_ips(&mcf, VfLevel::highest(), 1.0);
+        let lo = core_ips(&mcf, VfLevel::lowest(), 1.0);
+        // Memory bound: throughput falls much less than 2.5×.
+        assert!(hi / lo < 1.8, "mcf throughput ratio {:.2}", hi / lo);
+    }
+}

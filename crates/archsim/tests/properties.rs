@@ -1,0 +1,88 @@
+//! Property-based tests of the multi-core substrate.
+
+use proptest::prelude::*;
+
+use archsim::{CoreId, MultiCoreChip, VfLevel};
+use workloads::Mix;
+
+fn arb_levels() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..VfLevel::COUNT, 8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chip power and throughput both increase when any single core takes a
+    /// faster level, for any starting configuration.
+    #[test]
+    fn faster_level_raises_power_and_throughput(
+        levels in arb_levels(),
+        core in 0usize..8,
+        mix_idx in 0usize..10,
+    ) {
+        let mix = Mix::all().swap_remove(mix_idx);
+        let mut chip = MultiCoreChip::new(&mix);
+        for (i, &l) in levels.iter().enumerate() {
+            chip.set_level(CoreId(i), VfLevel::from_index(l).unwrap()).unwrap();
+        }
+        let id = CoreId(core);
+        let level = chip.core(id).unwrap().level();
+        prop_assume!(level.faster().is_some());
+        let p0 = chip.total_power();
+        let t0 = chip.total_ips();
+        chip.set_level(id, level.faster().unwrap()).unwrap();
+        prop_assert!(chip.total_power() > p0);
+        prop_assert!(chip.total_ips() > t0);
+    }
+
+    /// Stepping is energy-conserving bookkeeping: total energy equals the
+    /// integral of the per-minute power draw.
+    #[test]
+    fn energy_equals_power_times_time(
+        levels in arb_levels(),
+        phases in proptest::collection::vec(0.6..1.4_f64, 8),
+        minutes in 1usize..30,
+    ) {
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        for (i, &l) in levels.iter().enumerate() {
+            chip.set_level(CoreId(i), VfLevel::from_index(l).unwrap()).unwrap();
+        }
+        let mut expected = 0.0;
+        for _ in 0..minutes {
+            chip.step(&phases, 60.0).unwrap();
+            expected += chip.total_power().get() * 60.0;
+        }
+        prop_assert!((chip.total_energy().get() - expected).abs() < 1e-6 * expected.max(1.0));
+    }
+
+    /// Gating any subset of cores reduces power to exactly the sum of the
+    /// running cores; ungating restores it.
+    #[test]
+    fn gating_is_exact_and_reversible(mask in 0u8..=u8::MAX) {
+        let mut chip = MultiCoreChip::new(&Mix::m2());
+        let p_full = chip.total_power();
+        for i in 0..8 {
+            if mask & (1 << i) != 0 {
+                chip.gate(CoreId(i), true).unwrap();
+            }
+        }
+        let running: f64 = chip
+            .cores()
+            .iter()
+            .filter(|c| !c.is_gated())
+            .map(|c| c.current_power().get())
+            .sum();
+        prop_assert!((chip.total_power().get() - running).abs() < 1e-9);
+        for i in 0..8 {
+            chip.gate(CoreId(i), false).unwrap();
+        }
+        prop_assert!((chip.total_power().get() - p_full.get()).abs() < 1e-9);
+    }
+
+    /// The VID bus is a faithful channel for every level.
+    #[test]
+    fn vid_roundtrip_for_all_levels(idx in 0usize..VfLevel::COUNT) {
+        let level = VfLevel::from_index(idx).unwrap();
+        prop_assert_eq!(VfLevel::from_vid(level.vid()).unwrap(), level);
+    }
+}

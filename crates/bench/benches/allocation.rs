@@ -1,0 +1,58 @@
+//! Microbenchmarks of the per-core allocation machinery: TPR table
+//! construction, scheduler picks, and the fixed-budget greedy fill.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use archsim::{MultiCoreChip, VfLevel};
+use pv::units::Watts;
+use solarcore::engine::allocate_budget;
+use solarcore::policy::{LoadScheduler, RoundRobin, TprOptimized};
+use solarcore::tpr::tpr_table;
+use workloads::Mix;
+
+fn mid_chip() -> MultiCoreChip {
+    let mut chip = MultiCoreChip::new(&Mix::hm2());
+    chip.set_all_levels(VfLevel::from_index(3).unwrap());
+    chip
+}
+
+fn bench_tpr_table(c: &mut Criterion) {
+    let chip = mid_chip();
+    c.bench_function("alloc/tpr_table_8cores", |b| {
+        b.iter(|| tpr_table(black_box(&chip)))
+    });
+}
+
+fn bench_scheduler_picks(c: &mut Criterion) {
+    let chip = mid_chip();
+    c.bench_function("alloc/pick_tpr_optimized", |b| {
+        let mut sched = TprOptimized;
+        b.iter(|| sched.pick_increase(black_box(&chip)))
+    });
+    c.bench_function("alloc/pick_round_robin", |b| {
+        let mut sched = RoundRobin::default();
+        b.iter(|| sched.pick_increase(black_box(&chip)))
+    });
+}
+
+fn bench_budget_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc/budget_fill");
+    for budget in [40.0, 80.0, 120.0] {
+        group.bench_function(format!("{budget:.0}w"), |b| {
+            b.iter_batched(
+                || MultiCoreChip::new(&Mix::hm2()),
+                |mut chip| allocate_budget(&mut chip, Watts::new(budget)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tpr_table,
+    bench_scheduler_picks,
+    bench_budget_fill
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end day-simulation throughput per policy (601 simulated minutes
+//! of weather → PV → controller → chip per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pv::units::Watts;
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+fn bench_day_by_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_sim");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("mppt_opt", Policy::MpptOpt),
+        ("mppt_rr", Policy::MpptRr),
+        ("mppt_ic", Policy::MpptIc),
+        ("fixed_75w", Policy::FixedPower(Watts::new(75.0))),
+    ] {
+        group.bench_function(label, |b| {
+            let sim = DaySimulation::builder()
+                .site(Site::phoenix_az())
+                .season(Season::Jan)
+                .mix(Mix::hm2())
+                .policy(policy)
+                .build();
+            b.iter(|| sim.run())
+        });
+    }
+    group.finish();
+}
+
+fn bench_day_by_weather(c: &mut Criterion) {
+    // Irregular weather triggers more event-driven re-tracks, so the
+    // controller cost scales with weather volatility.
+    let mut group = c.benchmark_group("day_sim_weather");
+    group.sample_size(10);
+    for (label, site, season) in [
+        ("regular_jan_az", Site::phoenix_az(), Season::Jan),
+        ("irregular_jul_az", Site::phoenix_az(), Season::Jul),
+        ("stormy_apr_nc", Site::elizabeth_city_nc(), Season::Apr),
+    ] {
+        group.bench_function(label, |b| {
+            let sim = DaySimulation::builder()
+                .site(site.clone())
+                .season(season)
+                .mix(Mix::h1())
+                .policy(Policy::MpptOpt)
+                .build();
+            b.iter(|| sim.run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_day_by_policy, bench_day_by_weather);
+criterion_main!(benches);

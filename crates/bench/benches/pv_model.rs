@@ -1,0 +1,51 @@
+//! Microbenchmarks of the PV electrical substrate: the I-V solver, the MPP
+//! oracle, curve sampling, and datasheet fitting. These bound the cost of
+//! every experiment (each simulated minute solves operating points).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use pv::units::{Celsius, Irradiance, Volts};
+use pv::{CellEnv, Datasheet, IvCurve, PvModule};
+
+fn bench_current_solve(c: &mut Criterion) {
+    let module = PvModule::bp3180n();
+    let env = CellEnv::new(Irradiance::new(850.0), Celsius::new(48.0));
+    c.bench_function("pv/current_at_36v", |b| {
+        b.iter(|| {
+            module
+                .current_at(black_box(env), black_box(Volts::new(36.0)))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_mpp_search(c: &mut Criterion) {
+    let module = PvModule::bp3180n();
+    let env = CellEnv::new(Irradiance::new(700.0), Celsius::new(40.0));
+    c.bench_function("pv/mpp_golden_section", |b| {
+        b.iter(|| module.mpp(black_box(env)))
+    });
+}
+
+fn bench_curve_sampling(c: &mut Criterion) {
+    let module = PvModule::bp3180n();
+    let env = CellEnv::stc();
+    c.bench_function("pv/iv_curve_100pts", |b| {
+        b.iter(|| IvCurve::sample(&module, black_box(env), 100))
+    });
+}
+
+fn bench_datasheet_fit(c: &mut Criterion) {
+    c.bench_function("pv/datasheet_fit_bp3180n", |b| {
+        b.iter(|| Datasheet::bp3180n().fit().unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_current_solve,
+    bench_mpp_search,
+    bench_curve_sampling,
+    bench_datasheet_fit
+);
+criterion_main!(benches);

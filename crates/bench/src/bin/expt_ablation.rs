@@ -1,0 +1,6 @@
+//! Runs the design-choice ablation suite (margin, tracking interval,
+//! re-track band, sensor noise, DVFS granularity).
+
+fn main() {
+    let _ = bench::experiments::ablation::run(std::path::Path::new("results"));
+}

@@ -1,0 +1,35 @@
+//! Regenerates every table and figure of the paper's evaluation, sharing
+//! the policy-grid sweep across the grid-based experiments.
+
+use std::path::Path;
+
+use bench::experiments::*;
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let out = Path::new("results");
+    println!("=== PV characterization ===");
+    let _ = fig01::run(out);
+    let _ = fig06::run(out);
+    let _ = fig07::run(out);
+    println!("=== Environment ===");
+    let _ = tab02::run(out);
+    let _ = tab03::run(out);
+    println!("=== Tracking traces ===");
+    let _ = fig13::run(solarenv::Season::Jan, out);
+    let _ = fig13::run(solarenv::Season::Jul, out);
+    println!("=== Fixed budgets ===");
+    let _ = fig15::run(out);
+    let fixed = fig16::run(out);
+    println!("=== Policy grid (full sweep) ===");
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = tab07::run(&grid, out);
+    let _ = fig18::run(&grid, out);
+    let _ = fig19::run(&grid, out);
+    let _ = fig20::run(&grid, out);
+    let _ = fig21::run(&grid, out);
+    println!("=== Headline ===");
+    let _ = headline::run(&grid, &fixed, out);
+    println!("=== Ablations ===");
+    let _ = ablation::run(out);
+}

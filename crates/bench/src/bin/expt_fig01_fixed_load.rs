@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (fixed-load utilization vs irradiance).
+
+fn main() {
+    let _ = bench::experiments::fig01::run(std::path::Path::new("results"));
+}

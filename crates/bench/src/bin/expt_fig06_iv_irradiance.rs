@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (I-V/P-V vs irradiance).
+
+fn main() {
+    let _ = bench::experiments::fig06::run(std::path::Path::new("results"));
+}

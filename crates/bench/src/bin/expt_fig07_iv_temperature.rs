@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (I-V/P-V vs temperature).
+
+fn main() {
+    let _ = bench::experiments::fig07::run(std::path::Path::new("results"));
+}

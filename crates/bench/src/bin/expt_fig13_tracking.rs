@@ -1,0 +1,5 @@
+//! Regenerates Figure 13 (MPP tracking traces, regular weather, Jan @ AZ).
+
+fn main() {
+    let _ = bench::experiments::fig13::run(solarenv::Season::Jan, std::path::Path::new("results"));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 (MPP tracking traces, irregular weather, Jul @ AZ).
+
+fn main() {
+    let _ = bench::experiments::fig13::run(solarenv::Season::Jul, std::path::Path::new("results"));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 15 (operation duration vs power-transfer threshold).
+
+fn main() {
+    let _ = bench::experiments::fig15::run(std::path::Path::new("results"));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figures 16 & 17 (energy and PTP under fixed budgets).
+
+fn main() {
+    let _ = bench::experiments::fig16::run(std::path::Path::new("results"));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 18 (average energy utilization per site/policy).
+
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = bench::experiments::fig18::run(&grid, std::path::Path::new("results"));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 19 (effective operation duration per weather pattern).
+
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = bench::experiments::fig19::run(&grid, std::path::Path::new("results"));
+}

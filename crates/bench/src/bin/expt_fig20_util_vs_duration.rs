@@ -1,0 +1,8 @@
+//! Regenerates Figure 20 (utilization vs effective duration buckets).
+
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = bench::experiments::fig20::run(&grid, std::path::Path::new("results"));
+}

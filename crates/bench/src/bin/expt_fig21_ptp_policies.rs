@@ -1,0 +1,8 @@
+//! Regenerates Figure 21 (normalized PTP per policy vs battery bounds).
+
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = bench::experiments::fig21::run(&grid, std::path::Path::new("results"));
+}

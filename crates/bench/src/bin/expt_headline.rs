@@ -1,0 +1,10 @@
+//! Recomputes the paper's headline claims.
+
+use bench::grid::{GridConfig, PolicyGrid};
+use workloads::Mix;
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let fixed = bench::experiments::fig16::compute(&[Mix::h1(), Mix::m2(), Mix::hm2(), Mix::l1()]);
+    let _ = bench::experiments::headline::run(&grid, &fixed, std::path::Path::new("results"));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (site solar potentials).
+
+fn main() {
+    let _ = bench::experiments::tab02::run(std::path::Path::new("results"));
+}

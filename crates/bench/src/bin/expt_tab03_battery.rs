@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (battery-system tiers).
+
+fn main() {
+    let _ = bench::experiments::tab03::run(std::path::Path::new("results"));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 7 (tracking error per site/season/workload).
+
+use bench::grid::{GridConfig, PolicyGrid};
+
+fn main() {
+    let grid = PolicyGrid::compute(&GridConfig::default());
+    let _ = bench::experiments::tab07::run(&grid, std::path::Path::new("results"));
+}

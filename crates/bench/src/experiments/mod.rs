@@ -1,0 +1,17 @@
+//! One module per reproduced table/figure. See the crate docs for the map.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig06;
+pub mod fig07;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod headline;
+pub mod tab02;
+pub mod tab03;
+pub mod tab07;

@@ -1,0 +1,34 @@
+//! Experiment harness for the SolarCore reproduction.
+//!
+//! One experiment module per table/figure of the paper's evaluation
+//! (Section 6), each with a `run(...)` entry point that computes the
+//! table/series, prints it in the paper's layout, and returns a
+//! serde-serializable result that the `expt_*` binaries write to
+//! `results/*.json`.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Figure 1 (fixed-load utilization) | [`experiments::fig01`] | `expt_fig01_fixed_load` |
+//! | Figure 6 (I-V/P-V vs irradiance) | [`experiments::fig06`] | `expt_fig06_iv_irradiance` |
+//! | Figure 7 (I-V/P-V vs temperature) | [`experiments::fig07`] | `expt_fig07_iv_temperature` |
+//! | Table 2 (site potentials) | [`experiments::tab02`] | `expt_tab02_sites` |
+//! | Table 3 (battery tiers) | [`experiments::tab03`] | `expt_tab03_battery` |
+//! | Figures 13/14 (tracking traces) | [`experiments::fig13`] | `expt_fig13_tracking`, `expt_fig14_tracking` |
+//! | Table 7 (tracking error) | [`experiments::tab07`] | `expt_tab07_tracking_error` |
+//! | Figure 15 (duration vs threshold) | [`experiments::fig15`] | `expt_fig15_duration_threshold` |
+//! | Figures 16/17 (fixed-budget energy/PTP) | [`experiments::fig16`] | `expt_fig16_17_fixed_budget` |
+//! | Figure 18 (energy utilization) | [`experiments::fig18`] | `expt_fig18_energy_util` |
+//! | Figure 19 (effective duration) | [`experiments::fig19`] | `expt_fig19_effective_duration` |
+//! | Figure 20 (utilization vs duration) | [`experiments::fig20`] | `expt_fig20_util_vs_duration` |
+//! | Figure 21 (normalized PTP) | [`experiments::fig21`] | `expt_fig21_ptp_policies` |
+//! | Headline claims | [`experiments::headline`] | `expt_headline` |
+//!
+//! `expt_all` regenerates everything (sharing the policy-grid sweep).
+
+pub mod experiments;
+pub mod grid;
+pub mod output;
+pub mod parallel;
+
+pub use grid::{DaySummary, GridConfig, PolicyGrid};
+pub use output::{write_json, TextTable};

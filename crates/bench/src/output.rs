@@ -1,0 +1,118 @@
+//! Result serialization and plain-text table rendering.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Serializes `value` as pretty JSON into `<dir>/<name>.json`, creating the
+/// directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization errors.
+pub fn write_json<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    value: &T,
+) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// A minimal fixed-width text table for terminal output.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(["site", "kWh"]);
+        t.row(["AZ", "6.1"]).row(["Golden, CO", "5.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("site"));
+        assert!(lines[2].starts_with("AZ"));
+        assert!(lines[3].starts_with("Golden, CO"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn write_json_roundtrips() {
+        let dir = std::env::temp_dir().join("solarcore_bench_test");
+        let path = write_json(&dir, "t", &vec![1, 2, 3]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1'));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,75 @@
+//! Tiny parallel-map helper over crossbeam scoped threads.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item of `inputs` across `threads` worker threads,
+/// returning outputs in input order.
+///
+/// The experiment sweeps are embarrassingly parallel (hundreds of
+/// independent day simulations), so a static chunk-by-index scheme is
+/// enough — no need for a work-stealing pool dependency.
+pub fn parallel_map<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send + Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1);
+    let n = inputs.len();
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let out = f(&inputs[idx]);
+                slots.lock()[idx] = Some(out);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("every index was processed"))
+        .collect()
+}
+
+/// A default worker-thread count: the available parallelism, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let out = parallel_map((0..100).collect(), 8, |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_input() {
+        let out = parallel_map(vec![5], 1, |x| x + 1);
+        assert_eq!(out, vec![6]);
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 4, |x| *x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

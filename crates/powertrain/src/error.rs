@@ -1,0 +1,73 @@
+//! Error types for the `powertrain` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by power-delivery components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A converter parameter was out of range.
+    InvalidConverter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint.
+        constraint: &'static str,
+    },
+    /// A transfer-ratio request fell outside the converter's range.
+    RatioOutOfRange {
+        /// The requested ratio.
+        requested: f64,
+        /// Minimum supported ratio.
+        min: f64,
+        /// Maximum supported ratio.
+        max: f64,
+    },
+    /// An ATS parameter was out of range.
+    InvalidSwitch {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidConverter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid converter parameter `{name}` = {value}: {constraint}"
+            ),
+            PowerError::RatioOutOfRange {
+                requested,
+                min,
+                max,
+            } => write!(f, "transfer ratio {requested} outside [{min}, {max}]"),
+            PowerError::InvalidSwitch { reason } => write!(f, "invalid transfer switch: {reason}"),
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        let e = PowerError::RatioOutOfRange {
+            requested: 9.0,
+            min: 0.5,
+            max: 8.0,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = PowerError::InvalidSwitch { reason: "bad" };
+        assert!(e.to_string().contains("bad"));
+    }
+}

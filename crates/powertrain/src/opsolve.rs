@@ -1,0 +1,284 @@
+//! Electrical operating-point solver: PV curve ∩ reflected load line.
+//!
+//! "The actual operating point of the PV system occurs at the intersection
+//! of the electrical characteristics of the solar panel and the load"
+//! (paper Section 2.3). The intersection is unique for resistive loads
+//! because the PV current is non-increasing in voltage while the load line
+//! is strictly increasing; solved by bisection on `[0, Voc]`.
+
+use pv::cell::CellEnv;
+use pv::generator::PvGenerator;
+use pv::units::{Amps, Ohms, Volts, Watts};
+
+use crate::converter::DcDcConverter;
+
+/// Bisection iterations for the operating-point solve (~1e-12 V resolution
+/// over a 50 V bracket).
+const BISECT_ITERS: u32 = 96;
+
+/// What hangs on the converter's output bus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadModel {
+    /// An effective resistance — how the multi-core processor at a fixed
+    /// DVFS configuration presents to the bus (`R = V_bus² / P_chip`).
+    Resistance(Ohms),
+    /// A constant-power sink (used for battery-charger style comparisons).
+    /// The solver picks the *stable* intersection on the voltage-source side
+    /// (right of the MPP); if the panel cannot supply the power the result
+    /// collapses to the origin (brown-out).
+    ConstantPower(Watts),
+    /// Open circuit (load disconnected by the ATS).
+    Open,
+}
+
+/// A solved electrical operating point on both sides of the converter.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatingPoint {
+    /// Panel-side terminal voltage.
+    pub panel_voltage: Volts,
+    /// Panel-side output current.
+    pub panel_current: Amps,
+    /// Load-bus voltage (`V_panel / k`).
+    pub output_voltage: Volts,
+    /// Load-bus current (`η · k · I_panel`).
+    pub output_current: Amps,
+}
+
+impl OperatingPoint {
+    /// Power extracted from the panel.
+    pub fn panel_power(&self) -> Watts {
+        self.panel_voltage * self.panel_current
+    }
+
+    /// Power delivered to the load bus.
+    pub fn output_power(&self) -> Watts {
+        self.output_voltage * self.output_current
+    }
+}
+
+/// Solves the operating point of `generator` + `converter` + `load` under
+/// environment `env`.
+pub fn solve_operating_point<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    converter: &DcDcConverter,
+    load: &LoadModel,
+) -> OperatingPoint {
+    let voc = generator.open_circuit_voltage(env);
+    if voc <= Volts::ZERO {
+        return OperatingPoint::default();
+    }
+    match load {
+        LoadModel::Open => OperatingPoint {
+            panel_voltage: voc,
+            panel_current: Amps::ZERO,
+            output_voltage: converter.output_voltage(voc),
+            output_current: Amps::ZERO,
+        },
+        LoadModel::Resistance(r) => {
+            if r.get() <= 0.0 {
+                return OperatingPoint::default();
+            }
+            let r_panel = converter.reflected_resistance(r.get());
+            let v = bisect_panel_voltage(generator, env, voc, |v, i| v / r_panel - i);
+            finish(generator, env, converter, v)
+        }
+        LoadModel::ConstantPower(p) => {
+            if p.get() <= 0.0 {
+                return OperatingPoint {
+                    panel_voltage: voc,
+                    panel_current: Amps::ZERO,
+                    output_voltage: converter.output_voltage(voc),
+                    output_current: Amps::ZERO,
+                };
+            }
+            let p_panel = p.get() / converter.efficiency();
+            let mpp = generator.mpp(env);
+            if p_panel > mpp.power.get() {
+                // Demand exceeds supply: direct-coupled bus collapses.
+                return OperatingPoint::default();
+            }
+            // On [Vmpp, Voc], P(V) falls monotonically from Pmax to 0, so
+            // p_panel − P(V) is increasing there; bisect for its root.
+            let v = bisect_voltage_range(generator, env, mpp.voltage.get(), voc.get(), |v, i| {
+                p_panel - v * i
+            });
+            finish(generator, env, converter, v)
+        }
+    }
+}
+
+/// Bisects on `[0, Voc]` for the root of `f(V, I_pv(V))`, where `f` is
+/// increasing in `V` along the PV curve.
+fn bisect_panel_voltage<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    voc: Volts,
+    f: impl Fn(f64, f64) -> f64,
+) -> Volts {
+    bisect_voltage_range(generator, env, 0.0, voc.get(), f)
+}
+
+fn bisect_voltage_range<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    mut lo: f64,
+    mut hi: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Volts {
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let i = generator
+            .current_at(env, Volts::new(mid))
+            .map(Amps::get)
+            .unwrap_or(0.0);
+        if f(mid, i) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Volts::new(0.5 * (lo + hi))
+}
+
+fn finish<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    converter: &DcDcConverter,
+    panel_voltage: Volts,
+) -> OperatingPoint {
+    let panel_current = generator
+        .current_at(env, panel_voltage)
+        .unwrap_or(Amps::ZERO);
+    let panel_current = panel_current.max(Amps::ZERO);
+    OperatingPoint {
+        panel_voltage,
+        panel_current,
+        output_voltage: converter.output_voltage(panel_voltage),
+        output_current: converter.output_current(panel_current),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pv::units::Celsius;
+    use pv::PvArray;
+
+    fn rig() -> (PvArray, DcDcConverter, CellEnv) {
+        (
+            PvArray::solarcore_default(),
+            DcDcConverter::solarcore_default(),
+            CellEnv::stc(),
+        )
+    }
+
+    #[test]
+    fn resistive_point_lies_on_both_curves() {
+        let (array, dcdc, env) = rig();
+        let op = solve_operating_point(&array, env, &dcdc, &LoadModel::Resistance(Ohms::new(1.2)));
+        // On the PV curve:
+        let i_pv = array.current_at(env, op.panel_voltage).unwrap();
+        assert!((i_pv.get() - op.panel_current.get()).abs() < 1e-6);
+        // On the reflected load line:
+        let r_panel = dcdc.reflected_resistance(1.2);
+        assert!((op.panel_current.get() - op.panel_voltage.get() / r_panel).abs() < 1e-6);
+        // Transformer relations hold:
+        assert!((op.output_voltage.get() - op.panel_voltage.get() / dcdc.ratio()).abs() < 1e-9);
+        assert!(
+            (op.output_power().get() - dcdc.efficiency() * op.panel_power().get()).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn raising_k_raises_panel_voltage() {
+        // Table 1 / Figure 5: tuning k moves the operating point along the
+        // I-V curve; higher k ⇒ higher panel-side resistance ⇒ higher V.
+        let (array, mut dcdc, env) = rig();
+        let load = LoadModel::Resistance(Ohms::new(1.2));
+        dcdc.set_ratio(2.0).unwrap();
+        let v_low_k = solve_operating_point(&array, env, &dcdc, &load).panel_voltage;
+        dcdc.set_ratio(4.0).unwrap();
+        let v_high_k = solve_operating_point(&array, env, &dcdc, &load).panel_voltage;
+        assert!(v_high_k > v_low_k);
+    }
+
+    #[test]
+    fn heavier_load_pulls_voltage_down() {
+        let (array, dcdc, env) = rig();
+        let v_light =
+            solve_operating_point(&array, env, &dcdc, &LoadModel::Resistance(Ohms::new(3.0)))
+                .panel_voltage;
+        let v_heavy =
+            solve_operating_point(&array, env, &dcdc, &LoadModel::Resistance(Ohms::new(0.8)))
+                .panel_voltage;
+        assert!(v_heavy < v_light);
+    }
+
+    #[test]
+    fn open_circuit_and_darkness() {
+        let (array, dcdc, env) = rig();
+        let op = solve_operating_point(&array, env, &dcdc, &LoadModel::Open);
+        assert_eq!(op.panel_current, Amps::ZERO);
+        assert!(op.panel_voltage.get() > 40.0);
+
+        let dark = CellEnv::dark(Celsius::new(25.0));
+        let op = solve_operating_point(&array, dark, &dcdc, &LoadModel::Resistance(Ohms::new(1.0)));
+        assert_eq!(op, OperatingPoint::default());
+    }
+
+    #[test]
+    fn constant_power_tracks_demand_on_stable_branch() {
+        let (array, dcdc, env) = rig();
+        let op = solve_operating_point(
+            &array,
+            env,
+            &dcdc,
+            &LoadModel::ConstantPower(Watts::new(100.0)),
+        );
+        // The panel must supply the demand plus the conversion loss.
+        assert!((op.panel_power().get() - 100.0 / dcdc.efficiency()).abs() < 0.1);
+        // Stable branch: at or right of the MPP voltage.
+        assert!(op.panel_voltage.get() >= array.mpp(env).voltage.get() - 0.01);
+    }
+
+    #[test]
+    fn constant_power_overload_browns_out() {
+        let (array, dcdc, env) = rig();
+        let op = solve_operating_point(
+            &array,
+            env,
+            &dcdc,
+            &LoadModel::ConstantPower(Watts::new(500.0)),
+        );
+        assert_eq!(op, OperatingPoint::default());
+    }
+
+    #[test]
+    fn zero_and_negative_loads_are_safe() {
+        let (array, dcdc, env) = rig();
+        let op = solve_operating_point(&array, env, &dcdc, &LoadModel::Resistance(Ohms::ZERO));
+        assert_eq!(op, OperatingPoint::default());
+        let op = solve_operating_point(&array, env, &dcdc, &LoadModel::ConstantPower(Watts::ZERO));
+        assert_eq!(op.panel_current, Amps::ZERO);
+    }
+
+    #[test]
+    fn there_exists_a_k_that_reaches_near_mpp() {
+        // Sweep k: the best extracted power must come within 1 % of MPP.
+        let (array, mut dcdc, env) = rig();
+        let load = LoadModel::Resistance(Ohms::new(1.2));
+        let mpp = array.mpp(env).power.get();
+        let mut best = 0.0_f64;
+        let mut k = 1.0;
+        while k <= 6.0 {
+            dcdc.set_ratio(k).unwrap();
+            let p = solve_operating_point(&array, env, &dcdc, &load)
+                .panel_power()
+                .get();
+            best = best.max(p);
+            k += 0.02;
+        }
+        assert!(best > 0.99 * mpp, "best {best:.1} W vs MPP {mpp:.1} W");
+    }
+}

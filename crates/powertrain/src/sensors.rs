@@ -1,0 +1,111 @@
+//! Load-bus current/voltage sensing (the "I/V sensors" of Figure 8).
+//!
+//! The SolarCore controller observes the load bus through sensors whose
+//! readings may carry multiplicative measurement noise. The default sensor
+//! is ideal (the paper does not model sensor error); tests and robustness
+//! experiments can enable seeded Gaussian noise.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use pv::units::{Amps, Volts};
+
+/// A (possibly noisy) voltage/current sensor pair.
+#[derive(Debug, Clone)]
+pub struct IvSensor {
+    noise_sigma: f64,
+    rng: ChaCha8Rng,
+}
+
+impl IvSensor {
+    /// An ideal, noiseless sensor.
+    pub fn ideal() -> Self {
+        Self {
+            noise_sigma: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        }
+    }
+
+    /// A sensor with multiplicative Gaussian noise of relative standard
+    /// deviation `sigma` (e.g. `0.01` = 1 % error), deterministically
+    /// seeded.
+    pub fn noisy(sigma: f64, seed: u64) -> Self {
+        Self {
+            noise_sigma: sigma.max(0.0),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Relative noise standard deviation.
+    pub fn noise_sigma(&self) -> f64 {
+        self.noise_sigma
+    }
+
+    /// Samples the sensor pair for true values `(v, i)`.
+    pub fn measure(&mut self, v: Volts, i: Amps) -> (Volts, Amps) {
+        if self.noise_sigma == 0.0 {
+            return (v, i);
+        }
+        let nv = 1.0 + self.noise_sigma * self.normal();
+        let ni = 1.0 + self.noise_sigma * self.normal();
+        (v * nv.max(0.0), i * ni.max(0.0))
+    }
+
+    fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen::<f64>().max(1e-12);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl Default for IvSensor {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_sensor_is_transparent() {
+        let mut s = IvSensor::ideal();
+        let (v, i) = s.measure(Volts::new(12.0), Amps::new(8.0));
+        assert_eq!(v, Volts::new(12.0));
+        assert_eq!(i, Amps::new(8.0));
+    }
+
+    #[test]
+    fn noisy_sensor_is_unbiased_and_bounded() {
+        let mut s = IvSensor::noisy(0.01, 42);
+        let n = 20_000;
+        let mut sum_v = 0.0;
+        for _ in 0..n {
+            let (v, _) = s.measure(Volts::new(12.0), Amps::new(8.0));
+            assert!(v.get() > 0.0);
+            sum_v += v.get();
+        }
+        let mean = sum_v / n as f64;
+        assert!((mean - 12.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let mut a = IvSensor::noisy(0.02, 7);
+        let mut b = IvSensor::noisy(0.02, 7);
+        for _ in 0..50 {
+            let ra = a.measure(Volts::new(10.0), Amps::new(1.0));
+            let rb = b.measure(Volts::new(10.0), Amps::new(1.0));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn negative_sigma_is_clamped_to_ideal() {
+        let mut s = IvSensor::noisy(-0.5, 1);
+        assert_eq!(s.noise_sigma(), 0.0);
+        let (v, _) = s.measure(Volts::new(5.0), Amps::new(1.0));
+        assert_eq!(v, Volts::new(5.0));
+    }
+}

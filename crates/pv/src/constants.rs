@@ -1,0 +1,43 @@
+//! Physical constants and standard test conditions used by the PV models.
+
+use crate::units::{Celsius, Irradiance};
+
+/// Elementary charge `q` in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Boltzmann constant `k` in joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Silicon band-gap energy in electron-volts, used for the temperature
+/// scaling of the diode reverse-saturation current.
+pub const SILICON_BANDGAP_EV: f64 = 1.12;
+
+/// Standard test condition irradiance: 1000 W/m² (1 sun).
+pub const STC_IRRADIANCE: Irradiance = Irradiance::new(1000.0);
+
+/// Standard test condition cell temperature: 25 °C.
+pub const STC_TEMPERATURE: Celsius = Celsius::new(25.0);
+
+/// Thermal voltage `kT/q` at the given temperature.
+///
+/// At 25 °C this is ≈ 25.7 mV.
+#[inline]
+pub fn thermal_voltage(temperature: Celsius) -> f64 {
+    BOLTZMANN * temperature.to_kelvin() / ELEMENTARY_CHARGE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_voltage_at_stc() {
+        let vt = thermal_voltage(STC_TEMPERATURE);
+        assert!((vt - 0.02569).abs() < 1e-4, "vt = {vt}");
+    }
+
+    #[test]
+    fn thermal_voltage_grows_with_temperature() {
+        assert!(thermal_voltage(Celsius::new(75.0)) > thermal_voltage(Celsius::new(0.0)));
+    }
+}

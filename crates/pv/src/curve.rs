@@ -1,0 +1,222 @@
+//! Sampled I-V / P-V curves and load-line intersections (Figures 4–7).
+
+use crate::cell::CellEnv;
+use crate::generator::PvGenerator;
+use crate::units::{Amps, Ohms, Volts, Watts};
+
+/// One sampled point of an I-V curve.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IvPoint {
+    /// Terminal voltage.
+    pub voltage: Volts,
+    /// Terminal current.
+    pub current: Amps,
+}
+
+impl IvPoint {
+    /// Output power at this point.
+    pub fn power(&self) -> Watts {
+        self.voltage * self.current
+    }
+}
+
+/// A uniformly sampled current-voltage characteristic, from short circuit
+/// (`V = 0`) to open circuit (`V = Voc`).
+///
+/// # Examples
+///
+/// ```
+/// use pv::{PvModule, CellEnv, IvCurve};
+///
+/// let module = PvModule::bp3180n();
+/// let curve = IvCurve::sample(&module, CellEnv::stc(), 100);
+/// assert_eq!(curve.points().len(), 101);
+/// assert!(curve.max_power().power().get() > 170.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvCurve {
+    points: Vec<IvPoint>,
+}
+
+impl IvCurve {
+    /// Samples `segments + 1` evenly spaced points of the generator's I-V
+    /// characteristic on `[0, Voc]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0`.
+    pub fn sample<G: PvGenerator + ?Sized>(generator: &G, env: CellEnv, segments: usize) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        let voc = generator.open_circuit_voltage(env);
+        let points = (0..=segments)
+            .map(|step| {
+                let v = Volts::new(voc.get() * step as f64 / segments as f64);
+                let i = generator.current_at(env, v).unwrap_or(Amps::ZERO);
+                IvPoint {
+                    voltage: v,
+                    current: i,
+                }
+            })
+            .collect();
+        Self { points }
+    }
+
+    /// The sampled points, ordered by increasing voltage.
+    pub fn points(&self) -> &[IvPoint] {
+        &self.points
+    }
+
+    /// Iterates over the sampled points.
+    pub fn iter(&self) -> std::slice::Iter<'_, IvPoint> {
+        self.points.iter()
+    }
+
+    /// The sampled point with the highest power (a coarse MPP; use
+    /// [`crate::mpp::find_mpp`] for the refined oracle).
+    pub fn max_power(&self) -> IvPoint {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| {
+                a.power()
+                    .get()
+                    .partial_cmp(&b.power().get())
+                    .expect("sampled powers are finite")
+            })
+            .unwrap_or_default()
+    }
+}
+
+impl<'a> IntoIterator for &'a IvCurve {
+    type Item = &'a IvPoint;
+    type IntoIter = std::slice::Iter<'a, IvPoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+/// Finds the operating point of a generator loaded by a pure resistance
+/// (the intersection of the I-V curve with the load line `I = V / R`,
+/// Figure 4 of the paper).
+///
+/// The intersection is unique because the PV current is non-increasing in
+/// voltage while the load line is strictly increasing. Solved by bisection
+/// on `[0, Voc]`.
+pub fn resistive_operating_point<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    load: Ohms,
+) -> IvPoint {
+    let voc = generator.open_circuit_voltage(env);
+    if voc <= Volts::ZERO || load.get() <= 0.0 {
+        return IvPoint::default();
+    }
+    let mismatch = |v: f64| -> f64 {
+        let i_pv = generator
+            .current_at(env, Volts::new(v))
+            .map(Amps::get)
+            .unwrap_or(0.0);
+        i_pv - v / load.get()
+    };
+    let (mut lo, mut hi) = (0.0, voc.get());
+    for _ in 0..96 {
+        let mid = 0.5 * (lo + hi);
+        if mismatch(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let v = Volts::new(0.5 * (lo + hi));
+    IvPoint {
+        voltage: v,
+        current: v / load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::PvModule;
+    use crate::units::{Celsius, Irradiance};
+
+    #[test]
+    fn curve_spans_short_to_open_circuit() {
+        let m = PvModule::bp3180n();
+        let env = CellEnv::stc();
+        let curve = IvCurve::sample(&m, env, 50);
+        let first = curve.points().first().unwrap();
+        let last = curve.points().last().unwrap();
+        assert_eq!(first.voltage, Volts::ZERO);
+        assert!((first.current.get() - 5.4).abs() < 0.1);
+        assert!((last.voltage.get() - 44.8).abs() < 0.5);
+        assert!(last.current.get().abs() < 0.01);
+    }
+
+    #[test]
+    fn coarse_max_power_close_to_oracle() {
+        let m = PvModule::bp3180n();
+        let env = CellEnv::stc();
+        let coarse = IvCurve::sample(&m, env, 400).max_power();
+        let oracle = m.mpp(env);
+        assert!((coarse.power().get() - oracle.power.get()).abs() < 0.5);
+    }
+
+    #[test]
+    fn resistive_intersection_satisfies_both_curves() {
+        let m = PvModule::bp3180n();
+        let env = CellEnv::stc();
+        let r = Ohms::new(7.25); // ≈ Vmp/Imp, near-matched load
+        let op = resistive_operating_point(&m, env, r);
+        // On the load line:
+        assert!((op.current.get() - op.voltage.get() / r.get()).abs() < 1e-9);
+        // On the PV curve:
+        let i_pv = m.current_at(env, op.voltage).unwrap();
+        assert!((i_pv.get() - op.current.get()).abs() < 1e-4);
+        // Near-matched load lands near the MPP.
+        assert!((op.power().get() - m.mpp(env).power.get()).abs() < 2.0);
+    }
+
+    #[test]
+    fn mismatched_fixed_load_wastes_power_at_low_irradiance() {
+        // Figure 1 of the paper: a load matched at 1000 W/m² extracts less
+        // than half of the available power at 400 W/m².
+        let m = PvModule::bp3180n();
+        let stc = CellEnv::stc();
+        let mpp = m.mpp(stc);
+        let r = mpp.voltage / mpp.current;
+        let dim = CellEnv::new(Irradiance::new(400.0), Celsius::new(25.0));
+        let op = resistive_operating_point(&m, dim, r);
+        let available = m.mpp(dim).power;
+        let utilization = op.power() / available;
+        assert!(
+            utilization < 0.72,
+            "fixed load should be badly matched: {utilization:.2}"
+        );
+    }
+
+    #[test]
+    fn degenerate_loads_yield_origin() {
+        let m = PvModule::bp3180n();
+        let op = resistive_operating_point(&m, CellEnv::dark(Celsius::new(25.0)), Ohms::new(10.0));
+        assert_eq!(op, IvPoint::default());
+        let op = resistive_operating_point(&m, CellEnv::stc(), Ohms::ZERO);
+        assert_eq!(op, IvPoint::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segment_sampling_panics() {
+        let m = PvModule::bp3180n();
+        let _ = IvCurve::sample(&m, CellEnv::stc(), 0);
+    }
+
+    #[test]
+    fn curve_is_iterable() {
+        let m = PvModule::bp3180n();
+        let curve = IvCurve::sample(&m, CellEnv::stc(), 10);
+        assert_eq!(curve.iter().count(), 11);
+        assert_eq!((&curve).into_iter().count(), 11);
+    }
+}

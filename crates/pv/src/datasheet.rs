@@ -1,0 +1,197 @@
+//! Extraction of single-diode parameters from manufacturer datasheet values.
+//!
+//! The paper models the BP3180N module from its datasheet (reference 11 in the
+//! paper). Given the four cardinal points (`Isc`, `Voc`, `Vmp`, `Imp`), this
+//! module fits the diode ideality factor `n` and series resistance `Rs` so
+//! that the model reproduces the cardinal points at STC:
+//!
+//! 1. set `Iph = Isc` (good-cell approximation, Section 2.2);
+//! 2. for a candidate `n`, derive `I0` from the open-circuit condition:
+//!    `I0 = Iph / (exp(Voc / (Ns·n·Vt)) − 1)`;
+//! 3. derive `Rs` from forcing the curve through `(Vmp, Imp)` (closed form);
+//! 4. scan `n` and keep the candidate whose *computed* MPP lands closest to
+//!    the datasheet `(Vmp, Imp)`.
+
+use crate::cell::{CellEnv, CellParams};
+use crate::constants::{thermal_voltage, STC_TEMPERATURE};
+use crate::error::PvError;
+use crate::module::PvModule;
+use crate::units::{Amps, Volts, Watts};
+
+/// Manufacturer datasheet values at standard test conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datasheet {
+    /// Module marketing name.
+    pub name: String,
+    /// Short-circuit current at STC.
+    pub isc: Amps,
+    /// Open-circuit voltage at STC.
+    pub voc: Volts,
+    /// Voltage at the maximum power point.
+    pub vmp: Volts,
+    /// Current at the maximum power point.
+    pub imp: Amps,
+    /// Number of series-connected cells.
+    pub cells_series: u32,
+    /// Temperature coefficient of `Isc`, in A/°C.
+    pub isc_temp_coeff: f64,
+}
+
+impl Datasheet {
+    /// The BP3180N 180 W polycrystalline module (paper reference 11).
+    ///
+    /// Isc temperature coefficient is (0.065 %/°C)·Isc ≈ 3.5 mA/°C.
+    pub fn bp3180n() -> Self {
+        Self {
+            name: "BP3180N".to_owned(),
+            isc: Amps::new(5.4),
+            voc: Volts::new(44.8),
+            vmp: Volts::new(36.1),
+            imp: Amps::new(4.98),
+            cells_series: 72,
+            isc_temp_coeff: 0.000_65 * 5.4, // 0.065 %/°C of Isc ≈ 3.5 mA/°C
+        }
+    }
+
+    /// Nameplate power `Vmp × Imp`.
+    pub fn pmax(&self) -> Watts {
+        self.vmp * self.imp
+    }
+
+    /// Fits a [`PvModule`] whose modeled MPP matches the datasheet cardinal
+    /// points at STC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PvError::InvalidParameter`] for inconsistent inputs (e.g.
+    /// `Imp >= Isc`, `Vmp >= Voc`) and [`PvError::FitFailed`] if no candidate
+    /// in the ideality scan reproduces the MPP within 2 % relative error.
+    pub fn fit(&self) -> Result<PvModule, PvError> {
+        if self.imp.get() >= self.isc.get() {
+            return Err(PvError::InvalidParameter {
+                name: "imp",
+                value: self.imp.get(),
+                constraint: "must be below isc",
+            });
+        }
+        if self.vmp.get() >= self.voc.get() {
+            return Err(PvError::InvalidParameter {
+                name: "vmp",
+                value: self.vmp.get(),
+                constraint: "must be below voc",
+            });
+        }
+        if self.cells_series == 0 {
+            return Err(PvError::InvalidParameter {
+                name: "cells_series",
+                value: 0.0,
+                constraint: "must be >= 1",
+            });
+        }
+
+        let vt = thermal_voltage(STC_TEMPERATURE);
+        let ns = self.cells_series as f64;
+        let iph = self.isc.get();
+
+        let mut best: Option<(f64, PvModule)> = None;
+        // Scan the physically plausible ideality range.
+        let mut n = 1.0;
+        while n <= 1.80 + 1e-9 {
+            if let Some(module) = self.candidate(n, vt, ns, iph) {
+                let mpp = module.mpp(CellEnv::stc());
+                let rel_v = (mpp.voltage.get() - self.vmp.get()).abs() / self.vmp.get();
+                let rel_i = (mpp.current.get() - self.imp.get()).abs() / self.imp.get();
+                let residual = rel_v + rel_i;
+                if best.as_ref().is_none_or(|(r, _)| residual < *r) {
+                    best = Some((residual, module));
+                }
+            }
+            n += 0.01;
+        }
+
+        match best {
+            Some((residual, module)) if residual < 0.04 => Ok(module),
+            Some((residual, _)) => Err(PvError::FitFailed { residual }),
+            None => Err(PvError::FitFailed {
+                residual: f64::INFINITY,
+            }),
+        }
+    }
+
+    /// Builds the candidate module for one ideality factor, or `None` if the
+    /// implied `Rs` is unphysical.
+    fn candidate(&self, n: f64, vt: f64, ns: f64, iph: f64) -> Option<PvModule> {
+        let nvt = n * vt;
+        // Open-circuit condition per cell: Voc/Ns = n·Vt·ln(Iph/I0 + 1).
+        let i0 = iph / ((self.voc.get() / (ns * nvt)).exp() - 1.0);
+        if !(i0.is_finite() && i0 > 0.0) {
+            return None;
+        }
+        // Force the curve through (Vmp, Imp):
+        // Imp = Iph − I0·(exp((Vmp/Ns + Imp·Rs)/(n·Vt)) − 1)
+        // ⇒ Rs = (n·Vt·ln((Iph − Imp)/I0 + 1) − Vmp/Ns) / Imp
+        let rs =
+            (nvt * ((iph - self.imp.get()) / i0 + 1.0).ln() - self.vmp.get() / ns) / self.imp.get();
+        if !(rs.is_finite() && rs >= 0.0) {
+            return None;
+        }
+        let cell =
+            CellParams::new(Amps::new(iph), Amps::new(i0), n, rs, self.isc_temp_coeff).ok()?;
+        PvModule::new(self.name.clone(), cell, self.cells_series, 1).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bp3180n_nameplate_power() {
+        let ds = Datasheet::bp3180n();
+        assert!((ds.pmax().get() - 179.8).abs() < 0.5);
+    }
+
+    #[test]
+    fn fit_reproduces_cardinal_points() {
+        let ds = Datasheet::bp3180n();
+        let module = ds.fit().unwrap();
+        let env = CellEnv::stc();
+        let mpp = module.mpp(env);
+        assert!((mpp.voltage.get() - ds.vmp.get()).abs() / ds.vmp.get() < 0.02);
+        assert!((mpp.current.get() - ds.imp.get()).abs() / ds.imp.get() < 0.02);
+        assert!((module.open_circuit_voltage(env).get() - ds.voc.get()).abs() < 0.3);
+        assert!((module.short_circuit_current(env).get() - ds.isc.get()).abs() < 0.1);
+    }
+
+    #[test]
+    fn fit_rejects_inconsistent_datasheet() {
+        let mut ds = Datasheet::bp3180n();
+        ds.imp = Amps::new(6.0); // above Isc
+        assert!(ds.fit().is_err());
+
+        let mut ds = Datasheet::bp3180n();
+        ds.vmp = Volts::new(50.0); // above Voc
+        assert!(ds.fit().is_err());
+
+        let mut ds = Datasheet::bp3180n();
+        ds.cells_series = 0;
+        assert!(ds.fit().is_err());
+    }
+
+    #[test]
+    fn fit_works_for_other_realistic_modules() {
+        // A mono-Si 200 W class module.
+        let ds = Datasheet {
+            name: "Generic200".to_owned(),
+            isc: Amps::new(5.8),
+            voc: Volts::new(45.9),
+            vmp: Volts::new(37.6),
+            imp: Amps::new(5.32),
+            cells_series: 72,
+            isc_temp_coeff: 0.0035,
+        };
+        let module = ds.fit().unwrap();
+        let mpp = module.mpp(CellEnv::stc());
+        assert!((mpp.power.get() - ds.pmax().get()).abs() / ds.pmax().get() < 0.03);
+    }
+}

@@ -1,0 +1,69 @@
+//! The [`PvGenerator`] abstraction: anything with a photovoltaic I-V
+//! characteristic (a module, an array, a mock in tests).
+
+use crate::cell::CellEnv;
+use crate::error::PvError;
+use crate::mpp::MppPoint;
+use crate::units::{Amps, Volts, Watts};
+
+/// A photovoltaic source with an I-V characteristic parameterized by the
+/// environment.
+///
+/// The trait is object-safe so power-delivery code can hold a
+/// `Box<dyn PvGenerator>`.
+pub trait PvGenerator {
+    /// Open-circuit voltage under `env` (zero in darkness).
+    fn open_circuit_voltage(&self, env: CellEnv) -> Volts;
+
+    /// Output current at terminal voltage `voltage`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error for non-finite voltages or solver
+    /// failure.
+    fn current_at(&self, env: CellEnv, voltage: Volts) -> Result<Amps, PvError>;
+
+    /// The true maximum power point under `env` (the oracle the tracking
+    /// efficiency is measured against).
+    fn mpp(&self, env: CellEnv) -> MppPoint;
+
+    /// Output power at terminal voltage `voltage`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::current_at`] errors.
+    fn power_at(&self, env: CellEnv, voltage: Volts) -> Result<Watts, PvError> {
+        Ok(voltage * self.current_at(env, voltage)?)
+    }
+}
+
+impl PvGenerator for crate::module::PvModule {
+    fn open_circuit_voltage(&self, env: CellEnv) -> Volts {
+        crate::module::PvModule::open_circuit_voltage(self, env)
+    }
+
+    fn current_at(&self, env: CellEnv, voltage: Volts) -> Result<Amps, PvError> {
+        crate::module::PvModule::current_at(self, env, voltage)
+    }
+
+    fn mpp(&self, env: CellEnv) -> MppPoint {
+        crate::module::PvModule::mpp(self, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::PvModule;
+
+    #[test]
+    fn trait_is_object_safe_and_usable() {
+        let boxed: Box<dyn PvGenerator> = Box::new(PvModule::bp3180n());
+        let env = CellEnv::stc();
+        let voc = boxed.open_circuit_voltage(env);
+        assert!(voc.get() > 40.0);
+        let p = boxed.power_at(env, Volts::new(36.0)).unwrap();
+        assert!(p.get() > 150.0);
+        assert!(boxed.mpp(env).power.get() > 170.0);
+    }
+}

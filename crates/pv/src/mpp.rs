@@ -1,0 +1,147 @@
+//! Maximum power point (MPP) search (Section 2.2 of the paper).
+//!
+//! For the single-diode model without shunt resistance, the P-V curve is
+//! unimodal on `[0, Voc]`, so golden-section search converges to the global
+//! maximum. This module provides the "oracle" MPP used to define tracking
+//! efficiency; the SolarCore controller itself never calls it and instead
+//! tracks the MPP with perturb-and-observe hardware steps.
+
+use crate::cell::CellEnv;
+use crate::module::PvModule;
+use crate::units::{Amps, Volts, Watts};
+
+/// Golden ratio conjugate used by the section search.
+const INV_PHI: f64 = 0.618_033_988_749_894_8;
+
+/// Voltage tolerance of the search, in volts.
+const VOLTAGE_TOLERANCE: f64 = 1e-6;
+
+/// The located maximum power point of a PV generator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MppPoint {
+    /// Terminal voltage at the MPP.
+    pub voltage: Volts,
+    /// Output current at the MPP.
+    pub current: Amps,
+    /// Output power at the MPP (`voltage × current`).
+    pub power: Watts,
+}
+
+impl MppPoint {
+    /// An all-zero point, the MPP of a dark panel.
+    pub const DARK: MppPoint = MppPoint {
+        voltage: Volts::ZERO,
+        current: Amps::ZERO,
+        power: Watts::ZERO,
+    };
+}
+
+/// Finds the maximum power point of `module` under `env` by golden-section
+/// search over `[0, Voc]`.
+///
+/// Returns [`MppPoint::DARK`] when the panel produces no power (night).
+pub fn find_mpp(module: &PvModule, env: CellEnv) -> MppPoint {
+    let voc = module.open_circuit_voltage(env);
+    if voc <= Volts::ZERO {
+        return MppPoint::DARK;
+    }
+
+    let power = |v: f64| -> f64 {
+        module
+            .power_at(env, Volts::new(v))
+            .map(Watts::get)
+            .unwrap_or(0.0)
+    };
+
+    let (mut a, mut b) = (0.0, voc.get());
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut pc = power(c);
+    let mut pd = power(d);
+    while (b - a).abs() > VOLTAGE_TOLERANCE {
+        if pc > pd {
+            b = d;
+            d = c;
+            pd = pc;
+            c = b - INV_PHI * (b - a);
+            pc = power(c);
+        } else {
+            a = c;
+            c = d;
+            pc = pd;
+            d = a + INV_PHI * (b - a);
+            pd = power(d);
+        }
+    }
+    let v = Volts::new(0.5 * (a + b));
+    let i = module.current_at(env, v).unwrap_or(Amps::ZERO);
+    MppPoint {
+        voltage: v,
+        current: i,
+        power: v * i,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Celsius, Irradiance};
+
+    #[test]
+    fn mpp_power_dominates_sampled_curve() {
+        let m = PvModule::bp3180n();
+        let env = CellEnv::stc();
+        let mpp = find_mpp(&m, env);
+        let voc = m.open_circuit_voltage(env).get();
+        for step in 1..200 {
+            let v = Volts::new(voc * step as f64 / 200.0);
+            let p = m.power_at(env, v).unwrap();
+            assert!(
+                p.get() <= mpp.power.get() + 1e-6,
+                "P({v}) = {p} exceeds MPP {mpp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mpp_moves_up_with_irradiance() {
+        // Figure 6: MPPs move upward with irradiance.
+        let m = PvModule::bp3180n();
+        let mut prev = 0.0;
+        for g in [400.0, 600.0, 800.0, 1000.0] {
+            let env = CellEnv::new(Irradiance::new(g), Celsius::new(25.0));
+            let p = find_mpp(&m, env).power.get();
+            assert!(p > prev, "power must grow with irradiance");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn mpp_voltage_shifts_left_when_hot() {
+        // Figure 7: MPP shifts left (lower V) at higher temperature.
+        let m = PvModule::bp3180n();
+        let cold = find_mpp(&m, CellEnv::new(Irradiance::new(1000.0), Celsius::new(0.0)));
+        let hot = find_mpp(
+            &m,
+            CellEnv::new(Irradiance::new(1000.0), Celsius::new(75.0)),
+        );
+        assert!(hot.voltage < cold.voltage);
+        assert!(hot.power < cold.power);
+    }
+
+    #[test]
+    fn dark_panel_has_zero_mpp() {
+        let m = PvModule::bp3180n();
+        assert_eq!(
+            find_mpp(&m, CellEnv::dark(Celsius::new(20.0))),
+            MppPoint::DARK
+        );
+    }
+
+    #[test]
+    fn mpp_is_consistent_product() {
+        let m = PvModule::bp3180n();
+        let mpp = find_mpp(&m, CellEnv::stc());
+        assert!((mpp.power.get() - mpp.voltage.get() * mpp.current.get()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,443 @@
+//! Strongly-typed physical quantities shared across the SolarCore workspace.
+//!
+//! Each quantity is a transparent newtype over `f64` (C-NEWTYPE). Arithmetic
+//! is provided where the result is physically meaningful: e.g.
+//! `Volts * Amps = Watts`, `Watts * Seconds = Joules`. Quantities that do not
+//! combine meaningfully simply do not implement the corresponding operator,
+//! so unit errors become compile errors.
+//!
+//! # Examples
+//!
+//! ```
+//! use pv::units::{Volts, Amps, Watts};
+//!
+//! let p: Watts = Volts::new(12.0) * Amps::new(3.0);
+//! assert_eq!(p, Watts::new(36.0));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Implements the common boilerplate for an `f64` newtype quantity.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Wraps a raw `f64` value expressed in the quantity's base unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the underlying `f64` in the quantity's base unit.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi` or either bound is NaN (same contract as
+            /// [`f64::clamp`]).
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules (watt-seconds).
+    Joules,
+    "J"
+);
+quantity!(
+    /// Energy in watt-hours; the natural unit for day-scale solar budgets.
+    WattHours,
+    "Wh"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Irradiance (solar power density) in watts per square metre.
+    Irradiance,
+    "W/m²"
+);
+quantity!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Time span in seconds.
+    Seconds,
+    "s"
+);
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    #[inline]
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts::new(self.get() * rhs.get())
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+
+impl Div<Amps> for Watts {
+    type Output = Volts;
+    #[inline]
+    fn div(self, rhs: Amps) -> Volts {
+        Volts::new(self.get() / rhs.get())
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.get() * rhs.get())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.get() / rhs.get())
+    }
+}
+
+impl Joules {
+    /// Converts to watt-hours.
+    #[inline]
+    pub fn to_watt_hours(self) -> WattHours {
+        WattHours::new(self.get() / 3600.0)
+    }
+}
+
+impl WattHours {
+    /// Converts to joules.
+    #[inline]
+    pub fn to_joules(self) -> Joules {
+        Joules::new(self.get() * 3600.0)
+    }
+}
+
+impl Celsius {
+    /// Converts to kelvin (adds 273.15).
+    #[inline]
+    pub fn to_kelvin(self) -> f64 {
+        self.get() + 273.15
+    }
+
+    /// Creates a Celsius temperature from kelvin.
+    #[inline]
+    pub fn from_kelvin(kelvin: f64) -> Self {
+        Self::new(kelvin - 273.15)
+    }
+}
+
+impl Hertz {
+    /// Convenience constructor from gigahertz.
+    #[inline]
+    pub const fn from_ghz(ghz: f64) -> Self {
+        Self::new(ghz * 1.0e9)
+    }
+
+    /// Value in gigahertz.
+    #[inline]
+    pub const fn to_ghz(self) -> f64 {
+        self.get() / 1.0e9
+    }
+}
+
+impl Seconds {
+    /// Convenience constructor from minutes.
+    #[inline]
+    pub const fn from_minutes(minutes: f64) -> Self {
+        Self::new(minutes * 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volt_amp_product_is_watts() {
+        let p = Volts::new(12.0) * Amps::new(2.5);
+        assert_eq!(p, Watts::new(30.0));
+        let p2 = Amps::new(2.5) * Volts::new(12.0);
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn ohms_law_roundtrip() {
+        let v = Volts::new(36.0);
+        let i = Amps::new(4.5);
+        let r = v / i;
+        assert!((r.get() - 8.0).abs() < 1e-12);
+        let v2 = i * r;
+        assert!((v2.get() - 36.0).abs() < 1e-12);
+        let i2 = v / r;
+        assert!((i2.get() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_to_energy_and_back() {
+        let e = Watts::new(100.0) * Seconds::from_minutes(6.0);
+        assert_eq!(e, Joules::new(36_000.0));
+        assert_eq!(e.to_watt_hours(), WattHours::new(10.0));
+        assert_eq!(WattHours::new(10.0).to_joules(), e);
+        assert_eq!(e / Seconds::new(360.0), Watts::new(100.0));
+    }
+
+    #[test]
+    fn celsius_kelvin_conversion() {
+        assert!((Celsius::new(25.0).to_kelvin() - 298.15).abs() < 1e-12);
+        let back = Celsius::from_kelvin(298.15);
+        assert!((back.get() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hertz_ghz_roundtrip() {
+        let f = Hertz::from_ghz(2.5);
+        assert_eq!(f.get(), 2.5e9);
+        assert_eq!(f.to_ghz(), 2.5);
+    }
+
+    #[test]
+    fn ratio_of_like_quantities_is_dimensionless() {
+        let ratio: f64 = Watts::new(82.0) / Watts::new(100.0);
+        assert!((ratio - 0.82).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let mut w = Watts::new(10.0);
+        w += Watts::new(5.0);
+        w -= Watts::new(3.0);
+        assert_eq!(w, Watts::new(12.0));
+        assert!(Watts::new(1.0) < Watts::new(2.0));
+        assert_eq!(-Watts::new(4.0), Watts::new(-4.0));
+        assert_eq!(Watts::new(4.0) * 2.0, Watts::new(8.0));
+        assert_eq!(2.0 * Watts::new(4.0), Watts::new(8.0));
+        assert_eq!(Watts::new(8.0) / 2.0, Watts::new(4.0));
+        assert_eq!(Watts::new(-3.0).abs(), Watts::new(3.0));
+        assert_eq!(Watts::new(3.0).max(Watts::new(5.0)), Watts::new(5.0));
+        assert_eq!(Watts::new(3.0).min(Watts::new(5.0)), Watts::new(3.0));
+        assert_eq!(
+            Watts::new(7.0).clamp(Watts::ZERO, Watts::new(5.0)),
+            Watts::new(5.0)
+        );
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Watts = (1..=4).map(|i| Watts::new(i as f64)).sum();
+        assert_eq!(total, Watts::new(10.0));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{:.1}", Volts::new(1.4499)), "1.4 V");
+        assert_eq!(format!("{}", Amps::new(2.0)), "2 A");
+        assert_eq!(format!("{:.0}", Irradiance::new(1000.0)), "1000 W/m²");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Watts::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests of the PV electrical models.
+
+use proptest::prelude::*;
+
+use pv::units::{Amps, Celsius, Irradiance, Volts};
+use pv::{CellEnv, Datasheet, PvModule};
+
+/// A plausible crystalline-silicon module datasheet.
+fn arb_datasheet() -> impl Strategy<Value = Datasheet> {
+    // Isc 3–9 A; Voc per cell 0.55–0.68 V; fill-factor shaped Vmp/Imp.
+    (
+        3.0..9.0_f64,
+        36u32..=96,
+        0.58..0.68_f64,
+        0.72..0.82_f64,
+        0.88..0.95_f64,
+    )
+        .prop_map(|(isc, cells, voc_per_cell, vmp_frac, imp_frac)| Datasheet {
+            name: "prop".to_owned(),
+            isc: Amps::new(isc),
+            voc: Volts::new(voc_per_cell * cells as f64),
+            vmp: Volts::new(voc_per_cell * cells as f64 * vmp_frac),
+            imp: Amps::new(isc * imp_frac),
+            cells_series: cells,
+            isc_temp_coeff: 0.00065 * isc,
+        })
+}
+
+fn arb_env() -> impl Strategy<Value = CellEnv> {
+    (50.0..1200.0_f64, -20.0..80.0_f64)
+        .prop_map(|(g, t)| CellEnv::new(Irradiance::new(g), Celsius::new(t)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Datasheet fitting reproduces the cardinal points it was given, for
+    /// any plausible module.
+    #[test]
+    fn fit_reproduces_any_plausible_datasheet(ds in arb_datasheet()) {
+        let module = match ds.fit() {
+            Ok(m) => m,
+            // A few extreme fill factors are legitimately unfittable with a
+            // single-diode + Rs model; rejecting them is correct behaviour.
+            Err(_) => return Ok(()),
+        };
+        let env = CellEnv::stc();
+        let mpp = module.mpp(env);
+        prop_assert!((mpp.voltage.get() - ds.vmp.get()).abs() / ds.vmp.get() < 0.05);
+        prop_assert!((mpp.current.get() - ds.imp.get()).abs() / ds.imp.get() < 0.05);
+        prop_assert!((module.open_circuit_voltage(env).get() - ds.voc.get()).abs() / ds.voc.get() < 0.02);
+        prop_assert!((module.short_circuit_current(env).get() - ds.isc.get()).abs() / ds.isc.get() < 0.03);
+    }
+
+    /// `voltage_at` and `current_at` are mutual inverses on the operating
+    /// branch for any environment.
+    #[test]
+    fn voltage_current_roundtrip(env in arb_env(), frac in 0.05..0.95_f64) {
+        let module = PvModule::bp3180n();
+        let isc = module.short_circuit_current(env);
+        prop_assume!(isc.get() > 0.05);
+        let i = Amps::new(isc.get() * frac);
+        let v = module.voltage_at(env, i).unwrap();
+        let i_back = module.current_at(env, v).unwrap();
+        prop_assert!((i_back.get() - i.get()).abs() < 1e-6, "{} vs {}", i_back, i);
+    }
+
+    /// Physical monotonicities: more light ⇒ more short-circuit current and
+    /// more maximum power; more heat ⇒ less open-circuit voltage.
+    #[test]
+    fn environmental_monotonicity(g in 100.0..1000.0_f64, t in -10.0..60.0_f64) {
+        let module = PvModule::bp3180n();
+        let base = CellEnv::new(Irradiance::new(g), Celsius::new(t));
+        let brighter = CellEnv::new(Irradiance::new(g + 100.0), Celsius::new(t));
+        let hotter = CellEnv::new(Irradiance::new(g), Celsius::new(t + 15.0));
+        prop_assert!(module.short_circuit_current(brighter) > module.short_circuit_current(base));
+        prop_assert!(module.mpp(brighter).power > module.mpp(base).power);
+        prop_assert!(module.open_circuit_voltage(hotter) < module.open_circuit_voltage(base));
+    }
+
+    /// The MPP fill factor stays in the physically meaningful band.
+    #[test]
+    fn fill_factor_is_physical(env in arb_env()) {
+        let module = PvModule::bp3180n();
+        let voc = module.open_circuit_voltage(env);
+        prop_assume!(voc.get() > 1.0);
+        let isc = module.short_circuit_current(env);
+        let mpp = module.mpp(env);
+        let ff = mpp.power.get() / (voc.get() * isc.get());
+        prop_assert!((0.5..0.9).contains(&ff), "fill factor {ff:.3}");
+    }
+}

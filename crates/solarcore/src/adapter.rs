@@ -1,0 +1,246 @@
+//! The per-core load adapter: turns "increase/decrease the load one step"
+//! into V/F transitions and power gating (Section 4.3, Figure 12).
+
+use archsim::{CoreId, MultiCoreChip};
+
+use crate::policy::{LoadScheduler, Policy};
+
+/// Applies scheduler-chosen V/F steps to the chip, falling back to per-core
+/// power gating (PCPG) when DVFS alone cannot shed enough load.
+///
+/// For [`Policy::MpptChipWide`] the tuner instead moves *every* running
+/// core one step at a time in lock-step, emulating a single voltage domain.
+#[derive(Debug)]
+pub struct LoadTuner {
+    scheduler: Box<dyn LoadScheduler>,
+    gated: Vec<CoreId>,
+    chip_wide: bool,
+}
+
+impl LoadTuner {
+    /// Builds a tuner for a policy's scheduler.
+    pub fn new(policy: Policy) -> Self {
+        Self {
+            scheduler: policy.scheduler(),
+            gated: Vec::new(),
+            chip_wide: matches!(policy, Policy::MpptChipWide),
+        }
+    }
+
+    /// Cores this tuner has gated, in gating order.
+    pub fn gated_cores(&self) -> &[CoreId] {
+        &self.gated
+    }
+
+    /// Increases the chip load by one step: ungate the most recently gated
+    /// core (it resumes at its pre-gating level, i.e. the lowest, since
+    /// gating only happens from the floor), otherwise speed up the
+    /// scheduler-chosen core. Returns `false` if the load is already
+    /// maximal.
+    pub fn increase(&mut self, chip: &mut MultiCoreChip) -> bool {
+        if let Some(id) = self.gated.pop() {
+            chip.gate(id, false).expect("gated id stays valid");
+            return true;
+        }
+        if self.chip_wide {
+            return self.shift_all(chip, true);
+        }
+        match self.scheduler.pick_increase(chip) {
+            Some(id) => {
+                let next = chip
+                    .core(id)
+                    .expect("scheduler returns valid ids")
+                    .level()
+                    .faster()
+                    .expect("scheduler returns tunable cores");
+                chip.set_level(id, next).expect("valid id");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Decreases the chip load by one step: slow down the scheduler-chosen
+    /// core, or — once every running core sits at the lowest level — gate
+    /// the highest-indexed running core. Returns `false` if the chip is
+    /// fully gated.
+    pub fn decrease(&mut self, chip: &mut MultiCoreChip) -> bool {
+        if self.chip_wide {
+            if self.shift_all(chip, false) {
+                return true;
+            }
+            return self.gate_one(chip);
+        }
+        if let Some(id) = self.scheduler.pick_decrease(chip) {
+            let next = chip
+                .core(id)
+                .expect("scheduler returns valid ids")
+                .level()
+                .slower()
+                .expect("scheduler returns tunable cores");
+            chip.set_level(id, next).expect("valid id");
+            return true;
+        }
+        // All running cores at the floor: gate one.
+        self.gate_one(chip)
+    }
+
+    /// Gates the highest-indexed running core, if any.
+    fn gate_one(&mut self, chip: &mut MultiCoreChip) -> bool {
+        let victim = (0..chip.core_count())
+            .rev()
+            .map(CoreId)
+            .find(|&id| !chip.core(id).expect("in range").is_gated());
+        match victim {
+            Some(id) => {
+                chip.gate(id, true).expect("valid id");
+                self.gated.push(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Chip-wide lock-step: move every running core one level (`true` =
+    /// faster). Returns `false` if no core could move.
+    fn shift_all(&mut self, chip: &mut MultiCoreChip, faster: bool) -> bool {
+        let moves: Vec<_> = chip
+            .cores()
+            .iter()
+            .filter(|c| !c.is_gated())
+            .filter_map(|c| {
+                let next = if faster {
+                    c.level().faster()
+                } else {
+                    c.level().slower()
+                };
+                next.map(|n| (c.id(), n))
+            })
+            .collect();
+        if moves.is_empty() {
+            return false;
+        }
+        for (id, level) in moves {
+            chip.set_level(id, level).expect("valid id");
+        }
+        true
+    }
+
+    /// Ungates every core this tuner gated (used when transferring to the
+    /// utility supply, where the chip runs as a conventional CMP).
+    pub fn ungate_all(&mut self, chip: &mut MultiCoreChip) {
+        while let Some(id) = self.gated.pop() {
+            chip.gate(id, false).expect("gated id stays valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archsim::VfLevel;
+    use pv::units::Watts;
+    use workloads::Mix;
+
+    #[test]
+    fn increase_raises_power_decrease_lowers_it() {
+        let mut chip = MultiCoreChip::new(&Mix::m2());
+        chip.set_all_levels(VfLevel::from_index(3).unwrap());
+        let mut tuner = LoadTuner::new(Policy::MpptOpt);
+        let p0 = chip.total_power();
+        assert!(tuner.increase(&mut chip));
+        let p1 = chip.total_power();
+        assert!(p1 > p0);
+        assert!(tuner.decrease(&mut chip));
+        assert!(tuner.decrease(&mut chip));
+        assert!(chip.total_power() < p1);
+    }
+
+    #[test]
+    fn decrease_gates_cores_at_the_floor() {
+        let mut chip = MultiCoreChip::new(&Mix::l1());
+        chip.set_all_levels(VfLevel::lowest());
+        let mut tuner = LoadTuner::new(Policy::MpptRr);
+        assert!(tuner.decrease(&mut chip));
+        assert_eq!(tuner.gated_cores(), &[CoreId(7)]);
+        assert!(chip.core(CoreId(7)).unwrap().is_gated());
+        // Gate everything.
+        for _ in 0..7 {
+            assert!(tuner.decrease(&mut chip));
+        }
+        assert_eq!(chip.total_power(), Watts::ZERO);
+        // Fully gated: no further decrease possible.
+        assert!(!tuner.decrease(&mut chip));
+    }
+
+    #[test]
+    fn increase_ungates_before_speeding_up() {
+        let mut chip = MultiCoreChip::new(&Mix::l1());
+        chip.set_all_levels(VfLevel::lowest());
+        let mut tuner = LoadTuner::new(Policy::MpptOpt);
+        tuner.decrease(&mut chip); // gates core 7
+        tuner.decrease(&mut chip); // gates core 6
+        assert!(tuner.increase(&mut chip)); // ungates core 6
+        assert!(!chip.core(CoreId(6)).unwrap().is_gated());
+        assert!(chip.core(CoreId(7)).unwrap().is_gated());
+        assert!(tuner.increase(&mut chip)); // ungates core 7
+        assert!(!chip.core(CoreId(7)).unwrap().is_gated());
+        // Next increase is a V/F step.
+        let levels_before: Vec<_> = chip.cores().iter().map(|c| c.level()).collect();
+        assert!(tuner.increase(&mut chip));
+        let raised = chip
+            .cores()
+            .iter()
+            .zip(&levels_before)
+            .filter(|(c, before)| c.level() != **before)
+            .count();
+        assert_eq!(raised, 1);
+    }
+
+    #[test]
+    fn increase_saturates_at_full_speed() {
+        let mut chip = MultiCoreChip::new(&Mix::h1()); // boots at top
+        let mut tuner = LoadTuner::new(Policy::MpptIc);
+        assert!(!tuner.increase(&mut chip));
+    }
+
+    #[test]
+    fn chip_wide_tuner_moves_all_cores_in_lockstep() {
+        let mut chip = MultiCoreChip::new(&Mix::m1());
+        chip.set_all_levels(VfLevel::lowest());
+        let mut tuner = LoadTuner::new(Policy::MpptChipWide);
+        assert!(tuner.increase(&mut chip));
+        assert!(chip
+            .cores()
+            .iter()
+            .all(|c| c.level().index() == VfLevel::lowest().index() - 1));
+        assert!(tuner.decrease(&mut chip));
+        assert!(chip.cores().iter().all(|c| c.level() == VfLevel::lowest()));
+        // At the floor, decrease falls back to gating.
+        assert!(tuner.decrease(&mut chip));
+        assert_eq!(tuner.gated_cores(), &[CoreId(7)]);
+        // Increase first ungates, then lock-steps the rest.
+        assert!(tuner.increase(&mut chip));
+        assert!(tuner.gated_cores().is_empty());
+    }
+
+    #[test]
+    fn chip_wide_tuner_saturates_at_top() {
+        let mut chip = MultiCoreChip::new(&Mix::m1()); // boots at top
+        let mut tuner = LoadTuner::new(Policy::MpptChipWide);
+        assert!(!tuner.increase(&mut chip));
+    }
+
+    #[test]
+    fn ungate_all_restores_every_core() {
+        let mut chip = MultiCoreChip::new(&Mix::l1());
+        chip.set_all_levels(VfLevel::lowest());
+        let mut tuner = LoadTuner::new(Policy::MpptOpt);
+        for _ in 0..4 {
+            tuner.decrease(&mut chip);
+        }
+        tuner.ungate_all(&mut chip);
+        assert!(chip.cores().iter().all(|c| !c.is_gated()));
+        assert!(tuner.gated_cores().is_empty());
+    }
+}

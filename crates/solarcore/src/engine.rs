@@ -1,0 +1,607 @@
+//! Whole-day closed-loop simulation: weather → PV → power train →
+//! SolarCore controller → multi-core chip.
+//!
+//! This is the experimental rig behind every figure and table of the
+//! paper's evaluation (Section 6): it advances minute by minute through an
+//! environment trace, lets the ATS choose between solar and utility, runs
+//! the configured power-management policy, and records per-minute budget
+//! vs. actual power, bus voltage and committed instructions.
+
+use archsim::{CoreId, MultiCoreChip, VfLevel};
+use powertrain::{AutomaticTransferSwitch, DcDcConverter, IvSensor, PowerSource};
+use pv::generator::PvGenerator;
+use pv::units::{Volts, WattHours, Watts};
+use solarenv::{EnvTrace, Season, Site};
+use workloads::{Mix, PhaseTrace};
+
+use crate::adapter::LoadTuner;
+use crate::config::ControllerConfig;
+use crate::controller::{SolarCoreController, TrackingRig};
+use crate::metrics;
+use crate::policy::Policy;
+use crate::tpr;
+
+/// Seed-mixing constant so phase traces differ from weather traces.
+const PHASE_SEED_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The workload phase-trace seed used for a `(site, season, day)` run.
+/// Exposed so baselines (e.g. the battery systems) can replay exactly the
+/// same program phases as the SolarCore engine.
+pub fn phase_seed(site: &Site, season: Season, day: u32) -> u64 {
+    site.trace_seed(season, day) ^ PHASE_SEED_SALT
+}
+
+/// Minimum budget (watts) below which relative tracking error is not
+/// accumulated (avoids division noise at dawn/dusk).
+const ERROR_FLOOR_W: f64 = 5.0;
+
+/// One minute of simulation record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinuteRecord {
+    /// Minute of day (absolute, e.g. 450 = 07:30).
+    pub minute: u32,
+    /// The oracle maximum power available from the array.
+    pub budget: Watts,
+    /// Power actually extracted from the array (zero on utility).
+    pub drawn: Watts,
+    /// Load-bus voltage.
+    pub bus_voltage: Volts,
+    /// Active power source.
+    pub source: PowerSource,
+    /// Chip power demand during the minute.
+    pub chip_power: Watts,
+    /// Chip power *capacity* during the minute (all cores at top V/F) —
+    /// the most the load adaptation could have absorbed.
+    pub chip_capacity: Watts,
+    /// Instructions committed during the minute.
+    pub instructions: f64,
+}
+
+/// Configures and runs one simulated day.
+///
+/// # Examples
+///
+/// ```
+/// use solarcore::{DaySimulation, Policy};
+/// use solarenv::{Site, Season};
+/// use workloads::Mix;
+///
+/// let result = DaySimulation::builder()
+///     .site(Site::golden_co())
+///     .season(Season::Oct)
+///     .day(1)
+///     .mix(Mix::l2())
+///     .policy(Policy::MpptRr)
+///     .build()
+///     .run();
+/// assert_eq!(result.records().len(), 601);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DaySimulation {
+    site: Site,
+    season: Season,
+    day: u32,
+    mix: Mix,
+    policy: Policy,
+    config: ControllerConfig,
+    array: pv::PvArray,
+    converter: DcDcConverter,
+    ats_threshold: Watts,
+    ats_hysteresis: Watts,
+    sensor: IvSensor,
+}
+
+/// Builder for [`DaySimulation`].
+#[derive(Debug, Clone)]
+pub struct DaySimulationBuilder {
+    site: Site,
+    season: Season,
+    day: u32,
+    mix: Mix,
+    policy: Policy,
+    config: ControllerConfig,
+    array: pv::PvArray,
+    converter: DcDcConverter,
+    ats_threshold: Option<Watts>,
+    ats_hysteresis: Watts,
+    sensor: IvSensor,
+}
+
+impl DaySimulation {
+    /// Starts a builder with the paper's defaults (Phoenix AZ, January,
+    /// mix HM2, MPPT&Opt, BP3180N array).
+    pub fn builder() -> DaySimulationBuilder {
+        DaySimulationBuilder {
+            site: Site::phoenix_az(),
+            season: Season::Jan,
+            day: 0,
+            mix: Mix::hm2(),
+            policy: Policy::MpptOpt,
+            config: ControllerConfig::paper_defaults(),
+            array: pv::PvArray::solarcore_default(),
+            converter: DcDcConverter::solarcore_default(),
+            ats_threshold: None,
+            ats_hysteresis: Watts::new(3.0),
+            sensor: IvSensor::ideal(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Runs the day and collects the result.
+    pub fn run(&self) -> DayResult {
+        let trace = EnvTrace::generate(&self.site, self.season, self.day);
+        let minutes = trace.samples().len();
+        let seed = phase_seed(&self.site, self.season, self.day);
+        let phases = PhaseTrace::for_mix(&self.mix, seed, minutes);
+
+        let mut controller =
+            SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone());
+        let vdd = self.config.nominal_bus_voltage;
+        let mut chip = MultiCoreChip::new(&self.mix); // utility boot: full speed
+        let mut converter = self.converter.clone();
+        let mut tuner = LoadTuner::new(self.policy);
+        let mut ats = AutomaticTransferSwitch::new(self.ats_threshold, self.ats_hysteresis)
+            .expect("validated in builder");
+        let mut prev_source = PowerSource::Utility;
+        let mut force_track = false;
+
+        let mut records = Vec::with_capacity(minutes);
+        for (t, sample) in trace.samples().iter().enumerate() {
+            let env = sample.cell_env();
+            let budget = self.array.mpp(env).power;
+            let source = ats.update(budget);
+
+            if source != prev_source {
+                match source {
+                    PowerSource::Solar => {
+                        // Come up from a minimal, safe load; the first
+                        // tracking invocation ramps it to the MPP.
+                        tuner.ungate_all(&mut chip);
+                        chip.set_all_levels(VfLevel::lowest());
+                        force_track = true;
+                    }
+                    PowerSource::Utility => {
+                        // Conventional CMP on grid power.
+                        tuner.ungate_all(&mut chip);
+                        chip.set_all_levels(VfLevel::highest());
+                    }
+                }
+                prev_source = source;
+            }
+
+            let instr_before = chip.total_instructions();
+            let mults: Vec<f64> = phases.iter().map(|p| p.at(t)).collect();
+            chip.step(&mults, 60.0).expect("mix sized to chip");
+            let instructions = chip.total_instructions() - instr_before;
+            let chip_power = chip.total_power();
+            let chip_capacity = chip.power_capacity();
+
+            let (drawn, bus_voltage) = match source {
+                PowerSource::Utility => (Watts::ZERO, vdd),
+                PowerSource::Solar => match self.policy {
+                    Policy::FixedPower(budget_cap) => {
+                        if force_track || t % self.config.tracking_interval_minutes as usize == 0 {
+                            allocate_budget(&mut chip, budget_cap);
+                            force_track = false;
+                        }
+                        (chip.total_power().min(budget_cap), vdd)
+                    }
+                    _ => {
+                        let op = controller.solve(&self.array, env, &converter, &chip);
+                        if force_track
+                            || t % self.config.tracking_interval_minutes as usize == 0
+                            || controller.needs_retrack(&op)
+                        {
+                            controller.track(&mut TrackingRig {
+                                array: &self.array,
+                                env,
+                                converter: &mut converter,
+                                chip: &mut chip,
+                                tuner: &mut tuner,
+                            });
+                            force_track = false;
+                        }
+                        // The chip's useful draw is capped at its DVFS
+                        // demand (the on-chip VRMs regulate); when the bus
+                        // sags below nominal the impedance model caps it at
+                        // what the panel delivers. The gap to the budget is
+                        // the paper's power margin.
+                        (op.panel_power().min(chip_power), op.output_voltage)
+                    }
+                },
+            };
+
+            records.push(MinuteRecord {
+                minute: sample.minute_of_day,
+                budget,
+                drawn,
+                bus_voltage,
+                source,
+                chip_power,
+                chip_capacity,
+                instructions,
+            });
+        }
+
+        DayResult {
+            site_code: self.site.code(),
+            season: self.season,
+            day: self.day,
+            mix_name: self.mix.name(),
+            policy: self.policy,
+            records,
+        }
+    }
+}
+
+impl DaySimulationBuilder {
+    /// Sets the geographic site.
+    pub fn site(mut self, site: Site) -> Self {
+        self.site = site;
+        self
+    }
+
+    /// Sets the season.
+    pub fn season(mut self, season: Season) -> Self {
+        self.season = season;
+        self
+    }
+
+    /// Sets the weather-realization day index.
+    pub fn day(mut self, day: u32) -> Self {
+        self.day = day;
+        self
+    }
+
+    /// Sets the workload mix.
+    pub fn mix(mut self, mix: Mix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the power-management policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the controller configuration.
+    pub fn config(mut self, config: ControllerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the PV array.
+    pub fn array(mut self, array: pv::PvArray) -> Self {
+        self.array = array;
+        self
+    }
+
+    /// Overrides the DC/DC converter.
+    pub fn converter(mut self, converter: DcDcConverter) -> Self {
+        self.converter = converter;
+        self
+    }
+
+    /// Overrides the ATS power-transfer threshold (defaults to 25 W, or to
+    /// the budget for `Fixed-Power` policies).
+    pub fn ats_threshold(mut self, threshold: Watts) -> Self {
+        self.ats_threshold = Some(threshold);
+        self
+    }
+
+    /// Routes the controller's tuning decisions through a (possibly noisy)
+    /// I/V sensor — the sensor-error robustness knob.
+    pub fn sensor(mut self, sensor: IvSensor) -> Self {
+        self.sensor = sensor;
+        self
+    }
+
+    /// Finalizes the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller configuration is invalid (see
+    /// [`ControllerConfig::validate`]).
+    pub fn build(self) -> DaySimulation {
+        if let Err(reason) = self.config.validate() {
+            panic!("invalid controller configuration: {reason}");
+        }
+        let ats_threshold = self.ats_threshold.unwrap_or(match self.policy {
+            // Fixed-power systems transfer at their budget threshold
+            // (Section 6.2).
+            Policy::FixedPower(budget) => budget,
+            _ => Watts::new(25.0),
+        });
+        DaySimulation {
+            site: self.site,
+            season: self.season,
+            day: self.day,
+            mix: self.mix,
+            policy: self.policy,
+            config: self.config,
+            array: self.array,
+            converter: self.converter,
+            ats_threshold,
+            ats_hysteresis: self.ats_hysteresis,
+            sensor: self.sensor,
+        }
+    }
+}
+
+/// Greedy TPR budget fill for the `Fixed-Power` scheme: start every core at
+/// the floor and hand V/F steps to the best throughput-power ratio while the
+/// what-if power stays under the budget. For this separable concave problem
+/// the greedy fill matches the paper's linear-programming optimum.
+pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) {
+    for id in 0..chip.core_count() {
+        chip.gate(CoreId(id), false).expect("in range");
+    }
+    chip.set_all_levels(VfLevel::lowest());
+
+    // If even the floor exceeds the budget, gate cores (highest id first).
+    let mut victim = chip.core_count();
+    while chip.total_power() > budget && victim > 0 {
+        victim -= 1;
+        chip.gate(CoreId(victim), true).expect("in range");
+    }
+
+    let mut blocked = vec![false; chip.core_count()];
+    loop {
+        let table = tpr::tpr_table(chip);
+        let Some(entry) = table
+            .iter()
+            .find(|e| e.tpr_up.is_some() && !blocked[e.core.0])
+        else {
+            break;
+        };
+        let next = chip
+            .core(entry.core)
+            .expect("in range")
+            .level()
+            .faster()
+            .expect("tpr_up implies a faster level");
+        if chip.power_if(entry.core, next).expect("in range") <= budget {
+            chip.set_level(entry.core, next).expect("in range");
+        } else {
+            blocked[entry.core.0] = true;
+        }
+    }
+}
+
+/// Aggregated outcome of one simulated day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayResult {
+    site_code: &'static str,
+    season: Season,
+    day: u32,
+    mix_name: &'static str,
+    policy: Policy,
+    records: Vec<MinuteRecord>,
+}
+
+impl DayResult {
+    /// Site code the day was simulated at.
+    pub fn site_code(&self) -> &'static str {
+        self.site_code
+    }
+
+    /// Season of the simulated day.
+    pub fn season(&self) -> Season {
+        self.season
+    }
+
+    /// Weather-realization index.
+    pub fn day(&self) -> u32 {
+        self.day
+    }
+
+    /// Workload mix name (Table 5).
+    pub fn mix_name(&self) -> &'static str {
+        self.mix_name
+    }
+
+    /// Policy that produced this result.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Per-minute records.
+    pub fn records(&self) -> &[MinuteRecord] {
+        &self.records
+    }
+
+    /// Total solar energy extracted over the day.
+    pub fn energy_drawn(&self) -> WattHours {
+        WattHours::new(self.records.iter().map(|r| r.drawn.get() / 60.0).sum())
+    }
+
+    /// Theoretical maximum solar energy (perfect MPP harvesting all day).
+    pub fn energy_available(&self) -> WattHours {
+        WattHours::new(self.records.iter().map(|r| r.budget.get() / 60.0).sum())
+    }
+
+    /// Green energy utilization: drawn / available (Section 6.3).
+    pub fn utilization(&self) -> f64 {
+        let avail = self.energy_available().get();
+        if avail <= 0.0 {
+            0.0
+        } else {
+            self.energy_drawn().get() / avail
+        }
+    }
+
+    /// Minutes the chip ran on solar power.
+    pub fn effective_minutes(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.source == PowerSource::Solar)
+            .count()
+    }
+
+    /// Effective operation duration as a fraction of the daytime window.
+    pub fn effective_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            0.0
+        } else {
+            self.effective_minutes() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Instructions committed while solar-powered — the performance-time
+    /// product (PTP) the paper optimizes.
+    pub fn solar_instructions(&self) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.source == PowerSource::Solar)
+            .map(|r| r.instructions)
+            .sum()
+    }
+
+    /// All instructions committed during the day (solar + utility).
+    pub fn total_instructions(&self) -> f64 {
+        self.records.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Mean relative tracking error over solar-powered minutes:
+    /// `|P_budget − P_actual| / P_budget` (Section 6.1), where the budget is
+    /// capped at the chip's own power capacity — when the sun offers more
+    /// than every core at full speed can absorb, the surplus is headroom,
+    /// not a tracking failure (the paper's low-EPI workloads would
+    /// otherwise be unfairly penalized).
+    pub fn mean_tracking_error(&self) -> f64 {
+        let errors: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.source == PowerSource::Solar && r.budget.get() > ERROR_FLOOR_W)
+            .map(|r| {
+                let achievable = r.budget.min(r.chip_capacity).get().max(ERROR_FLOOR_W);
+                (achievable - r.drawn.get()).abs() / achievable
+            })
+            .collect();
+        metrics::mean(&errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(policy: Policy) -> DayResult {
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .policy(policy)
+            .build()
+            .run()
+    }
+
+    #[test]
+    fn day_has_601_records() {
+        let r = quick(Policy::MpptOpt);
+        assert_eq!(r.records().len(), 601);
+        assert_eq!(r.records()[0].minute, 450);
+    }
+
+    #[test]
+    fn sunny_winter_phoenix_mostly_solar_with_high_utilization() {
+        let r = quick(Policy::MpptOpt);
+        assert!(
+            r.effective_fraction() > 0.7,
+            "effective {:.2}",
+            r.effective_fraction()
+        );
+        assert!(r.utilization() > 0.6, "utilization {:.2}", r.utilization());
+        assert!(r.utilization() <= 1.0);
+        assert!(r.solar_instructions() > 0.0);
+    }
+
+    #[test]
+    fn drawn_power_never_exceeds_budget_materially() {
+        let r = quick(Policy::MpptOpt);
+        for rec in r.records() {
+            assert!(
+                rec.drawn.get() <= rec.budget.get() + 0.5,
+                "minute {}: drew {} of {}",
+                rec.minute,
+                rec.drawn,
+                rec.budget
+            );
+        }
+    }
+
+    #[test]
+    fn utility_minutes_draw_no_solar() {
+        let r = quick(Policy::MpptOpt);
+        for rec in r.records() {
+            if rec.source == PowerSource::Utility {
+                assert_eq!(rec.drawn, Watts::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_result() {
+        let a = quick(Policy::MpptRr);
+        let b = quick(Policy::MpptRr);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixed_power_caps_draw_at_budget() {
+        let budget = Watts::new(75.0);
+        let r = quick(Policy::FixedPower(budget));
+        for rec in r.records() {
+            assert!(rec.drawn <= budget + Watts::new(1e-9));
+        }
+        // The cap must bite: utilization clearly below the MPPT policies'.
+        let mppt = quick(Policy::MpptOpt);
+        assert!(r.utilization() < mppt.utilization());
+    }
+
+    #[test]
+    fn allocate_budget_respects_the_cap_and_uses_it() {
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        let budget = Watts::new(60.0);
+        allocate_budget(&mut chip, budget);
+        let p = chip.total_power();
+        assert!(p <= budget, "allocated {p} over {budget}");
+        assert!(
+            p.get() > 0.75 * budget.get(),
+            "left too much on the table: {p}"
+        );
+    }
+
+    #[test]
+    fn allocate_budget_gates_cores_when_budget_is_tiny() {
+        let mut chip = MultiCoreChip::new(&Mix::h1());
+        allocate_budget(&mut chip, Watts::new(10.0));
+        assert!(chip.total_power() <= Watts::new(10.0));
+        assert!(chip.cores().iter().any(|c| c.is_gated()));
+    }
+
+    #[test]
+    fn opt_beats_ic_on_heterogeneous_mixes() {
+        let opt = quick(Policy::MpptOpt);
+        let ic = quick(Policy::MpptIc);
+        assert!(
+            opt.solar_instructions() > ic.solar_instructions(),
+            "opt {:.3e} vs ic {:.3e}",
+            opt.solar_instructions(),
+            ic.solar_instructions()
+        );
+    }
+
+    #[test]
+    fn tracking_error_is_single_digit_on_regular_weather() {
+        let r = quick(Policy::MpptOpt);
+        let err = r.mean_tracking_error();
+        assert!(err < 0.25, "tracking error {err:.3}");
+        assert!(err > 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Aggregation helpers for the evaluation metrics.
+
+/// Geometric mean of positive values; zero/negative entries are clamped to
+/// a tiny epsilon so a single zero does not annihilate the mean.
+///
+/// The paper reports Table 7 as "the geometric mean of the errors on each
+/// geographic location across different weather patterns".
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Normalizes every value by a baseline.
+///
+/// # Panics
+///
+/// Panics if `baseline` is zero or non-finite.
+pub fn normalize(values: &[f64], baseline: f64) -> Vec<f64> {
+    assert!(
+        baseline != 0.0 && baseline.is_finite(),
+        "baseline must be finite and nonzero"
+    );
+    values.iter().map(|v| v / baseline).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_identical_values() {
+        assert!((geometric_mean(&[0.1, 0.1, 0.1]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_is_below_arithmetic_for_spread_values() {
+        let v = [0.04, 0.25];
+        assert!(geometric_mean(&v) < mean(&v));
+        assert!((geometric_mean(&v) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn zeros_do_not_annihilate_the_geomean() {
+        let g = geometric_mean(&[0.0, 0.1]);
+        assert!(g >= 0.0); // finite, no NaN
+        assert!(g.is_finite());
+    }
+
+    #[test]
+    fn normalize_scales_by_baseline() {
+        assert_eq!(normalize(&[2.0, 4.0], 2.0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must be finite")]
+    fn zero_baseline_panics() {
+        let _ = normalize(&[1.0], 0.0);
+    }
+}

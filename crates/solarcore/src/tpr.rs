@@ -1,0 +1,164 @@
+//! Throughput-power ratio (TPR) computation (Section 4.3).
+//!
+//! The paper defines `TPR = ΔT/ΔP`: the throughput gained per additional
+//! watt when a core takes one V/F step. With the paper's analytic model
+//! this is `IPC·b / (3·c·V²·ΔV)`; here we compute the *discrete* ratio
+//! directly from the substrate's what-if queries, which degenerates to the
+//! same expression under the paper's assumptions.
+
+use archsim::{CoreId, MultiCoreChip, VfLevel};
+
+/// Per-core TPR entries — the table of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TprEntry {
+    /// The core.
+    pub core: CoreId,
+    /// Its current operating point.
+    pub level: VfLevel,
+    /// Throughput gained per watt for one step *up* (`None` if the core is
+    /// already at the top level or gated).
+    pub tpr_up: Option<f64>,
+    /// Throughput lost per watt for one step *down* (`None` if the core is
+    /// already at the bottom level or gated).
+    pub tpr_down: Option<f64>,
+}
+
+/// Builds the TPR table for the whole chip, sorted by descending `tpr_up`
+/// (cores most deserving of extra power first, as in Figure 10).
+pub fn tpr_table(chip: &MultiCoreChip) -> Vec<TprEntry> {
+    let mut entries: Vec<TprEntry> = chip
+        .cores()
+        .iter()
+        .map(|core| {
+            let level = core.level();
+            let phase = core.phase();
+            let make = |to: VfLevel, from: VfLevel| -> Option<f64> {
+                if core.is_gated() {
+                    return None;
+                }
+                let dt = core.ips_at(to, phase) - core.ips_at(from, phase);
+                let dp = core.power_at(to, phase).get() - core.power_at(from, phase).get();
+                (dp.abs() > f64::EPSILON).then(|| dt / dp)
+            };
+            TprEntry {
+                core: core.id(),
+                level,
+                tpr_up: level.faster().and_then(|f| make(f, level)),
+                tpr_down: level.slower().and_then(|s| make(level, s)),
+            }
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        let ka = a.tpr_up.unwrap_or(f64::NEG_INFINITY);
+        let kb = b.tpr_up.unwrap_or(f64::NEG_INFINITY);
+        kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    entries
+}
+
+/// The core with the highest `tpr_up` — who should receive the next watt.
+pub fn best_increase(chip: &MultiCoreChip) -> Option<CoreId> {
+    tpr_table(chip)
+        .into_iter()
+        .filter(|e| e.tpr_up.is_some())
+        .map(|e| e.core)
+        .next()
+}
+
+/// The core with the lowest `tpr_down` — who loses the least throughput per
+/// watt freed when the budget shrinks.
+pub fn best_decrease(chip: &MultiCoreChip) -> Option<CoreId> {
+    tpr_table(chip)
+        .into_iter()
+        .filter_map(|e| e.tpr_down.map(|t| (e.core, t)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(core, _)| core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Mix;
+
+    #[test]
+    fn table_has_an_entry_per_core() {
+        let chip = MultiCoreChip::new(&Mix::hm2());
+        let table = tpr_table(&chip);
+        assert_eq!(table.len(), 8);
+    }
+
+    #[test]
+    fn top_level_cores_cannot_step_up() {
+        let chip = MultiCoreChip::new(&Mix::h1()); // all boot at top
+        for e in tpr_table(&chip) {
+            assert!(e.tpr_up.is_none());
+            assert!(e.tpr_down.is_some());
+        }
+        assert!(best_increase(&chip).is_none());
+        assert!(best_decrease(&chip).is_some());
+    }
+
+    #[test]
+    fn bottom_level_cores_cannot_step_down() {
+        let mut chip = MultiCoreChip::new(&Mix::h1());
+        chip.set_all_levels(VfLevel::lowest());
+        for e in tpr_table(&chip) {
+            assert!(e.tpr_up.is_some());
+            assert!(e.tpr_down.is_none());
+        }
+        assert!(best_decrease(&chip).is_none());
+    }
+
+    #[test]
+    fn gated_cores_are_excluded() {
+        let mut chip = MultiCoreChip::new(&Mix::m2());
+        chip.set_all_levels(VfLevel::from_index(3).unwrap());
+        chip.gate(CoreId(0), true).unwrap();
+        let table = tpr_table(&chip);
+        let gated = table.iter().find(|e| e.core == CoreId(0)).unwrap();
+        assert!(gated.tpr_up.is_none() && gated.tpr_down.is_none());
+    }
+
+    #[test]
+    fn efficient_core_wins_the_next_watt() {
+        // mesa (low EPI, high IPC) buys far more throughput per watt than
+        // art (high EPI, low IPC).
+        let mut chip = MultiCoreChip::new(&Mix::hm2()); // includes art & gcc
+        chip.set_all_levels(VfLevel::lowest());
+        let table = tpr_table(&chip);
+        let first = table.first().unwrap();
+        let best_spec = chip.core(first.core).unwrap().spec();
+        // The winner must not be one of the high-EPI codes.
+        assert!(
+            !["art", "apsi"].contains(&best_spec.name),
+            "winner was {}",
+            best_spec.name
+        );
+    }
+
+    #[test]
+    fn high_epi_core_sheds_power_first() {
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        chip.set_all_levels(VfLevel::from_index(2).unwrap());
+        let loser = best_decrease(&chip).unwrap();
+        let spec = chip.core(loser).unwrap().spec();
+        assert!(
+            ["art", "apsi", "mcf"].contains(&spec.name),
+            "loser was {}",
+            spec.name
+        );
+    }
+
+    #[test]
+    fn tpr_up_decreases_with_level() {
+        // Diminishing returns: for the same core, stepping up from a slow
+        // level buys more throughput per watt than from a fast level (the
+        // paper's argument for spreading power across cores).
+        let mut chip = MultiCoreChip::new(&Mix::m1());
+        chip.set_all_levels(VfLevel::lowest());
+        let low = tpr_table(&chip)[0].tpr_up.unwrap();
+        chip.set_all_levels(VfLevel::highest().slower().unwrap());
+        let high = tpr_table(&chip)[0].tpr_up.unwrap();
+        assert!(low > high, "low {low:.3e} vs high {high:.3e}");
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the `solarenv` crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing weather profiles or traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnvError {
+    /// A weather profile had out-of-range statistics.
+    InvalidProfile {
+        /// Which constraint was violated.
+        reason: &'static str,
+    },
+    /// A trace window was empty or inverted.
+    InvalidWindow {
+        /// Window start, minutes after midnight.
+        start: u32,
+        /// Window end, minutes after midnight.
+        end: u32,
+    },
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::InvalidProfile { reason } => write!(f, "invalid weather profile: {reason}"),
+            EnvError::InvalidWindow { start, end } => {
+                write!(f, "invalid trace window [{start}, {end}] minutes")
+            }
+        }
+    }
+}
+
+impl Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = EnvError::InvalidWindow {
+            start: 900,
+            end: 450,
+        };
+        assert!(e.to_string().contains("900"));
+        let e = EnvError::InvalidProfile { reason: "x" };
+        assert!(e.to_string().contains("x"));
+    }
+}

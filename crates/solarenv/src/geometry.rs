@@ -1,0 +1,190 @@
+//! Solar geometry and the Haurwitz clear-sky irradiance model.
+//!
+//! These closed-form relations give the deterministic "envelope" of solar
+//! power availability; the stochastic cloud process in [`crate::weather`]
+//! modulates it.
+
+/// Solar declination in radians for a day of year (1-based), using the
+/// Cooper approximation `δ = 23.45° · sin(360·(284 + n)/365)`.
+pub fn declination(day_of_year: u32) -> f64 {
+    let n = day_of_year as f64;
+    (23.45_f64).to_radians() * ((360.0 * (284.0 + n) / 365.0).to_radians()).sin()
+}
+
+/// Hour angle in radians for a local solar time expressed in minutes after
+/// midnight (solar noon = 720 min → 0 rad; 15° per hour).
+pub fn hour_angle(minute_of_day: f64) -> f64 {
+    ((minute_of_day / 60.0 - 12.0) * 15.0).to_radians()
+}
+
+/// Sine of the solar elevation angle for a site latitude (radians), solar
+/// declination (radians) and hour angle (radians):
+/// `sin α = sin φ·sin δ + cos φ·cos δ·cos h`.
+pub fn sin_elevation(latitude_rad: f64, declination_rad: f64, hour_angle_rad: f64) -> f64 {
+    latitude_rad.sin() * declination_rad.sin()
+        + latitude_rad.cos() * declination_rad.cos() * hour_angle_rad.cos()
+}
+
+/// Haurwitz clear-sky global horizontal irradiance in W/m²:
+/// `GHI = 1098 · sin α · exp(−0.057 / sin α)`, zero below the horizon.
+pub fn haurwitz_clear_sky(sin_elev: f64) -> f64 {
+    if sin_elev <= 0.0 {
+        0.0
+    } else {
+        1098.0 * sin_elev * (-0.057 / sin_elev).exp()
+    }
+}
+
+/// Clear-sky global horizontal irradiance in W/m² for a site latitude
+/// (degrees), day of year, and minute of local solar day.
+pub fn clear_sky_ghi(latitude_deg: f64, day_of_year: u32, minute_of_day: f64) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let decl = declination(day_of_year);
+    let h = hour_angle(minute_of_day);
+    haurwitz_clear_sky(sin_elevation(lat, decl, h))
+}
+
+/// Clear-sky diffuse fraction assumed by the transposition model.
+const CLEAR_SKY_DIFFUSE_FRACTION: f64 = 0.14;
+
+/// Cap on the beam geometric gain near the horizon, where `1/sin α` blows up.
+const MAX_BEAM_GAIN: f64 = 3.0;
+
+/// Clear-sky plane-of-array (POA) irradiance in W/m² on a south-facing panel
+/// tilted at the site latitude — the standard fixed-mount orientation, and
+/// the one NREL's kWh/m²/day resource maps (paper Table 2) assume.
+///
+/// The GHI from [`clear_sky_ghi`] is decomposed into beam and diffuse parts;
+/// the beam is re-projected with the incidence factor for latitude tilt
+/// (`cos θ_i = cos δ · cos h`) and the diffuse is reduced by the sky-view
+/// factor `(1 + cos β)/2`.
+pub fn clear_sky_poa(latitude_deg: f64, day_of_year: u32, minute_of_day: f64) -> f64 {
+    let lat = latitude_deg.to_radians();
+    let decl = declination(day_of_year);
+    let h = hour_angle(minute_of_day);
+    let sin_elev = sin_elevation(lat, decl, h);
+    if sin_elev <= 0.0 {
+        return 0.0;
+    }
+    let ghi = haurwitz_clear_sky(sin_elev);
+    let beam_h = (1.0 - CLEAR_SKY_DIFFUSE_FRACTION) * ghi;
+    let diffuse_h = CLEAR_SKY_DIFFUSE_FRACTION * ghi;
+    // Incidence on a latitude-tilt, equator-facing plane.
+    let cos_incidence = (decl.cos() * h.cos()).max(0.0);
+    let beam_gain = (cos_incidence / sin_elev).min(MAX_BEAM_GAIN);
+    let sky_view = (1.0 + lat.cos()) / 2.0;
+    beam_h * beam_gain + diffuse_h * sky_view
+}
+
+/// Integrates the clear-sky GHI over a window `[start_min, end_min]` of the
+/// local solar day, returning kWh/m².
+pub fn clear_sky_insolation_kwh(
+    latitude_deg: f64,
+    day_of_year: u32,
+    start_min: u32,
+    end_min: u32,
+) -> f64 {
+    let mut wh = 0.0;
+    for minute in start_min..end_min {
+        wh += clear_sky_ghi(latitude_deg, day_of_year, minute as f64 + 0.5) / 60.0;
+    }
+    wh / 1000.0
+}
+
+/// Integrates the clear-sky plane-of-array irradiance over a window,
+/// returning kWh/m².
+pub fn clear_sky_poa_insolation_kwh(
+    latitude_deg: f64,
+    day_of_year: u32,
+    start_min: u32,
+    end_min: u32,
+) -> f64 {
+    let mut wh = 0.0;
+    for minute in start_min..end_min {
+        wh += clear_sky_poa(latitude_deg, day_of_year, minute as f64 + 0.5) / 60.0;
+    }
+    wh / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PHOENIX_LAT: f64 = 33.45;
+
+    #[test]
+    fn declination_extremes_near_solstices() {
+        // Summer solstice ≈ day 172: near +23.45°.
+        assert!((declination(172).to_degrees() - 23.45).abs() < 0.2);
+        // Winter solstice ≈ day 355: near −23.45°.
+        assert!((declination(355).to_degrees() + 23.45).abs() < 0.2);
+        // Equinox ≈ day 81: near 0°.
+        assert!(declination(81).to_degrees().abs() < 1.0);
+    }
+
+    #[test]
+    fn hour_angle_zero_at_solar_noon() {
+        assert!(hour_angle(720.0).abs() < 1e-12);
+        assert!((hour_angle(780.0).to_degrees() - 15.0).abs() < 1e-9);
+        assert!((hour_angle(660.0).to_degrees() + 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noon_elevation_higher_in_summer() {
+        let jan = sin_elevation(PHOENIX_LAT.to_radians(), declination(15), 0.0);
+        let jul = sin_elevation(PHOENIX_LAT.to_radians(), declination(196), 0.0);
+        assert!(jul > jan);
+        assert!(jan > 0.0);
+    }
+
+    #[test]
+    fn clear_sky_peaks_at_noon_and_vanishes_at_night() {
+        let noon = clear_sky_ghi(PHOENIX_LAT, 196, 720.0);
+        let morning = clear_sky_ghi(PHOENIX_LAT, 196, 480.0);
+        let midnight = clear_sky_ghi(PHOENIX_LAT, 196, 0.0);
+        assert!(noon > morning);
+        assert!(morning > 0.0);
+        assert_eq!(midnight, 0.0);
+        // Summer noon in Phoenix: ~1 kW/m² clear sky.
+        assert!(noon > 950.0 && noon < 1100.0, "noon GHI = {noon}");
+    }
+
+    #[test]
+    fn haurwitz_is_monotone_in_elevation() {
+        let mut prev = -1.0;
+        for step in 0..=10 {
+            let s = step as f64 / 10.0;
+            let g = haurwitz_clear_sky(s);
+            assert!(g >= prev);
+            prev = g;
+        }
+        assert_eq!(haurwitz_clear_sky(-0.5), 0.0);
+    }
+
+    #[test]
+    fn daily_insolation_ordering_summer_over_winter() {
+        let jan = clear_sky_insolation_kwh(PHOENIX_LAT, 15, 0, 1440);
+        let jul = clear_sky_insolation_kwh(PHOENIX_LAT, 196, 0, 1440);
+        assert!(jul > jan);
+        // Sanity: Phoenix clear-sky day is 4–9 kWh/m².
+        assert!(jan > 3.0 && jan < 6.5, "jan = {jan}");
+        assert!(jul > 6.5 && jul < 9.5, "jul = {jul}");
+    }
+
+    #[test]
+    fn tilted_panel_boosts_winter_harvest() {
+        // Latitude tilt trades a little summer for a lot of winter.
+        let jan_ghi = clear_sky_insolation_kwh(PHOENIX_LAT, 15, 0, 1440);
+        let jan_poa = clear_sky_poa_insolation_kwh(PHOENIX_LAT, 15, 0, 1440);
+        assert!(jan_poa > 1.25 * jan_ghi, "poa {jan_poa} vs ghi {jan_ghi}");
+        let jul_ghi = clear_sky_insolation_kwh(PHOENIX_LAT, 196, 0, 1440);
+        let jul_poa = clear_sky_poa_insolation_kwh(PHOENIX_LAT, 196, 0, 1440);
+        assert!((jul_poa / jul_ghi - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn poa_is_zero_at_night_and_positive_at_noon() {
+        assert_eq!(clear_sky_poa(PHOENIX_LAT, 15, 0.0), 0.0);
+        assert!(clear_sky_poa(PHOENIX_LAT, 15, 720.0) > 500.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Aggregate insolation statistics (Table 2 of the paper).
+
+use crate::season::Season;
+use crate::site::{Site, SolarPotential};
+use crate::trace::EnvTrace;
+
+/// Average full-day insolation in kWh/m²/day for a site, averaged over the
+/// four seasons and `days_per_season` weather realizations.
+pub fn average_daily_insolation(site: &Site, days_per_season: u32) -> f64 {
+    assert!(days_per_season > 0, "need at least one day per season");
+    let mut total = 0.0;
+    let mut count = 0;
+    for &season in &Season::ALL {
+        for day in 0..days_per_season {
+            total += EnvTrace::generate_full_day(site, season, day).insolation_kwh_m2();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+/// Classifies a site by simulating its average daily insolation; the result
+/// should match [`Site::potential`] (verified in tests — this is the Table 2
+/// calibration check).
+pub fn measured_potential(site: &Site, days_per_season: u32) -> SolarPotential {
+    SolarPotential::classify(average_daily_insolation(site, days_per_season))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_land_in_their_table2_bands() {
+        for site in Site::all() {
+            let kwh = average_daily_insolation(&site, 5);
+            let measured = SolarPotential::classify(kwh);
+            assert_eq!(
+                measured,
+                site.potential(),
+                "{} measured {kwh:.2} kWh/m²/day → {measured}, expected {}",
+                site.name(),
+                site.potential()
+            );
+        }
+    }
+
+    #[test]
+    fn insolation_ordering_matches_paper() {
+        let sites = Site::all();
+        let vals: Vec<f64> = sites
+            .iter()
+            .map(|s| average_daily_insolation(s, 3))
+            .collect();
+        assert!(vals[0] > vals[1], "AZ {} > CO {}", vals[0], vals[1]);
+        assert!(vals[1] > vals[2], "CO {} > NC {}", vals[1], vals[2]);
+        assert!(vals[2] > vals[3], "NC {} > TN {}", vals[2], vals[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn zero_days_panics() {
+        let _ = average_daily_insolation(&Site::phoenix_az(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Ambient and PV cell temperature models.
+
+use pv::units::{Celsius, Irradiance};
+
+/// Nominal operating cell temperature (NOCT) of a typical polycrystalline
+/// module, in °C. The BP3180N datasheet lists 47 ± 2 °C.
+pub const NOCT_CELSIUS: f64 = 47.0;
+
+/// Diurnal ambient temperature for a `(min, max)` daily range, peaking at
+/// 15:00 and bottoming out near 03:00 (a standard sinusoidal profile).
+pub fn ambient_temperature(range: (f64, f64), minute_of_day: u32) -> Celsius {
+    let (lo, hi) = range;
+    let phase = std::f64::consts::TAU * (minute_of_day as f64 - 900.0) / 1440.0;
+    // cos(phase) = 1 at 15:00 (minute 900), −1 at 03:00 (minute 180).
+    Celsius::new(lo + (hi - lo) * 0.5 * (1.0 + phase.cos()))
+}
+
+/// PV cell temperature from ambient temperature and plane-of-array
+/// irradiance using the NOCT relation
+/// `T_cell = T_amb + (NOCT − 20) / 800 · G`.
+pub fn cell_temperature(ambient: Celsius, irradiance: Irradiance) -> Celsius {
+    Celsius::new(ambient.get() + (NOCT_CELSIUS - 20.0) / 800.0 * irradiance.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_peaks_mid_afternoon() {
+        let range = (10.0, 30.0);
+        let at_peak = ambient_temperature(range, 900);
+        let at_trough = ambient_temperature(range, 180);
+        assert!((at_peak.get() - 30.0).abs() < 1e-9);
+        assert!((at_trough.get() - 10.0).abs() < 1e-9);
+        let morning = ambient_temperature(range, 450);
+        assert!(morning > at_trough && morning < at_peak);
+    }
+
+    #[test]
+    fn cell_runs_hotter_under_sun() {
+        let amb = Celsius::new(25.0);
+        let full_sun = cell_temperature(amb, Irradiance::new(800.0));
+        // At 800 W/m² the NOCT relation gives T_amb + (47−20) = +27 °C.
+        assert!((full_sun.get() - 52.0).abs() < 1e-9);
+        let dark = cell_temperature(amb, Irradiance::ZERO);
+        assert_eq!(dark, amb);
+    }
+
+    #[test]
+    fn cell_temperature_is_linear_in_irradiance() {
+        let amb = Celsius::new(20.0);
+        let t1 = cell_temperature(amb, Irradiance::new(400.0));
+        let t2 = cell_temperature(amb, Irradiance::new(800.0));
+        let rise1 = t1.get() - amb.get();
+        let rise2 = t2.get() - amb.get();
+        assert!((rise2 - 2.0 * rise1).abs() < 1e-9);
+    }
+}

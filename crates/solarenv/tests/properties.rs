@@ -1,0 +1,81 @@
+//! Property-based tests of the solar-environment substrate.
+
+use proptest::prelude::*;
+
+use solarenv::{EnvTrace, Season, Site, WeatherProfile};
+
+fn arb_site() -> impl Strategy<Value = Site> {
+    (0usize..4).prop_map(|i| Site::all().swap_remove(i))
+}
+
+fn arb_season() -> impl Strategy<Value = Season> {
+    (0usize..4).prop_map(|i| Season::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any window of any site-season-day is physically bounded and
+    /// regenerates identically.
+    #[test]
+    fn windows_are_bounded_and_deterministic(
+        site in arb_site(),
+        season in arb_season(),
+        day in 0u32..50,
+        start in 0u32..1200,
+        len in 0u32..200,
+    ) {
+        let end = (start + len).min(1439);
+        let a = EnvTrace::generate_window(&site, season, day, start, end).unwrap();
+        let b = EnvTrace::generate_window(&site, season, day, start, end).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.samples().len() as u32, end - start + 1);
+        for s in a.samples() {
+            prop_assert!(s.irradiance.get() >= 0.0);
+            prop_assert!(s.irradiance.get() < 1300.0);
+            prop_assert!((-30.0..=60.0).contains(&s.ambient.get()));
+            prop_assert!(s.cell_temperature >= s.ambient);
+        }
+    }
+
+    /// Different days of the same site-season are different weather
+    /// realizations (with overwhelming probability), but share the same
+    /// clear-sky envelope (equal trace length and window).
+    #[test]
+    fn day_index_varies_the_weather(site in arb_site(), season in arb_season(), day in 0u32..100) {
+        let a = EnvTrace::generate(&site, season, day);
+        let b = EnvTrace::generate(&site, season, day + 1);
+        prop_assert_eq!(a.samples().len(), b.samples().len());
+        prop_assert_ne!(a, b);
+    }
+
+    /// Weather-profile normalization is idempotent and its expected
+    /// clearness stays within the regime extremes.
+    #[test]
+    fn profile_statistics_are_consistent(
+        w in proptest::collection::vec(0.01..10.0_f64, 4),
+        dwell in 1.0..120.0_f64,
+        jitter in 0.0..2.0_f64,
+    ) {
+        let p = WeatherProfile::new([w[0], w[1], w[2], w[3]], dwell, jitter).unwrap();
+        let sum: f64 = p.weights().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let e = p.expected_clearness();
+        prop_assert!((0.12..=0.97).contains(&e));
+    }
+
+    /// Insolation is additive over sub-windows.
+    #[test]
+    fn insolation_is_additive(site in arb_site(), season in arb_season(), day in 0u32..20) {
+        let whole = EnvTrace::generate_window(&site, season, day, 450, 1050).unwrap();
+        let first = EnvTrace::generate_window(&site, season, day, 450, 749).unwrap();
+        let second = EnvTrace::generate_window(&site, season, day, 750, 1050).unwrap();
+        let sum = first.insolation_kwh_m2() + second.insolation_kwh_m2();
+        prop_assert!(
+            (whole.insolation_kwh_m2() - sum).abs() < 1e-9,
+            "{} vs {}",
+            whole.insolation_kwh_m2(),
+            sum
+        );
+    }
+}

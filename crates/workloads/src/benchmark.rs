@@ -1,0 +1,159 @@
+//! Per-benchmark statistical models and EPI classification (Table 5).
+
+use std::fmt;
+
+/// EPI (energy-per-instruction) class boundaries from Section 5 of the
+/// paper: High ≥ 15 nJ, 8 nJ < Moderate < 15 nJ, Low ≤ 8 nJ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EpiClass {
+    /// EPI ≥ 15 nJ per instruction.
+    High,
+    /// 8 nJ < EPI < 15 nJ.
+    Moderate,
+    /// EPI ≤ 8 nJ.
+    Low,
+}
+
+impl EpiClass {
+    /// Classifies a nominal EPI value in nanojoules.
+    pub fn classify(epi_nj: f64) -> Self {
+        if epi_nj >= 15.0 {
+            EpiClass::High
+        } else if epi_nj > 8.0 {
+            EpiClass::Moderate
+        } else {
+            EpiClass::Low
+        }
+    }
+}
+
+impl fmt::Display for EpiClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EpiClass::High => "High",
+            EpiClass::Moderate => "Moderate",
+            EpiClass::Low => "Low",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statistical model of one benchmark: what the SolarCore control algorithms
+/// can observe about a running program (via performance counters), expressed
+/// as nominal values at the top V/F level (2.5 GHz / 1.45 V).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkSpec {
+    /// SPEC2000 benchmark name, e.g. `"art"`.
+    pub name: &'static str,
+    /// Average energy per instruction at nominal V/F, in nanojoules.
+    pub epi_nj: f64,
+    /// Average instructions per cycle at nominal frequency.
+    pub ipc: f64,
+    /// Fraction of nominal CPI spent waiting on memory (0–1). Memory stall
+    /// time is constant in wall-clock terms, so memory-bound programs lose
+    /// less throughput when the core slows down.
+    pub mem_frac: f64,
+    /// Relative magnitude of program-phase IPC/power variation (std-dev of
+    /// the phase multiplier process).
+    pub phase_volatility: f64,
+}
+
+impl BenchmarkSpec {
+    /// The benchmark's EPI class (Table 5 grouping).
+    pub fn epi_class(&self) -> EpiClass {
+        EpiClass::classify(self.epi_nj)
+    }
+
+    /// Effective IPC at a clock frequency `f_hz`, given the nominal
+    /// frequency `f_nom_hz`. Core-bound cycles are frequency-invariant in
+    /// cycle terms, memory-bound cycles are frequency-invariant in *time*
+    /// terms:
+    ///
+    /// `IPC(f) = IPC_nom / (1 − mem_frac + mem_frac · f / f_nom)`
+    ///
+    /// The paper's assumption (3) — "voltage scaling has little impact on
+    /// IPC" — is the `mem_frac → 0` limit; this model keeps the second-order
+    /// memory effect so the TPR allocator has realistic inputs.
+    pub fn ipc_at(&self, f_hz: f64, f_nom_hz: f64) -> f64 {
+        self.ipc / (1.0 - self.mem_frac + self.mem_frac * f_hz / f_nom_hz)
+    }
+
+    /// Instructions per second at a clock frequency.
+    pub fn ips_at(&self, f_hz: f64, f_nom_hz: f64) -> f64 {
+        self.ipc_at(f_hz, f_nom_hz) * f_hz
+    }
+
+    /// Nominal per-core dynamic power at top V/F, in watts:
+    /// `P = EPI × IPC × f`.
+    pub fn nominal_dynamic_power(&self, f_nom_hz: f64) -> f64 {
+        self.epi_nj * 1e-9 * self.ipc * f_nom_hz
+    }
+}
+
+impl fmt::Display for BenchmarkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(EpiClass::classify(15.0), EpiClass::High);
+        assert_eq!(EpiClass::classify(14.9), EpiClass::Moderate);
+        assert_eq!(EpiClass::classify(8.1), EpiClass::Moderate);
+        assert_eq!(EpiClass::classify(8.0), EpiClass::Low);
+        assert_eq!(EpiClass::classify(20.0), EpiClass::High);
+        assert_eq!(EpiClass::classify(3.0), EpiClass::Low);
+    }
+
+    #[test]
+    fn ipc_at_full_frequency_is_nominal() {
+        let art = spec2000::art();
+        let f = 2.5e9;
+        assert!((art.ipc_at(f, f) - art.ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_keep_more_ipc_when_slowed() {
+        let mcf = spec2000::mcf(); // heavily memory bound
+        let gzip = spec2000::gzip(); // compute bound
+        let f_nom = 2.5e9;
+        let f_low = 1.0e9;
+        let mcf_gain = mcf.ipc_at(f_low, f_nom) / mcf.ipc;
+        let gzip_gain = gzip.ipc_at(f_low, f_nom) / gzip.ipc;
+        assert!(mcf_gain > gzip_gain);
+        assert!(mcf_gain > 1.0, "IPC rises as frequency falls");
+    }
+
+    #[test]
+    fn throughput_still_falls_with_frequency() {
+        // Even for mcf, IPS must drop monotonically with f.
+        let mcf = spec2000::mcf();
+        let f_nom = 2.5e9;
+        let mut prev = f64::INFINITY;
+        for f_ghz in [2.5, 2.2, 1.9, 1.6, 1.3, 1.0] {
+            let ips = mcf.ips_at(f_ghz * 1e9, f_nom);
+            assert!(ips < prev);
+            prev = ips;
+        }
+    }
+
+    #[test]
+    fn nominal_power_is_in_per_core_envelope() {
+        // Each core should draw roughly 8–18 W at top V/F, matching the
+        // paper's ~100–150 W 8-core budgets.
+        for spec in spec2000::all() {
+            let p = spec.nominal_dynamic_power(2.5e9);
+            assert!(
+                (7.0..=19.0).contains(&p),
+                "{}: {p:.1} W at nominal",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Workload models for the SolarCore reproduction.
+//!
+//! The paper evaluates SolarCore with SPEC CPU2000 multi-programmed mixes on
+//! an 8-core machine (Table 5), with benchmarks classified by average
+//! energy-per-instruction (EPI): High (≥ 15 nJ), Moderate (8–15 nJ) and Low
+//! (≤ 8 nJ). SPEC2000 binaries and reference inputs are not redistributable,
+//! so this crate substitutes *statistical* models of the twelve benchmarks
+//! the paper uses: per-benchmark nominal IPC, EPI, memory-boundedness and
+//! phase volatility, plus seeded phase traces that reproduce the
+//! load-variation structure the paper reports (large power ripple for
+//! homogeneous high-EPI mixes, smooth power for heterogeneous/low-EPI ones).
+//!
+//! # Quick start
+//!
+//! ```
+//! use workloads::{Mix, EpiClass};
+//!
+//! let h1 = Mix::h1();
+//! assert_eq!(h1.benchmarks().len(), 8);
+//! assert_eq!(h1.benchmarks()[0].epi_class(), EpiClass::High);
+//! assert_eq!(Mix::all().len(), 10);
+//! ```
+
+pub mod benchmark;
+pub mod mix;
+pub mod phases;
+pub mod spec2000;
+
+pub use benchmark::{BenchmarkSpec, EpiClass};
+pub use mix::Mix;
+pub use phases::PhaseTrace;

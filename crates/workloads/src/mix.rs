@@ -1,0 +1,258 @@
+//! The ten multi-programmed workload mixes of Table 5.
+
+use std::fmt;
+
+use crate::benchmark::{BenchmarkSpec, EpiClass};
+use crate::spec2000;
+
+/// Number of cores (and therefore programs per mix) in the paper's setup.
+pub const CORES_PER_MIX: usize = 8;
+
+/// A multi-programmed workload: one benchmark pinned to each of 8 cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    name: &'static str,
+    benchmarks: Vec<BenchmarkSpec>,
+}
+
+impl Mix {
+    /// Builds a custom 8-program mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `benchmarks` does not contain exactly
+    /// [`CORES_PER_MIX`] entries.
+    pub fn custom(name: &'static str, benchmarks: Vec<BenchmarkSpec>) -> Self {
+        assert_eq!(
+            benchmarks.len(),
+            CORES_PER_MIX,
+            "a mix pins one benchmark per core"
+        );
+        Self { name, benchmarks }
+    }
+
+    /// H1 = art×8 (homogeneous high EPI).
+    pub fn h1() -> Self {
+        Self::custom("H1", vec![spec2000::art(); 8])
+    }
+
+    /// H2 = art×2, apsi×2, bzip×2, gzip×2 (less homogeneous high EPI).
+    pub fn h2() -> Self {
+        Self::custom(
+            "H2",
+            duplicate_pairs([
+                spec2000::art(),
+                spec2000::apsi(),
+                spec2000::bzip2(),
+                spec2000::gzip(),
+            ]),
+        )
+    }
+
+    /// M1 = gcc×8 (homogeneous moderate EPI).
+    pub fn m1() -> Self {
+        Self::custom("M1", vec![spec2000::gcc(); 8])
+    }
+
+    /// M2 = gcc×2, mcf×2, gap×2, vpr×2.
+    pub fn m2() -> Self {
+        Self::custom(
+            "M2",
+            duplicate_pairs([
+                spec2000::gcc(),
+                spec2000::mcf(),
+                spec2000::gap(),
+                spec2000::vpr(),
+            ]),
+        )
+    }
+
+    /// L1 = mesa×8 (homogeneous low EPI).
+    pub fn l1() -> Self {
+        Self::custom("L1", vec![spec2000::mesa(); 8])
+    }
+
+    /// L2 = mesa×2, equake×2, lucas×2, swim×2.
+    pub fn l2() -> Self {
+        Self::custom(
+            "L2",
+            duplicate_pairs([
+                spec2000::mesa(),
+                spec2000::equake(),
+                spec2000::lucas(),
+                spec2000::swim(),
+            ]),
+        )
+    }
+
+    /// HM1 = bzip×4, gcc×4 (high-moderate, less heterogeneous).
+    pub fn hm1() -> Self {
+        let mut v = vec![spec2000::bzip2(); 4];
+        v.extend(vec![spec2000::gcc(); 4]);
+        Self::custom("HM1", v)
+    }
+
+    /// HM2 = bzip, gzip, art, apsi, gcc, mcf, gap, vpr (fully heterogeneous
+    /// high-moderate).
+    pub fn hm2() -> Self {
+        Self::custom(
+            "HM2",
+            vec![
+                spec2000::bzip2(),
+                spec2000::gzip(),
+                spec2000::art(),
+                spec2000::apsi(),
+                spec2000::gcc(),
+                spec2000::mcf(),
+                spec2000::gap(),
+                spec2000::vpr(),
+            ],
+        )
+    }
+
+    /// ML1 = gcc×4, mesa×4 (moderate-low, less heterogeneous).
+    pub fn ml1() -> Self {
+        let mut v = vec![spec2000::gcc(); 4];
+        v.extend(vec![spec2000::mesa(); 4]);
+        Self::custom("ML1", v)
+    }
+
+    /// ML2 = gcc, mcf, gap, vpr, mesa, equake, lucas, swim (fully
+    /// heterogeneous moderate-low).
+    pub fn ml2() -> Self {
+        Self::custom(
+            "ML2",
+            vec![
+                spec2000::gcc(),
+                spec2000::mcf(),
+                spec2000::gap(),
+                spec2000::vpr(),
+                spec2000::mesa(),
+                spec2000::equake(),
+                spec2000::lucas(),
+                spec2000::swim(),
+            ],
+        )
+    }
+
+    /// All ten Table 5 mixes in the paper's order
+    /// (H1, H2, M1, M2, L1, L2, HM1, HM2, ML1, ML2).
+    pub fn all() -> Vec<Mix> {
+        vec![
+            Mix::h1(),
+            Mix::h2(),
+            Mix::m1(),
+            Mix::m2(),
+            Mix::l1(),
+            Mix::l2(),
+            Mix::hm1(),
+            Mix::hm2(),
+            Mix::ml1(),
+            Mix::ml2(),
+        ]
+    }
+
+    /// Looks a mix up by Table 5 name (e.g. `"HM2"`).
+    pub fn by_name(name: &str) -> Option<Mix> {
+        Mix::all().into_iter().find(|m| m.name == name)
+    }
+
+    /// The mix's Table 5 name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The per-core benchmark assignment (core *i* runs `benchmarks()[i]`).
+    pub fn benchmarks(&self) -> &[BenchmarkSpec] {
+        &self.benchmarks
+    }
+
+    /// Mean nominal EPI across the mix, in nanojoules.
+    pub fn mean_epi_nj(&self) -> f64 {
+        self.benchmarks.iter().map(|b| b.epi_nj).sum::<f64>() / self.benchmarks.len() as f64
+    }
+
+    /// Number of *distinct* programs in the mix — 1 for homogeneous (H1),
+    /// 8 for fully heterogeneous (HM2). Drives how correlated the chip's
+    /// aggregate power ripple is.
+    pub fn distinct_programs(&self) -> usize {
+        let mut names: Vec<&str> = self.benchmarks.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// Dominant EPI class of the mix by mean EPI.
+    pub fn epi_class(&self) -> EpiClass {
+        EpiClass::classify(self.mean_epi_nj())
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+/// Expands four specs into the paper's ×2 pair layout.
+fn duplicate_pairs(four: [BenchmarkSpec; 4]) -> Vec<BenchmarkSpec> {
+    four.into_iter().flat_map(|b| [b, b]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_mixes_with_eight_programs_each() {
+        let mixes = Mix::all();
+        assert_eq!(mixes.len(), 10);
+        for m in &mixes {
+            assert_eq!(m.benchmarks().len(), 8, "{m}");
+        }
+        let names: Vec<&str> = mixes.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["H1", "H2", "M1", "M2", "L1", "L2", "HM1", "HM2", "ML1", "ML2"]
+        );
+    }
+
+    #[test]
+    fn homogeneity_counts() {
+        assert_eq!(Mix::h1().distinct_programs(), 1);
+        assert_eq!(Mix::h2().distinct_programs(), 4);
+        assert_eq!(Mix::hm1().distinct_programs(), 2);
+        assert_eq!(Mix::hm2().distinct_programs(), 8);
+        assert_eq!(Mix::ml2().distinct_programs(), 8);
+    }
+
+    #[test]
+    fn mean_epi_ordering_h_over_m_over_l() {
+        assert!(Mix::h1().mean_epi_nj() > Mix::m1().mean_epi_nj());
+        assert!(Mix::m1().mean_epi_nj() > Mix::l1().mean_epi_nj());
+        assert!(Mix::h2().mean_epi_nj() > Mix::l2().mean_epi_nj());
+        assert_eq!(Mix::h1().epi_class(), EpiClass::High);
+        assert_eq!(Mix::l1().epi_class(), EpiClass::Low);
+    }
+
+    #[test]
+    fn hm2_matches_table5_composition() {
+        let names: Vec<&str> = Mix::hm2().benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec!["bzip", "gzip", "art", "apsi", "gcc", "mcf", "gap", "vpr"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Mix::by_name("ML1").unwrap().name(), "ML1");
+        assert!(Mix::by_name("X9").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "one benchmark per core")]
+    fn custom_mix_requires_eight() {
+        let _ = Mix::custom("bad", vec![spec2000::art(); 3]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Program-phase traces: per-interval IPC/activity multipliers.
+//!
+//! Real programs move through phases whose IPC (and therefore power) differ.
+//! We model a phase trace as a bounded AR(1) multiplier around 1.0 with a
+//! per-benchmark volatility, *seeded by benchmark name*: two cores running
+//! the same program started together share the same trace, so homogeneous
+//! mixes (H1 = art×8) swing coherently — reproducing the large power ripples
+//! of Figures 13–14 — while heterogeneous mixes average out.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::benchmark::BenchmarkSpec;
+use crate::mix::Mix;
+
+/// Persistence of the phase AR(1) process per macro-interval (1 minute).
+const PHASE_RHO: f64 = 0.88;
+
+/// Hard bounds on the phase multiplier.
+const MULT_MIN: f64 = 0.55;
+const MULT_MAX: f64 = 1.45;
+
+/// A per-interval sequence of IPC/activity multipliers for one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTrace {
+    multipliers: Vec<f64>,
+}
+
+impl PhaseTrace {
+    /// Generates `len` interval multipliers for one benchmark. The trace is
+    /// a deterministic function of `(benchmark name, seed)` — *not* of the
+    /// core it runs on — so identical programs phase together.
+    pub fn generate(spec: &BenchmarkSpec, seed: u64, len: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(mix_seed(spec.name, seed));
+        let sigma = spec.phase_volatility;
+        let mut state = 0.0_f64;
+        let multipliers = (0..len)
+            .map(|_| {
+                let eps = standard_normal(&mut rng);
+                state = PHASE_RHO * state + (1.0 - PHASE_RHO * PHASE_RHO).sqrt() * sigma * eps;
+                (1.0 + state).clamp(MULT_MIN, MULT_MAX)
+            })
+            .collect();
+        Self { multipliers }
+    }
+
+    /// Generates one trace per core of a mix (same seed ⇒ same-program cores
+    /// share identical traces).
+    pub fn for_mix(mix: &Mix, seed: u64, len: usize) -> Vec<PhaseTrace> {
+        mix.benchmarks()
+            .iter()
+            .map(|b| PhaseTrace::generate(b, seed, len))
+            .collect()
+    }
+
+    /// The multiplier sequence.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.multipliers
+    }
+
+    /// Multiplier at interval `t`, clamping past the end (programs loop
+    /// through their representative interval, per the paper's methodology).
+    pub fn at(&self, t: usize) -> f64 {
+        if self.multipliers.is_empty() {
+            return 1.0;
+        }
+        self.multipliers[t % self.multipliers.len()]
+    }
+
+    /// Trace length in intervals.
+    pub fn len(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// `true` if the trace holds no intervals.
+    pub fn is_empty(&self) -> bool {
+        self.multipliers.is_empty()
+    }
+}
+
+/// Derives a sub-seed from the benchmark name and the run seed (FNV-1a).
+fn mix_seed(name: &str, seed: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec2000;
+
+    #[test]
+    fn multipliers_stay_bounded_near_one() {
+        let t = PhaseTrace::generate(&spec2000::art(), 1, 5000);
+        let mean: f64 = t.multipliers().iter().sum::<f64>() / t.len() as f64;
+        assert!((mean - 1.0).abs() < 0.08, "mean {mean}");
+        for &m in t.multipliers() {
+            assert!((MULT_MIN..=MULT_MAX).contains(&m));
+        }
+    }
+
+    #[test]
+    fn same_program_same_seed_share_a_trace() {
+        let a = PhaseTrace::generate(&spec2000::art(), 7, 100);
+        let b = PhaseTrace::generate(&spec2000::art(), 7, 100);
+        assert_eq!(a, b);
+        let c = PhaseTrace::generate(&spec2000::art(), 8, 100);
+        assert_ne!(a, c);
+        let d = PhaseTrace::generate(&spec2000::gzip(), 7, 100);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn homogeneous_mix_is_coherent_heterogeneous_is_not() {
+        let len = 600;
+        let h1 = PhaseTrace::for_mix(&Mix::h1(), 3, len);
+        // All 8 cores of H1 share the identical art trace.
+        for t in &h1[1..] {
+            assert_eq!(t, &h1[0]);
+        }
+        // HM2's cores differ pairwise.
+        let hm2 = PhaseTrace::for_mix(&Mix::hm2(), 3, len);
+        let mut distinct = 0;
+        for t in &hm2[1..] {
+            if t != &hm2[0] {
+                distinct += 1;
+            }
+        }
+        assert_eq!(distinct, 7);
+    }
+
+    #[test]
+    fn aggregate_ripple_larger_for_h1_than_hm2_and_l1() {
+        // Chip-level multiplier = mean across cores; H1 must ripple hardest.
+        let len = 2000;
+        let ripple = |mix: &Mix| -> f64 {
+            let traces = PhaseTrace::for_mix(mix, 5, len);
+            let agg: Vec<f64> = (0..len)
+                .map(|t| traces.iter().map(|tr| tr.at(t)).sum::<f64>() / traces.len() as f64)
+                .collect();
+            let mean = agg.iter().sum::<f64>() / agg.len() as f64;
+            (agg.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / agg.len() as f64).sqrt()
+        };
+        let h1 = ripple(&Mix::h1());
+        let hm2 = ripple(&Mix::hm2());
+        let l1 = ripple(&Mix::l1());
+        assert!(h1 > 1.5 * hm2, "H1 {h1:.4} vs HM2 {hm2:.4}");
+        assert!(h1 > 2.0 * l1, "H1 {h1:.4} vs L1 {l1:.4}");
+    }
+
+    #[test]
+    fn at_wraps_past_the_end() {
+        let t = PhaseTrace::generate(&spec2000::mesa(), 2, 10);
+        assert_eq!(t.at(0), t.at(10));
+        assert_eq!(t.at(3), t.at(13));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_yields_unit_multiplier() {
+        let t = PhaseTrace {
+            multipliers: vec![],
+        };
+        assert_eq!(t.at(5), 1.0);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! The twelve SPEC CPU2000 benchmarks used by the paper (Table 5),
+//! as statistical models.
+//!
+//! EPI values place each benchmark in its Table 5 class (High ≥ 15 nJ,
+//! Moderate 8–15 nJ, Low ≤ 8 nJ). IPC and memory-boundedness are set to
+//! plausible Alpha-21264-class values such that per-core power at top V/F
+//! lands in the 8–18 W range (giving the ~100–150 W 8-core chip budgets the
+//! paper's figures show). Phase volatility is higher for the high-EPI codes,
+//! reproducing the power-ripple structure of Figures 13–14.
+
+use crate::benchmark::BenchmarkSpec;
+
+/// `179.art` — image recognition / neural net; cache-thrashing, hot.
+pub fn art() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "art",
+        epi_nj: 18.0,
+        ipc: 0.35,
+        mem_frac: 0.45,
+        phase_volatility: 0.22,
+    }
+}
+
+/// `301.apsi` — meteorology; FP heavy, high activity.
+pub fn apsi() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "apsi",
+        epi_nj: 16.5,
+        ipc: 0.42,
+        mem_frac: 0.25,
+        phase_volatility: 0.16,
+    }
+}
+
+/// `256.bzip2` — compression; integer, bursty.
+pub fn bzip2() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "bzip",
+        epi_nj: 15.5,
+        ipc: 0.42,
+        mem_frac: 0.20,
+        phase_volatility: 0.18,
+    }
+}
+
+/// `164.gzip` — compression; integer, compute bound.
+pub fn gzip() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gzip",
+        epi_nj: 15.0,
+        ipc: 0.45,
+        mem_frac: 0.12,
+        phase_volatility: 0.14,
+    }
+}
+
+/// `176.gcc` — compiler; moderate everything.
+pub fn gcc() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gcc",
+        epi_nj: 12.0,
+        ipc: 0.50,
+        mem_frac: 0.30,
+        phase_volatility: 0.12,
+    }
+}
+
+/// `181.mcf` — combinatorial optimization; extremely memory bound.
+pub fn mcf() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "mcf",
+        epi_nj: 14.0,
+        ipc: 0.28,
+        mem_frac: 0.75,
+        phase_volatility: 0.10,
+    }
+}
+
+/// `254.gap` — group theory; integer, moderately memory bound.
+pub fn gap() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "gap",
+        epi_nj: 10.0,
+        ipc: 0.55,
+        mem_frac: 0.30,
+        phase_volatility: 0.11,
+    }
+}
+
+/// `175.vpr` — FPGA place & route; integer.
+pub fn vpr() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "vpr",
+        epi_nj: 11.0,
+        ipc: 0.50,
+        mem_frac: 0.25,
+        phase_volatility: 0.12,
+    }
+}
+
+/// `177.mesa` — 3D graphics library; efficient FP, low EPI.
+pub fn mesa() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "mesa",
+        epi_nj: 7.5,
+        ipc: 0.80,
+        mem_frac: 0.10,
+        phase_volatility: 0.06,
+    }
+}
+
+/// `183.equake` — seismic wave simulation; FP, streaming.
+pub fn equake() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "equake",
+        epi_nj: 7.0,
+        ipc: 0.65,
+        mem_frac: 0.40,
+        phase_volatility: 0.08,
+    }
+}
+
+/// `189.lucas` — number theory FP; regular access patterns.
+pub fn lucas() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "lucas",
+        epi_nj: 6.5,
+        ipc: 0.70,
+        mem_frac: 0.35,
+        phase_volatility: 0.07,
+    }
+}
+
+/// `171.swim` — shallow water modeling; streaming FP, memory bound.
+pub fn swim() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "swim",
+        epi_nj: 6.0,
+        ipc: 0.65,
+        mem_frac: 0.55,
+        phase_volatility: 0.07,
+    }
+}
+
+/// All twelve modeled benchmarks, High-EPI first.
+pub fn all() -> Vec<BenchmarkSpec> {
+    vec![
+        art(),
+        apsi(),
+        bzip2(),
+        gzip(),
+        gcc(),
+        mcf(),
+        gap(),
+        vpr(),
+        mesa(),
+        equake(),
+        lucas(),
+        swim(),
+    ]
+}
+
+/// Looks a benchmark up by its SPEC short name (e.g. `"art"`, `"bzip"`).
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::EpiClass;
+
+    #[test]
+    fn twelve_unique_benchmarks() {
+        let specs = all();
+        assert_eq!(specs.len(), 12);
+        let mut names: Vec<&str> = specs.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn table5_class_membership() {
+        for name in ["art", "apsi", "bzip", "gzip"] {
+            assert_eq!(by_name(name).unwrap().epi_class(), EpiClass::High, "{name}");
+        }
+        for name in ["gcc", "mcf", "gap", "vpr"] {
+            assert_eq!(
+                by_name(name).unwrap().epi_class(),
+                EpiClass::Moderate,
+                "{name}"
+            );
+        }
+        for name in ["mesa", "equake", "lucas", "swim"] {
+            assert_eq!(by_name(name).unwrap().epi_class(), EpiClass::Low, "{name}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("art").unwrap().name, "art");
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn parameters_are_physical() {
+        for b in all() {
+            assert!(b.epi_nj > 0.0);
+            assert!(b.ipc > 0.0 && b.ipc < 4.0);
+            assert!((0.0..1.0).contains(&b.mem_frac));
+            assert!(b.phase_volatility >= 0.0 && b.phase_volatility < 1.0);
+        }
+    }
+
+    #[test]
+    fn high_epi_codes_are_more_volatile() {
+        // The ripple structure of Figures 13–14 requires high-EPI programs
+        // to swing more than low-EPI ones.
+        let avg = |names: &[&str]| -> f64 {
+            names
+                .iter()
+                .map(|n| by_name(n).unwrap().phase_volatility)
+                .sum::<f64>()
+                / names.len() as f64
+        };
+        assert!(avg(&["art", "apsi", "bzip", "gzip"]) > avg(&["mesa", "equake", "lucas", "swim"]));
+    }
+}

@@ -1,0 +1,58 @@
+//! Property-based tests of the workload models.
+
+use proptest::prelude::*;
+
+use workloads::{spec2000, Mix, PhaseTrace};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Effective IPC interpolates monotonically between its bounds for any
+    /// benchmark and frequency in range.
+    #[test]
+    fn effective_ipc_is_monotone_in_frequency(
+        bench_idx in 0usize..12,
+        f_ghz in 1.0..2.5_f64,
+    ) {
+        let spec = spec2000::all().swap_remove(bench_idx);
+        let f_nom = 2.5e9;
+        let ipc = spec.ipc_at(f_ghz * 1e9, f_nom);
+        // IPC rises as frequency falls (memory stalls shrink in cycles)…
+        prop_assert!(ipc >= spec.ipc - 1e-12);
+        // …but bounded by the zero-memory-time limit.
+        prop_assert!(ipc <= spec.ipc / (1.0 - spec.mem_frac) + 1e-12);
+        // And throughput is still monotone increasing in frequency.
+        let ips_lo = spec.ips_at((f_ghz - 0.1).max(0.5) * 1e9, f_nom);
+        let ips_hi = spec.ips_at(f_ghz * 1e9, f_nom);
+        prop_assert!(ips_hi >= ips_lo);
+    }
+
+    /// Phase traces are bounded, deterministic and name-keyed for any seed
+    /// and length.
+    #[test]
+    fn phase_traces_bounded_and_deterministic(
+        seed in any::<u64>(),
+        len in 1usize..800,
+        bench_idx in 0usize..12,
+    ) {
+        let spec = spec2000::all().swap_remove(bench_idx);
+        let a = PhaseTrace::generate(&spec, seed, len);
+        let b = PhaseTrace::generate(&spec, seed, len);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+        for &m in a.multipliers() {
+            prop_assert!((0.5..=1.5).contains(&m), "multiplier {m}");
+        }
+    }
+
+    /// Every mix keeps its Table 5 aggregate EPI class consistent with its
+    /// members.
+    #[test]
+    fn mix_mean_epi_is_within_member_range(mix_idx in 0usize..10) {
+        let mix = Mix::all().swap_remove(mix_idx);
+        let min = mix.benchmarks().iter().map(|b| b.epi_nj).fold(f64::MAX, f64::min);
+        let max = mix.benchmarks().iter().map(|b| b.epi_nj).fold(f64::MIN, f64::max);
+        let mean = mix.mean_epi_nj();
+        prop_assert!(mean >= min && mean <= max);
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: simulate one solar-powered day with SolarCore and print the
+//! headline metrics.
+//!
+//! ```text
+//! cargo run -p examples --bin quickstart
+//! ```
+
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+fn main() {
+    // A mid-January day in Phoenix, running the heterogeneous HM2 mix
+    // (bzip, gzip, art, apsi, gcc, mcf, gap, vpr) under the full SolarCore
+    // policy: MPP tracking plus throughput-power-ratio load allocation.
+    let result = DaySimulation::builder()
+        .site(Site::phoenix_az())
+        .season(Season::Jan)
+        .mix(Mix::hm2())
+        .policy(Policy::MpptOpt)
+        .build()
+        .run();
+
+    println!("SolarCore quickstart — Phoenix, AZ / Jan / HM2");
+    println!(
+        "  solar energy available : {:8.1} Wh (perfect MPP harvesting)",
+        result.energy_available().get()
+    );
+    println!(
+        "  solar energy drawn     : {:8.1} Wh",
+        result.energy_drawn().get()
+    );
+    println!(
+        "  green energy utilization: {:6.1} %",
+        100.0 * result.utilization()
+    );
+    println!(
+        "  effective solar duration: {:6.1} % of the 07:30–17:30 window",
+        100.0 * result.effective_fraction()
+    );
+    println!(
+        "  mean MPP tracking error : {:6.1} %",
+        100.0 * result.mean_tracking_error()
+    );
+    println!(
+        "  instructions on solar   : {:9.2e} (the performance-time product)",
+        result.solar_instructions()
+    );
+}

@@ -1,0 +1,89 @@
+//! Site planner: where should a solar-powered compute installation go?
+//!
+//! Sweeps the four evaluated sites across all seasons with the SolarCore
+//! policy and ranks them by yearly green instructions — the kind of
+//! deployment question the paper's Table 2 / Figure 18 analysis answers.
+//!
+//! ```text
+//! cargo run -p examples --bin site_planner -- ML2
+//! ```
+
+use std::env;
+
+use solarcore::metrics::mean;
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+struct SiteReport {
+    name: &'static str,
+    utilization: f64,
+    effective: f64,
+    daily_wh: f64,
+    daily_instructions: f64,
+}
+
+fn main() {
+    let mix_name = env::args().nth(1).unwrap_or_else(|| "ML2".into());
+    let mix = Mix::by_name(&mix_name).unwrap_or_else(Mix::ml2);
+    println!(
+        "Site planner — seasonal-average SolarCore metrics running {}",
+        mix.name()
+    );
+
+    let mut reports: Vec<SiteReport> = Site::all()
+        .into_iter()
+        .map(|site| {
+            let mut utils = Vec::new();
+            let mut effs = Vec::new();
+            let mut whs = Vec::new();
+            let mut instrs = Vec::new();
+            for &season in &Season::ALL {
+                let r = DaySimulation::builder()
+                    .site(site.clone())
+                    .season(season)
+                    .mix(mix.clone())
+                    .policy(Policy::MpptOpt)
+                    .build()
+                    .run();
+                utils.push(r.utilization());
+                effs.push(r.effective_fraction());
+                whs.push(r.energy_drawn().get());
+                instrs.push(r.solar_instructions());
+            }
+            SiteReport {
+                name: site.name(),
+                utilization: mean(&utils),
+                effective: mean(&effs),
+                daily_wh: mean(&whs),
+                daily_instructions: mean(&instrs),
+            }
+        })
+        .collect();
+
+    reports.sort_by(|a, b| {
+        b.daily_instructions
+            .partial_cmp(&a.daily_instructions)
+            .expect("finite")
+    });
+
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>16}",
+        "site", "util (%)", "solar (%)", "Wh/day", "instr/day"
+    );
+    for r in &reports {
+        println!(
+            "{:<22} {:>10.1} {:>10.1} {:>12.1} {:>16.2e}",
+            r.name,
+            100.0 * r.utilization,
+            100.0 * r.effective,
+            r.daily_wh,
+            r.daily_instructions
+        );
+    }
+    println!(
+        "\nbest green-compute site for {}: {}",
+        mix.name(),
+        reports[0].name
+    );
+}

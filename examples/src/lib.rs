@@ -1,0 +1,11 @@
+//! Runnable examples for the SolarCore reproduction.
+//!
+//! Each binary exercises the public API on a realistic scenario:
+//!
+//! * `quickstart` — one simulated SolarCore day, headline metrics;
+//! * `pv_explorer` — I-V / P-V characteristics at arbitrary (G, T);
+//! * `mppt_day_trace` — terminal sketch of budget vs drawn power (Figs 13/14);
+//! * `policy_comparison` — Table 6 policies + battery bounds on one day;
+//! * `site_planner` — rank the four sites for a green-compute deployment.
+//!
+//! Run with `cargo run -p examples --bin <name> [-- args]`.

@@ -1,0 +1,9 @@
+//! Cross-crate integration tests for the SolarCore reproduction.
+//!
+//! The tests live in `tests/tests/`:
+//!
+//! * `end_to_end.rs` — closed-loop day simulations: determinism, physical
+//!   invariants (never drawing beyond the budget), ATS behaviour;
+//! * `paper_claims.rs` — the paper's qualitative results on a reduced grid;
+//! * `properties.rs` — proptest invariants spanning pv + powertrain +
+//!   solarcore (tracking convergence, budget allocation, trace bounds).

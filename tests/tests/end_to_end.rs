@@ -1,0 +1,151 @@
+//! End-to-end integration tests: the full weather → PV → power train →
+//! controller → chip loop.
+
+use powertrain::PowerSource;
+use pv::units::Watts;
+use pv::PvArray;
+use pv::PvGenerator;
+use solarcore::{DayResult, DaySimulation, Policy};
+use solarenv::{EnvTrace, Season, Site};
+use workloads::Mix;
+
+fn run_day(site: Site, season: Season, mix: Mix, policy: Policy) -> DayResult {
+    DaySimulation::builder()
+        .site(site)
+        .season(season)
+        .mix(mix)
+        .policy(policy)
+        .build()
+        .run()
+}
+
+#[test]
+fn full_day_is_deterministic_across_runs() {
+    let a = run_day(Site::golden_co(), Season::Oct, Mix::m2(), Policy::MpptOpt);
+    let b = run_day(Site::golden_co(), Season::Oct, Mix::m2(), Policy::MpptOpt);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn no_minute_draws_more_than_the_oracle_budget() {
+    for policy in [Policy::MpptOpt, Policy::MpptRr, Policy::MpptIc] {
+        let result = run_day(Site::elizabeth_city_nc(), Season::Apr, Mix::h2(), policy);
+        for r in result.records() {
+            assert!(
+                r.drawn.get() <= r.budget.get() + 0.5,
+                "{policy:?} minute {}: drew {} of {}",
+                r.minute,
+                r.drawn,
+                r.budget
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_accounting_is_consistent() {
+    let result = run_day(Site::phoenix_az(), Season::Apr, Mix::l2(), Policy::MpptOpt);
+    // Summed records equal the aggregate accessors.
+    let drawn: f64 = result.records().iter().map(|r| r.drawn.get() / 60.0).sum();
+    assert!((drawn - result.energy_drawn().get()).abs() < 1e-9);
+    let avail: f64 = result.records().iter().map(|r| r.budget.get() / 60.0).sum();
+    assert!((avail - result.energy_available().get()).abs() < 1e-9);
+    assert!(result.utilization() <= 1.0);
+    // The oracle budget must equal the PV array's MPP trace.
+    let array = PvArray::solarcore_default();
+    let trace = EnvTrace::generate(&Site::phoenix_az(), Season::Apr, 0);
+    for (rec, sample) in result.records().iter().zip(trace.samples()) {
+        let mpp = array.mpp(sample.cell_env()).power;
+        assert!((rec.budget.get() - mpp.get()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ats_separates_solar_and_utility_cleanly() {
+    let result = run_day(
+        Site::oak_ridge_tn(),
+        Season::Oct,
+        Mix::h1(),
+        Policy::MpptOpt,
+    );
+    let mut solar_minutes = 0;
+    for r in result.records() {
+        match r.source {
+            PowerSource::Utility => {
+                assert_eq!(r.drawn, Watts::ZERO, "utility minutes draw no solar");
+                // On utility the chip runs as a conventional CMP at speed.
+                assert!(r.chip_power.get() > 50.0, "minute {}", r.minute);
+            }
+            PowerSource::Solar => {
+                solar_minutes += 1;
+            }
+        }
+    }
+    assert_eq!(solar_minutes, result.effective_minutes());
+    // Oak Ridge in October has genuine utility fallback periods.
+    assert!(result.effective_fraction() < 1.0);
+    assert!(result.effective_fraction() > 0.3);
+}
+
+#[test]
+fn instructions_flow_during_both_sources() {
+    let result = run_day(Site::golden_co(), Season::Jan, Mix::ml1(), Policy::MpptRr);
+    assert!(result.total_instructions() > result.solar_instructions());
+    assert!(result.solar_instructions() > 0.0);
+    for r in result.records() {
+        assert!(r.instructions > 0.0, "the chip never stalls completely");
+    }
+}
+
+#[test]
+fn fixed_power_transfers_at_its_budget_threshold() {
+    let budget = Watts::new(100.0);
+    let result = run_day(
+        Site::oak_ridge_tn(),
+        Season::Jan,
+        Mix::m1(),
+        Policy::FixedPower(budget),
+    );
+    for r in result.records() {
+        if r.source == PowerSource::Solar {
+            // Only operates when the budget threshold was reached
+            // (hysteresis allows brief dips below).
+            assert!(
+                r.budget.get() >= budget.get() - 5.0,
+                "minute {}: solar at {} available",
+                r.minute,
+                r.budget
+            );
+            assert!(r.drawn <= budget + Watts::new(1e-9));
+        }
+    }
+    // A 100 W threshold in an Oak Ridge winter means little solar operation.
+    assert!(result.effective_fraction() < 0.5);
+}
+
+#[test]
+fn higher_insolation_site_harvests_more() {
+    let az = run_day(Site::phoenix_az(), Season::Jul, Mix::hm1(), Policy::MpptOpt);
+    let tn = run_day(
+        Site::oak_ridge_tn(),
+        Season::Jul,
+        Mix::hm1(),
+        Policy::MpptOpt,
+    );
+    assert!(az.energy_drawn() > tn.energy_drawn());
+    assert!(az.solar_instructions() > tn.solar_instructions());
+}
+
+#[test]
+fn all_ten_mixes_complete_a_day() {
+    for mix in Mix::all() {
+        let result = run_day(
+            Site::phoenix_az(),
+            Season::Jan,
+            mix.clone(),
+            Policy::MpptOpt,
+        );
+        assert_eq!(result.records().len(), 601, "{}", mix.name());
+        assert!(result.utilization() > 0.5, "{}", mix.name());
+    }
+}

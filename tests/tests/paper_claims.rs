@@ -1,0 +1,176 @@
+//! The paper's qualitative evaluation results, checked on a reduced grid
+//! (2 sites × 2 seasons × 3 mixes): policy ordering, battery bracketing,
+//! fixed-budget inferiority, utilization scale, and tracking error ranges.
+
+use pv::units::Watts;
+use pv::PvArray;
+use solarcore::engine::phase_seed;
+use solarcore::metrics::mean;
+use solarcore::{BatterySystem, DaySimulation, Policy};
+use solarenv::{EnvTrace, Season, Site};
+use workloads::Mix;
+
+struct Cell {
+    ic: f64,
+    rr: f64,
+    opt: f64,
+    battery_u: f64,
+    battery_l: f64,
+    opt_util: f64,
+    opt_err: f64,
+}
+
+fn grid() -> Vec<Cell> {
+    let array = PvArray::solarcore_default();
+    let mut cells = Vec::new();
+    for site in [Site::phoenix_az(), Site::oak_ridge_tn()] {
+        for season in [Season::Jan, Season::Jul] {
+            for mix in [Mix::h1(), Mix::hm2(), Mix::l1()] {
+                let run = |policy: Policy| {
+                    DaySimulation::builder()
+                        .site(site.clone())
+                        .season(season)
+                        .mix(mix.clone())
+                        .policy(policy)
+                        .build()
+                        .run()
+                };
+                let ic = run(Policy::MpptIc);
+                let rr = run(Policy::MpptRr);
+                let opt = run(Policy::MpptOpt);
+                let trace = EnvTrace::generate(&site, season, 0);
+                let seed = phase_seed(&site, season, 0);
+                let bu = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed);
+                let bl = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed);
+                cells.push(Cell {
+                    ic: ic.solar_instructions() / bl.instructions,
+                    rr: rr.solar_instructions() / bl.instructions,
+                    opt: opt.solar_instructions() / bl.instructions,
+                    battery_u: bu.instructions / bl.instructions,
+                    battery_l: 1.0,
+                    opt_util: opt.utilization(),
+                    opt_err: opt.mean_tracking_error(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn policy_ordering_battery_bracketing_and_utilization() {
+    let cells = grid();
+    let ic = mean(&cells.iter().map(|c| c.ic).collect::<Vec<_>>());
+    let rr = mean(&cells.iter().map(|c| c.rr).collect::<Vec<_>>());
+    let opt = mean(&cells.iter().map(|c| c.opt).collect::<Vec<_>>());
+    let bu = mean(&cells.iter().map(|c| c.battery_u).collect::<Vec<_>>());
+    let bl = mean(&cells.iter().map(|c| c.battery_l).collect::<Vec<_>>());
+
+    // Section 6.4's ordering: IC < RR ≤ Opt, Battery-U ≈ Opt, everything
+    // above Battery-L.
+    assert!(ic < rr, "IC {ic:.3} < RR {rr:.3}");
+    assert!(rr <= opt + 1e-9, "RR {rr:.3} <= Opt {opt:.3}");
+    assert!(opt > bl, "Opt {opt:.3} must beat Battery-L");
+    assert!(
+        (opt - bu).abs() / bu < 0.10,
+        "Opt {opt:.3} within 10 % of Battery-U {bu:.3} (paper: <1 %)"
+    );
+    assert!(
+        (bu - 1.136).abs() < 0.02,
+        "Battery-U/L ratio fixed by Table 3"
+    );
+
+    // Section 6.3: average utilization at the ~82 % scale.
+    let util = mean(&cells.iter().map(|c| c.opt_util).collect::<Vec<_>>());
+    assert!(
+        (0.72..=0.95).contains(&util),
+        "mean utilization {util:.3} out of the paper's band"
+    );
+
+    // Table 7: tracking errors are single-digit to low-double-digit percent.
+    for c in &cells {
+        assert!(
+            (0.005..0.30).contains(&c.opt_err),
+            "tracking error {:.3} outside Table 7 range",
+            c.opt_err
+        );
+    }
+}
+
+#[test]
+fn solarcore_dominates_every_fixed_budget() {
+    // Section 6.2: even the best fixed budget stays well below SolarCore
+    // (the paper reports ≤ 70 % ⇒ a ≥ 43 % win).
+    let site = Site::phoenix_az();
+    let season = Season::Apr;
+    let mix = Mix::hm2();
+    let opt = DaySimulation::builder()
+        .site(site.clone())
+        .season(season)
+        .mix(mix.clone())
+        .policy(Policy::MpptOpt)
+        .build()
+        .run();
+    for budget in [25.0, 50.0, 75.0, 100.0, 125.0] {
+        let fixed = DaySimulation::builder()
+            .site(site.clone())
+            .season(season)
+            .mix(mix.clone())
+            .policy(Policy::FixedPower(Watts::new(budget)))
+            .build()
+            .run();
+        let energy_ratio = fixed.energy_drawn().get() / opt.energy_drawn().get();
+        let ptp_ratio = fixed.solar_instructions() / opt.solar_instructions();
+        assert!(
+            energy_ratio < 0.9,
+            "{budget} W budget recovered {energy_ratio:.2} of SolarCore energy"
+        );
+        assert!(
+            ptp_ratio < 0.9,
+            "{budget} W budget recovered {ptp_ratio:.2} of SolarCore PTP"
+        );
+    }
+}
+
+#[test]
+fn irregular_weather_degrades_tracking_accuracy() {
+    // Figures 13 vs 14: the July monsoon pattern tracks worse than January.
+    let site = Site::phoenix_az();
+    let error = |season: Season| {
+        DaySimulation::builder()
+            .site(site.clone())
+            .season(season)
+            .mix(Mix::h1())
+            .policy(Policy::MpptOpt)
+            .build()
+            .run()
+            .mean_tracking_error()
+    };
+    assert!(error(Season::Jul) > error(Season::Jan) * 0.9);
+}
+
+#[test]
+fn homogeneous_high_epi_has_the_largest_power_ripple() {
+    // Section 6.1: H1 shows large ripples; low-EPI and heterogeneous mixes
+    // are smooth.
+    let ripple = |mix: Mix| {
+        let r = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(mix)
+            .policy(Policy::MpptOpt)
+            .build()
+            .run();
+        let gaps: Vec<f64> = r
+            .records()
+            .iter()
+            .filter(|m| m.drawn.get() > 0.0)
+            .map(|m| m.chip_power.get())
+            .collect();
+        let mu = mean(&gaps);
+        (gaps.iter().map(|g| (g - mu).powi(2)).sum::<f64>() / gaps.len() as f64).sqrt()
+    };
+    let h1 = ripple(Mix::h1());
+    let l1 = ripple(Mix::l1());
+    assert!(h1 > l1, "H1 ripple {h1:.2} vs L1 {l1:.2}");
+}
