@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Full local CI gate: release build, workspace tests, clippy -D warnings,
+# and the workspace invariant lints (cargo xtask lint). Exits non-zero on
+# the first failing gate. See DESIGN.md §11 for the invariant catalog.
+set -eu
+cd "$(dirname "$0")"
+exec cargo xtask ci

@@ -102,6 +102,7 @@ impl VfLevel {
     /// The 6-bit Voltage Identification Digital code communicated between
     /// controller and VRM (paper Section 4.1: Xeon-style VID, 0.8375–1.6 V
     /// in 25 mV steps): `code = (1.6 V − V) / 25 mV`.
+    #[allow(clippy::cast_possible_truncation)] // codes span 0..=30 (0.8375–1.6 V)
     pub fn vid(self) -> u8 {
         ((1.6 - VF_POINTS[self.0].1) / 0.025).round() as u8
     }

@@ -28,6 +28,17 @@
 //! assert!(chip.total_power().get() > 0.0);
 //! # Ok::<(), archsim::ArchError>(())
 //! ```
+//!
+//! ## Panic policy
+//!
+//! Non-test code in this crate must not panic on recoverable conditions:
+//! `unwrap`/`expect`/`panic!` are denied by the gate below and by
+//! `cargo xtask lint`; justified sites carry an explicit allow + waiver.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
 pub mod chip;
 pub mod core;

@@ -20,7 +20,8 @@ fn bench_track(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             let array = PvArray::solarcore_default();
-            let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults());
+            let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults())
+                .expect("paper defaults are valid");
             let env = CellEnv::new(Irradiance::new(g), Celsius::new(42.0));
             b.iter_batched(
                 || {
@@ -57,18 +58,21 @@ fn bench_retrack_after_small_drift(c: &mut Criterion) {
     let drifted = CellEnv::new(Irradiance::new(760.0), Celsius::new(43.0));
 
     // Converge once outside the measurement loop.
-    let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults());
+    let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults())
+        .expect("paper defaults are valid");
     let mut chip = MultiCoreChip::new(&Mix::hm2());
     chip.set_all_levels(VfLevel::lowest());
     let mut converter = DcDcConverter::solarcore_default();
     let mut tuner = LoadTuner::new(Policy::MpptOpt);
-    controller.track(&mut TrackingRig {
-        array: &array,
-        env: sunny,
-        converter: &mut converter,
-        chip: &mut chip,
-        tuner: &mut tuner,
-    });
+    controller
+        .track(&mut TrackingRig {
+            array: &array,
+            env: sunny,
+            converter: &mut converter,
+            chip: &mut chip,
+            tuner: &mut tuner,
+        })
+        .expect("tracking succeeds on a consistent rig");
 
     c.bench_function("controller/retrack_after_drift", |b| {
         b.iter_batched(

@@ -23,7 +23,8 @@ fn bench_day_by_policy(c: &mut Criterion) {
                 .season(Season::Jan)
                 .mix(Mix::hm2())
                 .policy(policy)
-                .build();
+                .build()
+                .expect("valid config");
             b.iter(|| sim.run())
         });
     }
@@ -46,7 +47,8 @@ fn bench_day_by_weather(c: &mut Criterion) {
                 .season(season)
                 .mix(Mix::h1())
                 .policy(Policy::MpptOpt)
-                .build();
+                .build()
+                .expect("valid config");
             b.iter(|| sim.run())
         });
     }

@@ -50,7 +50,9 @@ pub fn compute(season: Season) -> TrackingFigure {
                 .mix(mix.clone())
                 .policy(Policy::MpptOpt)
                 .build()
-                .run();
+                .expect("valid config")
+                .run()
+                .expect("day runs");
             let series: Vec<(u32, f64, f64)> = result
                 .records()
                 .iter()

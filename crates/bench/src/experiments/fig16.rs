@@ -79,7 +79,9 @@ pub fn compute(mixes: &[Mix]) -> Fig16And17 {
                 .mix(mix.clone())
                 .policy(Policy::MpptOpt)
                 .build()
-                .run();
+                .expect("valid config")
+                .run()
+                .expect("day runs");
             base_energy += r.energy_drawn().get();
             base_ptp += r.solar_instructions();
         }
@@ -96,7 +98,9 @@ pub fn compute(mixes: &[Mix]) -> Fig16And17 {
                     .mix(mix.clone())
                     .policy(Policy::FixedPower(Watts::new(budget)))
                     .build()
-                    .run();
+                    .expect("valid config")
+                    .run()
+                    .expect("day runs");
                 energy += r.energy_drawn().get();
                 ptp += r.solar_instructions();
             }

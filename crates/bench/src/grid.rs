@@ -138,7 +138,9 @@ impl PolicyGrid {
                         .mix(mix.clone())
                         .policy(policy)
                         .build()
-                        .run();
+                        .expect("valid config")
+                        .run()
+                        .expect("day runs");
                     DaySummary {
                         site: site.code().to_string(),
                         season: season.to_string(),
@@ -155,8 +157,12 @@ impl PolicyGrid {
                 })
                 .collect();
 
-            let upper = BatterySystem::upper_bound().simulate_day(&array, &trace, mix, seed);
-            let lower = BatterySystem::lower_bound().simulate_day(&array, &trace, mix, seed);
+            let upper = BatterySystem::upper_bound()
+                .simulate_day(&array, &trace, mix, seed)
+                .expect("battery day runs");
+            let lower = BatterySystem::lower_bound()
+                .simulate_day(&array, &trace, mix, seed)
+                .expect("battery day runs");
             let battery = BatterySummary {
                 site: site.code().to_string(),
                 season: season.to_string(),

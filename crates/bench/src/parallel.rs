@@ -1,13 +1,15 @@
-//! Tiny parallel-map helper over crossbeam scoped threads.
+//! Tiny parallel-map helper over std scoped threads.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Applies `f` to every item of `inputs` across `threads` worker threads,
 /// returning outputs in input order.
 ///
 /// The experiment sweeps are embarrassingly parallel (hundreds of
-/// independent day simulations), so a static chunk-by-index scheme is
-/// enough — no need for a work-stealing pool dependency.
+/// independent day simulations), so a static grab-next-index scheme over
+/// [`std::thread::scope`] is enough — no need for a work-stealing pool
+/// dependency.
 pub fn parallel_map<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
     T: Send + Sync,
@@ -19,26 +21,35 @@ where
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     let slots = Mutex::new(slots);
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= n {
                     break;
                 }
                 let out = f(&inputs[idx]);
-                slots.lock()[idx] = Some(out);
+                match slots.lock() {
+                    Ok(mut guard) => guard[idx] = Some(out),
+                    // A poisoned lock means a sibling worker panicked while
+                    // writing its slot; the scope is about to propagate that
+                    // panic, so this worker just stops.
+                    Err(_) => break,
+                }
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
 
     slots
         .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .into_iter()
-        .map(|s| s.expect("every index was processed"))
+        .enumerate()
+        .map(|(idx, slot)| {
+            slot.unwrap_or_else(|| unreachable!("index {idx} processed by a worker"))
+        })
         .collect()
 }
 

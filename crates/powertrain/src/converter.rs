@@ -5,7 +5,7 @@
 //! with an optional conversion efficiency `η` applied to the output power.
 //! The MPPT controller tunes `k` in steps of `Δk` (paper Section 4.2).
 
-use pv::units::{Amps, Volts};
+use pv::units::{Amps, Ohms, Volts};
 
 use crate::error::PowerError;
 
@@ -84,7 +84,9 @@ impl DcDcConverter {
     /// the comparison is apples-to-apples. (The paper's analysis assumes
     /// `P_in = P_out`; use [`DcDcConverter::new`] with `efficiency = 1.0`
     /// for that idealization.)
+    #[allow(clippy::expect_used)]
     pub fn solarcore_default() -> Self {
+        // lint:allow(panic): compile-time-constant paper configuration, pinned by a unit test
         Self::new(3.0, 0.8, 8.0, 0.05, 0.95).expect("static configuration is valid")
     }
 
@@ -149,8 +151,8 @@ impl DcDcConverter {
     /// the output bus: `R_panel = η · k² · R_load`.
     ///
     /// (From `V_out = V_p/k`, `I_out = η·k·I_p` and `V_out = I_out·R`.)
-    pub fn reflected_resistance(&self, r_load: f64) -> f64 {
-        self.efficiency * self.ratio * self.ratio * r_load
+    pub fn reflected_resistance(&self, r_load: Ohms) -> Ohms {
+        r_load * (self.efficiency * self.ratio * self.ratio)
     }
 }
 
@@ -217,9 +219,9 @@ mod tests {
     fn reflected_resistance_grows_with_k_squared() {
         let mut c = DcDcConverter::solarcore_default();
         c.set_ratio(2.0).unwrap();
-        let r2 = c.reflected_resistance(1.2);
+        let r2 = c.reflected_resistance(Ohms::new(1.2));
         c.set_ratio(4.0).unwrap();
-        let r4 = c.reflected_resistance(1.2);
-        assert!((r4 / r2 - 4.0).abs() < 1e-12);
+        let r4 = c.reflected_resistance(Ohms::new(1.2));
+        assert!((r4.get() / r2.get() - 4.0).abs() < 1e-12);
     }
 }

@@ -16,6 +16,11 @@ use crate::converter::DcDcConverter;
 /// over a 50 V bracket).
 const BISECT_ITERS: u32 = 96;
 
+/// `true` when the solver sanitizer checks are compiled in: always in debug
+/// builds, and in release builds with the `sanitize` feature (forwarded from
+/// `solarcore/sanitize`).
+const SANITIZE: bool = cfg!(any(debug_assertions, feature = "sanitize"));
+
 /// What hangs on the converter's output bus.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LoadModel {
@@ -79,7 +84,7 @@ pub fn solve_operating_point<G: PvGenerator + ?Sized>(
             if r.get() <= 0.0 {
                 return OperatingPoint::default();
             }
-            let r_panel = converter.reflected_resistance(r.get());
+            let r_panel = converter.reflected_resistance(*r).get();
             let v = bisect_panel_voltage(generator, env, voc, |v, i| v / r_panel - i);
             finish(generator, env, converter, v)
         }
@@ -151,12 +156,53 @@ fn finish<G: PvGenerator + ?Sized>(
         .current_at(env, panel_voltage)
         .unwrap_or(Amps::ZERO);
     let panel_current = panel_current.max(Amps::ZERO);
-    OperatingPoint {
+    let op = OperatingPoint {
         panel_voltage,
         panel_current,
         output_voltage: converter.output_voltage(panel_voltage),
         output_current: converter.output_current(panel_current),
+    };
+    assert_point_sane(generator, env, converter, &op);
+    op
+}
+
+/// Solver-side physics sanitizer: a solved point must lie on the panel's
+/// reachable curve and satisfy the converter's transformer relations
+/// exactly. A violation means the bisection diverged or the converter
+/// state was corrupted mid-solve — conditions no caller can recover from
+/// meaningfully, so they fail fast.
+fn assert_point_sane<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    converter: &DcDcConverter,
+    op: &OperatingPoint,
+) {
+    if !SANITIZE {
+        return;
     }
+    let voc = generator.open_circuit_voltage(env).get();
+    let v = op.panel_voltage.get();
+    assert!(
+        v.is_finite() && v >= 0.0 && v <= voc + 1e-9,
+        "operating-point invariant violated: panel voltage {v} V outside [0, Voc = {voc} V]"
+    );
+    let i = op.panel_current.get();
+    assert!(
+        i.is_finite() && i >= 0.0,
+        "operating-point invariant violated: panel current {i} A is not finite non-negative"
+    );
+    assert!(
+        (op.output_voltage.get() - v / converter.ratio()).abs() <= 1e-9,
+        "operating-point invariant violated: V_out = {} V but V_panel/k = {} V",
+        op.output_voltage.get(),
+        v / converter.ratio()
+    );
+    assert!(
+        (op.output_current.get() - converter.efficiency() * converter.ratio() * i).abs() <= 1e-9,
+        "operating-point invariant violated: I_out = {} A but eta*k*I_panel = {} A",
+        op.output_current.get(),
+        converter.efficiency() * converter.ratio() * i
+    );
 }
 
 #[cfg(test)]
@@ -181,8 +227,8 @@ mod tests {
         let i_pv = array.current_at(env, op.panel_voltage).unwrap();
         assert!((i_pv.get() - op.panel_current.get()).abs() < 1e-6);
         // On the reflected load line:
-        let r_panel = dcdc.reflected_resistance(1.2);
-        assert!((op.panel_current.get() - op.panel_voltage.get() / r_panel).abs() < 1e-6);
+        let r_panel = dcdc.reflected_resistance(Ohms::new(1.2));
+        assert!((op.panel_current.get() - op.panel_voltage.get() / r_panel.get()).abs() < 1e-6);
         // Transformer relations hold:
         assert!((op.output_voltage.get() - op.panel_voltage.get() / dcdc.ratio()).abs() < 1e-9);
         assert!(

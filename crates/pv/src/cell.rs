@@ -13,7 +13,7 @@ use crate::constants::{
     STC_TEMPERATURE,
 };
 use crate::error::PvError;
-use crate::units::{Amps, Celsius, Irradiance, Volts};
+use crate::units::{Amps, Celsius, Irradiance, Ohms, Volts};
 
 /// Ambient conditions seen by a cell: plane-of-array irradiance and cell
 /// temperature.
@@ -61,8 +61,8 @@ pub struct CellParams {
     pub saturation_current_stc: Amps,
     /// Diode ideality factor `n` (1.0–2.0 for silicon).
     pub ideality: f64,
-    /// Lumped series resistance per cell in ohms.
-    pub series_resistance: f64,
+    /// Lumped series resistance per cell.
+    pub series_resistance: Ohms,
     /// Short-circuit current temperature coefficient `Ki` in A/°C.
     pub isc_temp_coeff: f64,
 }
@@ -79,7 +79,7 @@ impl CellParams {
         photocurrent_stc: Amps,
         saturation_current_stc: Amps,
         ideality: f64,
-        series_resistance: f64,
+        series_resistance: Ohms,
         isc_temp_coeff: f64,
     ) -> Result<Self, PvError> {
         if photocurrent_stc.get() <= 0.0 || photocurrent_stc.get().is_nan() {
@@ -103,10 +103,10 @@ impl CellParams {
                 constraint: "must be in [0.5, 3.0]",
             });
         }
-        if !(series_resistance >= 0.0 && series_resistance.is_finite()) {
+        if !(series_resistance.get() >= 0.0 && series_resistance.get().is_finite()) {
             return Err(PvError::InvalidParameter {
                 name: "series_resistance",
-                value: series_resistance,
+                value: series_resistance.get(),
                 constraint: "must be >= 0 and finite",
             });
         }
@@ -151,7 +151,7 @@ impl CellParams {
     /// The product `n · Vt` (ideality times thermal voltage) at temperature
     /// `T`; the natural slope scale of the diode exponential.
     pub fn n_vt(&self, temperature: Celsius) -> f64 {
-        self.ideality * thermal_voltage(temperature)
+        self.ideality * thermal_voltage(temperature).get()
     }
 
     /// Evaluates the implicit cell equation residual
@@ -160,23 +160,24 @@ impl CellParams {
     ///
     /// The root of `f` in `I` is the cell's operating current at voltage `V`.
     /// `f` is strictly decreasing in `I`, which the solvers rely on.
-    pub fn current_residual(&self, env: CellEnv, voltage: Volts, current: Amps) -> f64 {
+    pub fn current_residual(&self, env: CellEnv, voltage: Volts, current: Amps) -> Amps {
         let iph = self.photocurrent(env).get();
         let i0 = self.saturation_current(env.temperature).get();
         let nvt = self.n_vt(env.temperature);
-        let arg = (voltage.get() + current.get() * self.series_resistance) / nvt;
+        let arg = (voltage.get() + current.get() * self.series_resistance.get()) / nvt;
         // exp_m1 keeps precision near V ≈ 0 and avoids overflow surprises for
         // physical operating ranges (arg stays modest below ~1.5 V/cell).
-        iph - i0 * arg.exp_m1() - current.get()
+        Amps::new(iph - i0 * arg.exp_m1() - current.get())
     }
 
     /// Derivative of [`Self::current_residual`] with respect to `I` (always
     /// negative), used by the Newton step in the module solver.
+    // lint:allow(raw-f64): dF/dI is dimensionless (amps per amp) — no newtype fits
     pub fn current_residual_di(&self, env: CellEnv, voltage: Volts, current: Amps) -> f64 {
         let i0 = self.saturation_current(env.temperature).get();
         let nvt = self.n_vt(env.temperature);
-        let arg = (voltage.get() + current.get() * self.series_resistance) / nvt;
-        -i0 * arg.exp() * self.series_resistance / nvt - 1.0
+        let arg = (voltage.get() + current.get() * self.series_resistance.get()) / nvt;
+        -i0 * arg.exp() * self.series_resistance.get() / nvt - 1.0
     }
 }
 
@@ -186,12 +187,12 @@ mod tests {
 
     fn sample_cell() -> CellParams {
         // A plausible polycrystalline cell: Isc ≈ 5.4 A, I0 ≈ 5 nA.
-        CellParams::new(Amps::new(5.4), Amps::new(5.0e-9), 1.3, 0.006, 0.003).unwrap()
+        CellParams::new(Amps::new(5.4), Amps::new(5.0e-9), 1.3, Ohms::new(0.006), 0.003).unwrap()
     }
 
     #[test]
     fn rejects_nonpositive_photocurrent() {
-        let err = CellParams::new(Amps::ZERO, Amps::new(1e-9), 1.3, 0.0, 0.0).unwrap_err();
+        let err = CellParams::new(Amps::ZERO, Amps::new(1e-9), 1.3, Ohms::ZERO, 0.0).unwrap_err();
         assert!(matches!(
             err,
             PvError::InvalidParameter {
@@ -203,9 +204,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_ideality_and_resistance() {
-        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 0.1, 0.0, 0.0).is_err());
-        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, -0.1, 0.0).is_err());
-        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, f64::NAN, 0.0).is_err());
+        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 0.1, Ohms::ZERO, 0.0).is_err());
+        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, Ohms::new(-0.1), 0.0).is_err());
+        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, Ohms::new(f64::NAN), 0.0).is_err());
     }
 
     #[test]
@@ -254,7 +255,7 @@ mod tests {
         let mut prev = f64::INFINITY;
         for i in 0..=20 {
             let cur = Amps::new(i as f64 * 0.3);
-            let r = cell.current_residual(env, v, cur);
+            let r = cell.current_residual(env, v, cur).get();
             assert!(r < prev, "residual must decrease");
             prev = r;
         }
@@ -280,7 +281,7 @@ mod tests {
         let cell = sample_cell();
         let env = CellEnv::stc();
         let iph = cell.photocurrent(env);
-        let r = cell.current_residual(env, Volts::ZERO, iph);
+        let r = cell.current_residual(env, Volts::ZERO, iph).get();
         assert!(r.abs() < 0.05 * iph.get(), "residual {r}");
     }
 }

@@ -1,6 +1,6 @@
 //! Physical constants and standard test conditions used by the PV models.
 
-use crate::units::{Celsius, Irradiance};
+use crate::units::{Celsius, Irradiance, Volts};
 
 /// Elementary charge `q` in coulombs.
 pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
@@ -22,8 +22,8 @@ pub const STC_TEMPERATURE: Celsius = Celsius::new(25.0);
 ///
 /// At 25 °C this is ≈ 25.7 mV.
 #[inline]
-pub fn thermal_voltage(temperature: Celsius) -> f64 {
-    BOLTZMANN * temperature.to_kelvin() / ELEMENTARY_CHARGE
+pub fn thermal_voltage(temperature: Celsius) -> Volts {
+    Volts::new(BOLTZMANN * temperature.to_kelvin() / ELEMENTARY_CHARGE)
 }
 
 #[cfg(test)]
@@ -33,7 +33,7 @@ mod tests {
     #[test]
     fn thermal_voltage_at_stc() {
         let vt = thermal_voltage(STC_TEMPERATURE);
-        assert!((vt - 0.02569).abs() < 1e-4, "vt = {vt}");
+        assert!((vt.get() - 0.02569).abs() < 1e-4, "vt = {vt}");
     }
 
     #[test]

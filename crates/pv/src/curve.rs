@@ -77,12 +77,7 @@ impl IvCurve {
         self.points
             .iter()
             .copied()
-            .max_by(|a, b| {
-                a.power()
-                    .get()
-                    .partial_cmp(&b.power().get())
-                    .expect("sampled powers are finite")
-            })
+            .max_by(|a, b| a.power().get().total_cmp(&b.power().get()))
             .unwrap_or_default()
     }
 }

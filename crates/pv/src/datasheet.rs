@@ -16,7 +16,7 @@ use crate::cell::{CellEnv, CellParams};
 use crate::constants::{thermal_voltage, STC_TEMPERATURE};
 use crate::error::PvError;
 use crate::module::PvModule;
-use crate::units::{Amps, Volts, Watts};
+use crate::units::{Amps, Ohms, Volts, Watts};
 
 /// Manufacturer datasheet values at standard test conditions.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,7 +89,7 @@ impl Datasheet {
             });
         }
 
-        let vt = thermal_voltage(STC_TEMPERATURE);
+        let vt = thermal_voltage(STC_TEMPERATURE).get();
         let ns = self.cells_series as f64;
         let iph = self.isc.get();
 
@@ -136,7 +136,8 @@ impl Datasheet {
             return None;
         }
         let cell =
-            CellParams::new(Amps::new(iph), Amps::new(i0), n, rs, self.isc_temp_coeff).ok()?;
+            CellParams::new(Amps::new(iph), Amps::new(i0), n, Ohms::new(rs), self.isc_temp_coeff)
+                .ok()?;
         PvModule::new(self.name.clone(), cell, self.cells_series, 1).ok()
     }
 }

@@ -30,6 +30,17 @@
 //! let mpp = module.mpp(env);
 //! assert!((mpp.power.get() - 180.0).abs() < 6.0); // ~180 W at STC
 //! ```
+//!
+//! ## Panic policy
+//!
+//! Non-test code in this crate must not panic on recoverable conditions:
+//! `unwrap`/`expect`/`panic!` are denied by the gate below and by
+//! `cargo xtask lint`; justified sites carry an explicit allow + waiver.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
 pub mod array;
 pub mod cell;

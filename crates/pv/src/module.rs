@@ -79,9 +79,11 @@ impl PvModule {
     /// 72 series cells, `Pmax = 180 W`, `Vmp = 36.1 V`, `Imp = 4.98 A`,
     /// `Voc = 44.8 V`, `Isc = 5.4 A`. Parameters are extracted from the
     /// datasheet via [`Datasheet::fit`].
+    #[allow(clippy::expect_used)]
     pub fn bp3180n() -> Self {
         Datasheet::bp3180n()
             .fit()
+            // lint:allow(panic): compile-time-constant datasheet, pinned by a unit test
             .expect("BP3180N datasheet parameters are known-good")
     }
 
@@ -120,8 +122,10 @@ impl PvModule {
     }
 
     /// Short-circuit current `Isc` under the given environment.
+    #[allow(clippy::expect_used)]
     pub fn short_circuit_current(&self, env: CellEnv) -> Amps {
         self.current_at(env, Volts::ZERO)
+            // lint:allow(panic): V=0 root is bracketed by construction (residual invariant test)
             .expect("short-circuit solve is always bracketed")
     }
 
@@ -144,7 +148,8 @@ impl PvModule {
             });
         }
         let nvt = self.cell.n_vt(env.temperature);
-        let v_cell = nvt * ((iph - i_cell) / i0 + 1.0).ln() - i_cell * self.cell.series_resistance;
+        let v_cell =
+            nvt * ((iph - i_cell) / i0 + 1.0).ln() - i_cell * self.cell.series_resistance.get();
         Ok(Volts::new(v_cell * self.cells_series as f64))
     }
 
@@ -175,7 +180,7 @@ impl PvModule {
         let mut hi = iph;
         let mut lo = 0.0_f64.min(-0.01 * iph.max(1.0));
         let mut expand = 0;
-        while self.cell.current_residual(env, v_cell, Amps::new(lo)) < 0.0 {
+        while self.cell.current_residual(env, v_cell, Amps::new(lo)).get() < 0.0 {
             lo = lo * 4.0 - 1.0;
             expand += 1;
             if expand > 64 {
@@ -185,13 +190,13 @@ impl PvModule {
                 });
             }
         }
-        debug_assert!(self.cell.current_residual(env, v_cell, Amps::new(hi)) <= 0.0);
+        debug_assert!(self.cell.current_residual(env, v_cell, Amps::new(hi)).get() <= 0.0);
 
         // Newton iterations, falling back to bisection whenever the step
         // would leave the bracket (guaranteed convergence).
         let mut i = 0.5 * (lo + hi);
         for iter in 0..MAX_SOLVER_ITERS {
-            let f = self.cell.current_residual(env, v_cell, Amps::new(i));
+            let f = self.cell.current_residual(env, v_cell, Amps::new(i)).get();
             if f.abs() < CURRENT_TOLERANCE {
                 return Ok(Amps::new(i * self.strings_parallel as f64));
             }

@@ -1,0 +1,92 @@
+//! Property-based laws for the `pv::units` newtype arithmetic.
+//!
+//! The unit layer is the workspace's first invariant layer (see
+//! `DESIGN.md`): dimensional mistakes must not type-check. These tests pin
+//! the algebra the rest of the workspace leans on — the cross-unit products
+//! agree with the underlying `f64` arithmetic, commute where physics says
+//! they commute, and the `Sum`/`ZERO` identities hold exactly.
+
+use proptest::prelude::*;
+
+use pv::units::{Amps, Joules, Ohms, Seconds, Volts, Watts};
+
+/// Finite, sign-free magnitudes spanning the simulation's working range,
+/// biased so sub-unity values (cell-level currents, second-scale steps)
+/// appear as often as large ones.
+fn mag() -> impl Strategy<Value = f64> {
+    (0.0..1e4_f64, 0u8..2).prop_map(|(x, pick)| if pick == 0 { x } else { x * 1e-4 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `V · I = P`: the electrical power product matches raw arithmetic
+    /// and commutes (`Volts × Amps == Amps × Volts`, bit-exact in IEEE).
+    #[test]
+    fn volt_amp_product_is_watts(v in mag(), i in mag()) {
+        let p: Watts = Volts::new(v) * Amps::new(i);
+        prop_assert_eq!(p.get().to_bits(), (v * i).to_bits());
+        let q: Watts = Amps::new(i) * Volts::new(v);
+        prop_assert_eq!(p.get().to_bits(), q.get().to_bits());
+    }
+
+    /// `P · t = E`: energy integrates power over time, commutatively.
+    #[test]
+    fn watt_second_product_is_joules(p in mag(), t in mag()) {
+        let e: Joules = Watts::new(p) * Seconds::new(t);
+        prop_assert_eq!(e.get().to_bits(), (p * t).to_bits());
+        let f: Joules = Seconds::new(t) * Watts::new(p);
+        prop_assert_eq!(e.get().to_bits(), f.get().to_bits());
+        // And the division inverts it within floating-point roundoff.
+        prop_assume!(t > 0.0);
+        let back: Watts = e / Seconds::new(t);
+        prop_assert!((back.get() - p).abs() <= p.abs() * 1e-12);
+    }
+
+    /// Ohm's law closes: `I · R = V`, `V / R = I`, `V / I = R`-free forms
+    /// agree with raw arithmetic.
+    #[test]
+    fn ohms_law_products_agree(i in mag(), r in mag()) {
+        let v: Volts = Amps::new(i) * Ohms::new(r);
+        prop_assert_eq!(v.get().to_bits(), (i * r).to_bits());
+        prop_assume!(r > 1e-9);
+        let back: Amps = v / Ohms::new(r);
+        prop_assert!((back.get() - i).abs() <= i.abs() * 1e-12);
+    }
+
+    /// Same-unit addition is commutative and `ZERO` is its identity.
+    #[test]
+    fn addition_commutes_with_zero_identity(a in mag(), b in mag()) {
+        let x = Watts::new(a);
+        let y = Watts::new(b);
+        prop_assert_eq!((x + y).get().to_bits(), (y + x).get().to_bits());
+        prop_assert_eq!((x + Watts::ZERO).get().to_bits(), x.get().to_bits());
+        // Subtraction is addition of the negation.
+        prop_assert_eq!((x - y).get().to_bits(), (x + (-y)).get().to_bits());
+    }
+
+    /// Scalar scaling commutes (`c · x == x · c`) and distributes over
+    /// addition within roundoff.
+    #[test]
+    fn scalar_scaling_commutes(c in -1e3..1e3_f64, a in mag(), b in mag()) {
+        let x = Watts::new(a);
+        let y = Watts::new(b);
+        prop_assert_eq!((x * c).get().to_bits(), (c * x).get().to_bits());
+        let lhs = ((x + y) * c).get();
+        let rhs = (x * c + y * c).get();
+        prop_assert!((lhs - rhs).abs() <= lhs.abs().max(1.0) * 1e-12);
+    }
+
+    /// `Sum` over an iterator equals the sequential fold, and the empty
+    /// sum is `ZERO`.
+    #[test]
+    fn sum_matches_sequential_fold(values in proptest::collection::vec(mag(), 0..16)) {
+        // `+ 0.0` normalizes the signed zero `f64::sum` seeds with (-0.0).
+        let units: Vec<Watts> = values.iter().copied().map(Watts::new).collect();
+        let summed: Watts = units.iter().copied().sum();
+        let folded = units.iter().copied().fold(Watts::ZERO, |acc, w| acc + w);
+        prop_assert_eq!((summed.get() + 0.0).to_bits(), (folded.get() + 0.0).to_bits());
+        let empty: Watts = std::iter::empty::<Watts>().sum();
+        prop_assert_eq!((empty.get() + 0.0).to_bits(), 0.0_f64.to_bits());
+    }
+}

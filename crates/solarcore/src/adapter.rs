@@ -3,6 +3,7 @@
 
 use archsim::{CoreId, MultiCoreChip};
 
+use crate::error::CoreError;
 use crate::policy::{LoadScheduler, Policy};
 
 /// Applies scheduler-chosen V/F steps to the chip, falling back to per-core
@@ -35,12 +36,18 @@ impl LoadTuner {
     /// Increases the chip load by one step: ungate the most recently gated
     /// core (it resumes at its pre-gating level, i.e. the lowest, since
     /// gating only happens from the floor), otherwise speed up the
-    /// scheduler-chosen core. Returns `false` if the load is already
+    /// scheduler-chosen core. Returns `Ok(false)` if the load is already
     /// maximal.
-    pub fn increase(&mut self, chip: &mut MultiCoreChip) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the scheduler hands back a core id the chip
+    /// rejects or a core with no faster level — internal consistency
+    /// failures between scheduler and chip state.
+    pub fn increase(&mut self, chip: &mut MultiCoreChip) -> Result<bool, CoreError> {
         if let Some(id) = self.gated.pop() {
-            chip.gate(id, false).expect("gated id stays valid");
-            return true;
+            chip.gate(id, false)?;
+            return Ok(true);
         }
         if self.chip_wide {
             return self.shift_all(chip, true);
@@ -48,62 +55,68 @@ impl LoadTuner {
         match self.scheduler.pick_increase(chip) {
             Some(id) => {
                 let next = chip
-                    .core(id)
-                    .expect("scheduler returns valid ids")
+                    .core(id)?
                     .level()
                     .faster()
-                    .expect("scheduler returns tunable cores");
-                chip.set_level(id, next).expect("valid id");
-                true
+                    .ok_or(CoreError::LevelExhausted { core: id.0 })?;
+                chip.set_level(id, next)?;
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// Decreases the chip load by one step: slow down the scheduler-chosen
     /// core, or — once every running core sits at the lowest level — gate
-    /// the highest-indexed running core. Returns `false` if the chip is
+    /// the highest-indexed running core. Returns `Ok(false)` if the chip is
     /// fully gated.
-    pub fn decrease(&mut self, chip: &mut MultiCoreChip) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on scheduler/chip inconsistencies, as with
+    /// [`Self::increase`].
+    pub fn decrease(&mut self, chip: &mut MultiCoreChip) -> Result<bool, CoreError> {
         if self.chip_wide {
-            if self.shift_all(chip, false) {
-                return true;
+            if self.shift_all(chip, false)? {
+                return Ok(true);
             }
             return self.gate_one(chip);
         }
         if let Some(id) = self.scheduler.pick_decrease(chip) {
             let next = chip
-                .core(id)
-                .expect("scheduler returns valid ids")
+                .core(id)?
                 .level()
                 .slower()
-                .expect("scheduler returns tunable cores");
-            chip.set_level(id, next).expect("valid id");
-            return true;
+                .ok_or(CoreError::LevelExhausted { core: id.0 })?;
+            chip.set_level(id, next)?;
+            return Ok(true);
         }
         // All running cores at the floor: gate one.
         self.gate_one(chip)
     }
 
     /// Gates the highest-indexed running core, if any.
-    fn gate_one(&mut self, chip: &mut MultiCoreChip) -> bool {
-        let victim = (0..chip.core_count())
-            .rev()
-            .map(CoreId)
-            .find(|&id| !chip.core(id).expect("in range").is_gated());
+    fn gate_one(&mut self, chip: &mut MultiCoreChip) -> Result<bool, CoreError> {
+        let mut victim = None;
+        for id in (0..chip.core_count()).rev().map(CoreId) {
+            if !chip.core(id)?.is_gated() {
+                victim = Some(id);
+                break;
+            }
+        }
         match victim {
             Some(id) => {
-                chip.gate(id, true).expect("valid id");
+                chip.gate(id, true)?;
                 self.gated.push(id);
-                true
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// Chip-wide lock-step: move every running core one level (`true` =
-    /// faster). Returns `false` if no core could move.
-    fn shift_all(&mut self, chip: &mut MultiCoreChip, faster: bool) -> bool {
+    /// faster). Returns `Ok(false)` if no core could move.
+    fn shift_all(&mut self, chip: &mut MultiCoreChip, faster: bool) -> Result<bool, CoreError> {
         let moves: Vec<_> = chip
             .cores()
             .iter()
@@ -118,20 +131,26 @@ impl LoadTuner {
             })
             .collect();
         if moves.is_empty() {
-            return false;
+            return Ok(false);
         }
         for (id, level) in moves {
-            chip.set_level(id, level).expect("valid id");
+            chip.set_level(id, level)?;
         }
-        true
+        Ok(true)
     }
 
     /// Ungates every core this tuner gated (used when transferring to the
     /// utility supply, where the chip runs as a conventional CMP).
-    pub fn ungate_all(&mut self, chip: &mut MultiCoreChip) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arch`] if a remembered core id is no longer
+    /// valid for the chip (the tuner was moved across chips).
+    pub fn ungate_all(&mut self, chip: &mut MultiCoreChip) -> Result<(), CoreError> {
         while let Some(id) = self.gated.pop() {
-            chip.gate(id, false).expect("gated id stays valid");
+            chip.gate(id, false)?;
         }
+        Ok(())
     }
 }
 
@@ -148,11 +167,11 @@ mod tests {
         chip.set_all_levels(VfLevel::from_index(3).unwrap());
         let mut tuner = LoadTuner::new(Policy::MpptOpt);
         let p0 = chip.total_power();
-        assert!(tuner.increase(&mut chip));
+        assert!(tuner.increase(&mut chip).unwrap());
         let p1 = chip.total_power();
         assert!(p1 > p0);
-        assert!(tuner.decrease(&mut chip));
-        assert!(tuner.decrease(&mut chip));
+        assert!(tuner.decrease(&mut chip).unwrap());
+        assert!(tuner.decrease(&mut chip).unwrap());
         assert!(chip.total_power() < p1);
     }
 
@@ -161,16 +180,16 @@ mod tests {
         let mut chip = MultiCoreChip::new(&Mix::l1());
         chip.set_all_levels(VfLevel::lowest());
         let mut tuner = LoadTuner::new(Policy::MpptRr);
-        assert!(tuner.decrease(&mut chip));
+        assert!(tuner.decrease(&mut chip).unwrap());
         assert_eq!(tuner.gated_cores(), &[CoreId(7)]);
         assert!(chip.core(CoreId(7)).unwrap().is_gated());
         // Gate everything.
         for _ in 0..7 {
-            assert!(tuner.decrease(&mut chip));
+            assert!(tuner.decrease(&mut chip).unwrap());
         }
         assert_eq!(chip.total_power(), Watts::ZERO);
         // Fully gated: no further decrease possible.
-        assert!(!tuner.decrease(&mut chip));
+        assert!(!tuner.decrease(&mut chip).unwrap());
     }
 
     #[test]
@@ -178,16 +197,16 @@ mod tests {
         let mut chip = MultiCoreChip::new(&Mix::l1());
         chip.set_all_levels(VfLevel::lowest());
         let mut tuner = LoadTuner::new(Policy::MpptOpt);
-        tuner.decrease(&mut chip); // gates core 7
-        tuner.decrease(&mut chip); // gates core 6
-        assert!(tuner.increase(&mut chip)); // ungates core 6
+        tuner.decrease(&mut chip).unwrap(); // gates core 7
+        tuner.decrease(&mut chip).unwrap(); // gates core 6
+        assert!(tuner.increase(&mut chip).unwrap()); // ungates core 6
         assert!(!chip.core(CoreId(6)).unwrap().is_gated());
         assert!(chip.core(CoreId(7)).unwrap().is_gated());
-        assert!(tuner.increase(&mut chip)); // ungates core 7
+        assert!(tuner.increase(&mut chip).unwrap()); // ungates core 7
         assert!(!chip.core(CoreId(7)).unwrap().is_gated());
         // Next increase is a V/F step.
         let levels_before: Vec<_> = chip.cores().iter().map(|c| c.level()).collect();
-        assert!(tuner.increase(&mut chip));
+        assert!(tuner.increase(&mut chip).unwrap());
         let raised = chip
             .cores()
             .iter()
@@ -201,7 +220,7 @@ mod tests {
     fn increase_saturates_at_full_speed() {
         let mut chip = MultiCoreChip::new(&Mix::h1()); // boots at top
         let mut tuner = LoadTuner::new(Policy::MpptIc);
-        assert!(!tuner.increase(&mut chip));
+        assert!(!tuner.increase(&mut chip).unwrap());
     }
 
     #[test]
@@ -209,18 +228,18 @@ mod tests {
         let mut chip = MultiCoreChip::new(&Mix::m1());
         chip.set_all_levels(VfLevel::lowest());
         let mut tuner = LoadTuner::new(Policy::MpptChipWide);
-        assert!(tuner.increase(&mut chip));
+        assert!(tuner.increase(&mut chip).unwrap());
         assert!(chip
             .cores()
             .iter()
             .all(|c| c.level().index() == VfLevel::lowest().index() - 1));
-        assert!(tuner.decrease(&mut chip));
+        assert!(tuner.decrease(&mut chip).unwrap());
         assert!(chip.cores().iter().all(|c| c.level() == VfLevel::lowest()));
         // At the floor, decrease falls back to gating.
-        assert!(tuner.decrease(&mut chip));
+        assert!(tuner.decrease(&mut chip).unwrap());
         assert_eq!(tuner.gated_cores(), &[CoreId(7)]);
         // Increase first ungates, then lock-steps the rest.
-        assert!(tuner.increase(&mut chip));
+        assert!(tuner.increase(&mut chip).unwrap());
         assert!(tuner.gated_cores().is_empty());
     }
 
@@ -228,7 +247,7 @@ mod tests {
     fn chip_wide_tuner_saturates_at_top() {
         let mut chip = MultiCoreChip::new(&Mix::m1()); // boots at top
         let mut tuner = LoadTuner::new(Policy::MpptChipWide);
-        assert!(!tuner.increase(&mut chip));
+        assert!(!tuner.increase(&mut chip).unwrap());
     }
 
     #[test]
@@ -237,9 +256,9 @@ mod tests {
         chip.set_all_levels(VfLevel::lowest());
         let mut tuner = LoadTuner::new(Policy::MpptOpt);
         for _ in 0..4 {
-            tuner.decrease(&mut chip);
+            tuner.decrease(&mut chip).unwrap();
         }
-        tuner.ungate_all(&mut chip);
+        tuner.ungate_all(&mut chip).unwrap();
         assert!(chip.cores().iter().all(|c| !c.is_gated()));
         assert!(tuner.gated_cores().is_empty());
     }

@@ -13,6 +13,8 @@ use pv::units::WattHours;
 use solarenv::EnvTrace;
 use workloads::{Mix, PhaseTrace};
 
+use crate::error::CoreError;
+
 /// Battery-system performance tiers from Table 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatteryTier {
@@ -94,13 +96,18 @@ impl BatterySystem {
     /// Simulates one day: the battery banks `derating × ideal MPP energy`
     /// over the trace; the chip runs at full speed on that stored energy
     /// until it is gone, accumulating instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arch`] if the chip rejects a simulation step —
+    /// an internal phase-trace/chip size mismatch.
     pub fn simulate_day(
         &self,
         array: &dyn PvGenerator,
         trace: &EnvTrace,
         mix: &Mix,
         phase_seed: u64,
-    ) -> BatteryDayResult {
+    ) -> Result<BatteryDayResult, CoreError> {
         let minutes = trace.samples().len();
         let phases = PhaseTrace::for_mix(mix, phase_seed, minutes);
 
@@ -121,7 +128,7 @@ impl BatterySystem {
             // Probe the draw for this minute before committing.
             let instr_before = chip.total_instructions();
             let energy_before = chip.total_energy().get();
-            chip.step(&mults, 60.0).expect("phase count matches");
+            chip.step(&mults, 60.0)?;
             let used = chip.total_energy().get() - energy_before;
             if used <= remaining_j {
                 remaining_j -= used;
@@ -132,20 +139,20 @@ impl BatterySystem {
                 let instr_this = chip.total_instructions() - instr_before;
                 let overcount = instr_this * (1.0 - frac);
                 powered_minutes += frac;
-                return BatteryDayResult {
+                return Ok(BatteryDayResult {
                     stored: WattHours::new(stored_wh),
                     ideal: WattHours::new(ideal_wh),
                     instructions: chip.total_instructions() - overcount,
                     powered_minutes,
-                };
+                });
             }
         }
-        BatteryDayResult {
+        Ok(BatteryDayResult {
             stored: WattHours::new(stored_wh),
             ideal: WattHours::new(ideal_wh),
             instructions: chip.total_instructions(),
             powered_minutes,
-        }
+        })
     }
 }
 
@@ -196,7 +203,7 @@ mod tests {
     fn sunny_day_simulation_is_consistent() {
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::phoenix_az(), Season::Apr, 0);
-        let result = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::h1(), 42);
+        let result = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::h1(), 42).unwrap();
         assert!((result.utilization() - 0.92).abs() < 1e-9);
         assert!(result.instructions > 0.0);
         assert!(result.powered_minutes > 0.0);
@@ -207,8 +214,8 @@ mod tests {
     fn upper_bound_beats_lower_bound() {
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::golden_co(), Season::Jul, 1);
-        let hi = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::hm2(), 7);
-        let lo = BatterySystem::lower_bound().simulate_day(&array, &trace, &Mix::hm2(), 7);
+        let hi = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::hm2(), 7).unwrap();
+        let lo = BatterySystem::lower_bound().simulate_day(&array, &trace, &Mix::hm2(), 7).unwrap();
         assert!(hi.instructions > lo.instructions);
         assert!(hi.stored > lo.stored);
         // Roughly proportional to the energy ratio.
@@ -221,8 +228,8 @@ mod tests {
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::oak_ridge_tn(), Season::Jan, 0);
         let sys = BatterySystem::tier(BatteryTier::Typical);
-        let h1 = sys.simulate_day(&array, &trace, &Mix::h1(), 1);
-        let l1 = sys.simulate_day(&array, &trace, &Mix::l1(), 1);
+        let h1 = sys.simulate_day(&array, &trace, &Mix::h1(), 1).unwrap();
+        let l1 = sys.simulate_day(&array, &trace, &Mix::l1(), 1).unwrap();
         assert!(l1.powered_minutes >= h1.powered_minutes);
     }
 }

@@ -25,6 +25,8 @@ use pv::units::Ohms;
 
 use crate::adapter::LoadTuner;
 use crate::config::ControllerConfig;
+use crate::error::CoreError;
+use crate::invariants;
 
 /// Power-improvement threshold (watts) below which a tuning round counts as
 /// stalled.
@@ -74,10 +76,11 @@ pub struct SolarCoreController {
 impl SolarCoreController {
     /// Builds a controller with ideal (noiseless) I/V sensing.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`ControllerConfig::validate`].
-    pub fn new(config: ControllerConfig) -> Self {
+    /// Returns [`CoreError::InvalidConfig`] if the configuration fails
+    /// [`ControllerConfig::validate`].
+    pub fn new(config: ControllerConfig) -> Result<Self, CoreError> {
         Self::with_sensor(config, IvSensor::ideal())
     }
 
@@ -85,14 +88,15 @@ impl SolarCoreController {
     /// (possibly noisy) I/V sensor pair — the robustness knob for the
     /// sensor-error ablation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration fails [`ControllerConfig::validate`].
-    pub fn with_sensor(config: ControllerConfig, sensor: IvSensor) -> Self {
-        if let Err(reason) = config.validate() {
-            panic!("invalid controller configuration: {reason}");
-        }
-        Self { config, sensor }
+    /// Returns [`CoreError::InvalidConfig`] if the configuration fails
+    /// [`ControllerConfig::validate`].
+    pub fn with_sensor(config: ControllerConfig, sensor: IvSensor) -> Result<Self, CoreError> {
+        config
+            .validate()
+            .map_err(|reason| CoreError::InvalidConfig { reason })?;
+        Ok(Self { config, sensor })
     }
 
     /// The active configuration.
@@ -145,11 +149,17 @@ impl SolarCoreController {
     }
 
     /// Runs one full tracking invocation (Figure 9) on the rig.
-    pub fn track(&mut self, rig: &mut TrackingRig<'_>) -> TrackReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError`] from the load tuner (scheduler/chip
+    /// inconsistencies); physically impossible operating points trip the
+    /// [`invariants`] sanitizer instead.
+    pub fn track(&mut self, rig: &mut TrackingRig<'_>) -> Result<TrackReport, CoreError> {
         let mut report = TrackReport::default();
 
         // Step 1: restore the nominal operating voltage.
-        report.actions += self.restore_vdd(rig);
+        report.actions += self.restore_vdd(rig)?;
 
         let mut stalls = 0;
         for _ in 0..self.config.max_rounds {
@@ -162,7 +172,7 @@ impl SolarCoreController {
             if before.output_current.get() <= 0.0
                 && before.output_voltage.get()
                     >= self.config.nominal_bus_voltage.get() * (1.0 - self.config.voltage_tolerance)
-                && rig.tuner.increase(rig.chip)
+                && rig.tuner.increase(rig.chip)?
             {
                 report.actions += 1;
                 continue;
@@ -181,7 +191,7 @@ impl SolarCoreController {
             }
 
             // Step 3: load-match the output voltage back down to Vdd.
-            report.actions += self.match_down_to_vdd(rig);
+            report.actions += self.match_down_to_vdd(rig)?;
 
             let after = self.observe(rig.array, rig.env, rig.converter, rig.chip);
             if after.output_power().get() <= before.output_power().get() + IMPROVEMENT_EPS_W {
@@ -197,16 +207,31 @@ impl SolarCoreController {
         // Leave the robustness power margin, then make sure the bus is not
         // sagging below nominal.
         for _ in 0..self.config.margin_steps {
-            if rig.tuner.decrease(rig.chip) {
+            if rig.tuner.decrease(rig.chip)? {
                 report.actions += 1;
             }
         }
-        report.actions += self.lift_sagging_bus(rig);
+        report.actions += self.lift_sagging_bus(rig)?;
 
         let final_op = self.solve(rig.array, rig.env, rig.converter, rig.chip);
+        if invariants::enabled() {
+            // The tracked point can never beat the MPP oracle, and the
+            // converter must show its configured losses.
+            invariants::assert_budget(
+                "controller track",
+                final_op.panel_power(),
+                rig.array.mpp(rig.env).power,
+            );
+            invariants::assert_conversion(
+                "controller track",
+                final_op.panel_power(),
+                final_op.output_power(),
+                rig.converter.efficiency(),
+            );
+        }
         report.final_output_power = final_op.output_power().get();
         report.final_ratio = rig.converter.ratio();
-        report
+        Ok(report)
     }
 
     /// Step 1: tune load (and, when the load is not the culprit, the
@@ -224,7 +249,7 @@ impl SolarCoreController {
     /// We discriminate perturb-and-observe style: try `−Δk`; if the bus
     /// voltage improves, keep walking `k` down, otherwise undo and shed
     /// load.
-    fn restore_vdd(&mut self, rig: &mut TrackingRig<'_>) -> u32 {
+    fn restore_vdd(&mut self, rig: &mut TrackingRig<'_>) -> Result<u32, CoreError> {
         let vdd = self.config.nominal_bus_voltage.get();
         let tol = self.config.voltage_tolerance;
         let mut actions = 0;
@@ -250,7 +275,7 @@ impl SolarCoreController {
                     break;
                 }
                 // Genuine overload: shed load.
-                if !rig.tuner.decrease(rig.chip) {
+                if !rig.tuner.decrease(rig.chip)? {
                     break;
                 }
                 last_dir = -1;
@@ -259,7 +284,7 @@ impl SolarCoreController {
                     break;
                 }
                 // Underloaded: headroom available.
-                if !rig.tuner.increase(rig.chip) {
+                if !rig.tuner.increase(rig.chip)? {
                     break;
                 }
                 last_dir = 1;
@@ -268,18 +293,18 @@ impl SolarCoreController {
             }
             actions += 1;
         }
-        actions
+        Ok(actions)
     }
 
     /// Step 3: increase load until the bus voltage falls back to Vdd.
-    fn match_down_to_vdd(&mut self, rig: &mut TrackingRig<'_>) -> u32 {
+    fn match_down_to_vdd(&mut self, rig: &mut TrackingRig<'_>) -> Result<u32, CoreError> {
         let vdd = self.config.nominal_bus_voltage.get();
         let tol = self.config.voltage_tolerance;
         let mut actions = 0;
         for _ in 0..RESTORE_CAP {
             let op = self.observe(rig.array, rig.env, rig.converter, rig.chip);
             if op.output_voltage.get() > vdd * (1.0 + tol) {
-                if !rig.tuner.increase(rig.chip) {
+                if !rig.tuner.increase(rig.chip)? {
                     break;
                 }
                 actions += 1;
@@ -287,18 +312,18 @@ impl SolarCoreController {
                 break;
             }
         }
-        actions
+        Ok(actions)
     }
 
     /// Post-margin safety: never leave the bus below nominal.
-    fn lift_sagging_bus(&mut self, rig: &mut TrackingRig<'_>) -> u32 {
+    fn lift_sagging_bus(&mut self, rig: &mut TrackingRig<'_>) -> Result<u32, CoreError> {
         let vdd = self.config.nominal_bus_voltage.get();
         let tol = self.config.voltage_tolerance;
         let mut actions = 0;
         for _ in 0..RESTORE_CAP {
             let op = self.observe(rig.array, rig.env, rig.converter, rig.chip);
             if op.output_voltage.get() < vdd * (1.0 - tol) {
-                if !rig.tuner.decrease(rig.chip) {
+                if !rig.tuner.decrease(rig.chip)? {
                     break;
                 }
                 actions += 1;
@@ -306,13 +331,15 @@ impl SolarCoreController {
                 break;
             }
         }
-        actions
+        Ok(actions)
     }
 }
 
 impl Default for SolarCoreController {
+    #[allow(clippy::expect_used)]
     fn default() -> Self {
-        Self::new(ControllerConfig::paper_defaults())
+        // lint:allow(panic): the paper defaults are validated by a unit test
+        Self::new(ControllerConfig::paper_defaults()).expect("paper defaults are valid")
     }
 }
 
@@ -339,11 +366,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid controller configuration")]
-    fn invalid_config_panics() {
+    fn invalid_config_is_rejected() {
         let mut cfg = ControllerConfig::paper_defaults();
         cfg.max_rounds = 0;
-        let _ = SolarCoreController::new(cfg);
+        let err = SolarCoreController::new(cfg).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("invalid controller configuration"));
     }
 
     #[test]
@@ -352,13 +380,15 @@ mod tests {
         let (array, mut converter, mut chip, mut tuner) = rig_parts(Mix::h1());
         let env = env(800.0);
         let mpp = array.mpp(env).power.get();
-        let report = controller.track(&mut TrackingRig {
-            array: &array,
-            env,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        let report = controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         // Within ~12 % of the true MPP (margin + discrete V/F steps).
         assert!(
             report.final_output_power > 0.85 * mpp,
@@ -375,26 +405,30 @@ mod tests {
         let (array, mut converter, mut chip, mut tuner) = rig_parts(Mix::hm2());
 
         let sunny = env(900.0);
-        controller.track(&mut TrackingRig {
-            array: &array,
-            env: sunny,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env: sunny,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let p_sunny = controller
             .solve(&array, sunny, &converter, &chip)
             .panel_power()
             .get();
 
         let cloudy = env(350.0);
-        controller.track(&mut TrackingRig {
-            array: &array,
-            env: cloudy,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env: cloudy,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let op_cloudy = controller.solve(&array, cloudy, &converter, &chip);
         let mpp_cloudy = array.mpp(cloudy).power.get();
         assert!(op_cloudy.panel_power().get() < p_sunny);
@@ -403,13 +437,15 @@ mod tests {
         assert!(op_cloudy.output_voltage.get() > 12.0 * 0.97);
 
         // Back up.
-        controller.track(&mut TrackingRig {
-            array: &array,
-            env: sunny,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env: sunny,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let p_again = controller
             .solve(&array, sunny, &converter, &chip)
             .panel_power()
@@ -422,13 +458,15 @@ mod tests {
         let mut controller = SolarCoreController::default();
         let (array, mut converter, mut chip, mut tuner) = rig_parts(Mix::l1());
         let env = env(500.0); // leaves the chip DVFS headroom around the MPP
-        controller.track(&mut TrackingRig {
-            array: &array,
-            env,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let op = controller.solve(&array, env, &converter, &chip);
         let mpp = array.mpp(env).power.get();
         assert!(
@@ -447,13 +485,15 @@ mod tests {
         let mut controller = SolarCoreController::default();
         let (array, mut converter, mut chip, mut tuner) = rig_parts(Mix::m1());
         let dark = CellEnv::dark(Celsius::new(20.0));
-        let report = controller.track(&mut TrackingRig {
-            array: &array,
-            env: dark,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        let report = controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env: dark,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         assert_eq!(report.final_output_power, 0.0);
     }
 
@@ -463,16 +503,18 @@ mod tests {
         // ablation; the paper's margin exists for exactly this reason).
         let cfg = ControllerConfig::paper_defaults();
         let mut controller =
-            SolarCoreController::with_sensor(cfg, powertrain::IvSensor::noisy(0.02, 99));
+            SolarCoreController::with_sensor(cfg, powertrain::IvSensor::noisy(0.02, 99)).unwrap();
         let (array, mut converter, mut chip, mut tuner) = rig_parts(Mix::hm2());
         let env = env(750.0);
-        let report = controller.track(&mut TrackingRig {
-            array: &array,
-            env,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        let report = controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let mpp = array.mpp(env).power.get();
         assert!(
             report.final_output_power > 0.75 * mpp,
@@ -490,13 +532,15 @@ mod tests {
         chip.set_all_levels(VfLevel::lowest());
         let mut tuner = LoadTuner::new(Policy::MpptChipWide);
         let env = env(700.0);
-        let report = controller.track(&mut TrackingRig {
-            array: &array,
-            env,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        let report = controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         let mpp = array.mpp(env).power.get();
         // Coarser steps: looser bound than per-core tracking.
         assert!(report.final_output_power > 0.6 * mpp);
@@ -528,13 +572,15 @@ mod tests {
         for id in 1..8 {
             chip.gate(archsim::CoreId(id), true).unwrap();
         }
-        let report = controller.track(&mut TrackingRig {
-            array: &array,
-            env,
-            converter: &mut converter,
-            chip: &mut chip,
-            tuner: &mut tuner,
-        });
+        let report = controller
+            .track(&mut TrackingRig {
+                array: &array,
+                env,
+                converter: &mut converter,
+                chip: &mut chip,
+                tuner: &mut tuner,
+            })
+            .unwrap();
         // The tuner is allowed to ungate its *own* gated cores only; these
         // were gated externally, so the load ceiling is low. (The engine
         // never does this; the test pins the no-panic behaviour.)

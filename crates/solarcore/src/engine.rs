@@ -17,6 +17,8 @@ use workloads::{Mix, PhaseTrace};
 use crate::adapter::LoadTuner;
 use crate::config::ControllerConfig;
 use crate::controller::{SolarCoreController, TrackingRig};
+use crate::error::CoreError;
+use crate::invariants;
 use crate::metrics;
 use crate::policy::Policy;
 use crate::tpr;
@@ -73,7 +75,9 @@ pub struct MinuteRecord {
 ///     .mix(Mix::l2())
 ///     .policy(Policy::MpptRr)
 ///     .build()
-///     .run();
+///     .unwrap()
+///     .run()
+///     .unwrap();
 /// assert_eq!(result.records().len(), 601);
 /// ```
 #[derive(Debug, Clone)]
@@ -132,20 +136,30 @@ impl DaySimulation {
     }
 
     /// Runs the day and collects the result.
-    pub fn run(&self) -> DayResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on internal inconsistencies surfaced by the
+    /// chip model, the load tuner or the power train (e.g. a phase trace
+    /// sized to a different chip). Physics violations — budget
+    /// over-draws, runaway bus voltages — trip the [`invariants`]
+    /// sanitizer instead of returning.
+    pub fn run(&self) -> Result<DayResult, CoreError> {
         let trace = EnvTrace::generate(&self.site, self.season, self.day);
         let minutes = trace.samples().len();
         let seed = phase_seed(&self.site, self.season, self.day);
         let phases = PhaseTrace::for_mix(&self.mix, seed, minutes);
 
         let mut controller =
-            SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone());
+            SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone())?;
         let vdd = self.config.nominal_bus_voltage;
         let mut chip = MultiCoreChip::new(&self.mix); // utility boot: full speed
         let mut converter = self.converter.clone();
         let mut tuner = LoadTuner::new(self.policy);
-        let mut ats = AutomaticTransferSwitch::new(self.ats_threshold, self.ats_hysteresis)
-            .expect("validated in builder");
+        let mut ats = AutomaticTransferSwitch::new(self.ats_threshold, self.ats_hysteresis)?;
+        // The lowest reachable transfer ratio bounds the bus voltage the
+        // converter can ever present: V_out = V_panel / k ≤ Voc / k_min.
+        let k_min = self.converter.ratio_range().0;
         let mut prev_source = PowerSource::Utility;
         let mut force_track = false;
 
@@ -160,13 +174,13 @@ impl DaySimulation {
                     PowerSource::Solar => {
                         // Come up from a minimal, safe load; the first
                         // tracking invocation ramps it to the MPP.
-                        tuner.ungate_all(&mut chip);
+                        tuner.ungate_all(&mut chip)?;
                         chip.set_all_levels(VfLevel::lowest());
                         force_track = true;
                     }
                     PowerSource::Utility => {
                         // Conventional CMP on grid power.
-                        tuner.ungate_all(&mut chip);
+                        tuner.ungate_all(&mut chip)?;
                         chip.set_all_levels(VfLevel::highest());
                     }
                 }
@@ -175,7 +189,7 @@ impl DaySimulation {
 
             let instr_before = chip.total_instructions();
             let mults: Vec<f64> = phases.iter().map(|p| p.at(t)).collect();
-            chip.step(&mults, 60.0).expect("mix sized to chip");
+            chip.step(&mults, 60.0)?;
             let instructions = chip.total_instructions() - instr_before;
             let chip_power = chip.total_power();
             let chip_capacity = chip.power_capacity();
@@ -185,7 +199,7 @@ impl DaySimulation {
                 PowerSource::Solar => match self.policy {
                     Policy::FixedPower(budget_cap) => {
                         if force_track || t % self.config.tracking_interval_minutes as usize == 0 {
-                            allocate_budget(&mut chip, budget_cap);
+                            allocate_budget(&mut chip, budget_cap)?;
                             force_track = false;
                         }
                         (chip.total_power().min(budget_cap), vdd)
@@ -202,8 +216,15 @@ impl DaySimulation {
                                 converter: &mut converter,
                                 chip: &mut chip,
                                 tuner: &mut tuner,
-                            });
+                            })?;
                             force_track = false;
+                        }
+                        if invariants::enabled() {
+                            invariants::assert_bus_voltage(
+                                "engine minute",
+                                op.output_voltage,
+                                Volts::new(self.array.open_circuit_voltage(env).get() / k_min),
+                            );
                         }
                         // The chip's useful draw is capped at its DVFS
                         // demand (the on-chip VRMs regulate); when the bus
@@ -214,6 +235,13 @@ impl DaySimulation {
                     }
                 },
             };
+
+            if invariants::enabled() {
+                // Nothing may be harvested beyond what the sun offered this
+                // minute — the core conservation law of the whole model.
+                invariants::assert_power("engine minute", chip_power);
+                invariants::assert_budget("engine minute", drawn, budget);
+            }
 
             records.push(MinuteRecord {
                 minute: sample.minute_of_day,
@@ -227,14 +255,14 @@ impl DaySimulation {
             });
         }
 
-        DayResult {
+        Ok(DayResult {
             site_code: self.site.code(),
             season: self.season,
             day: self.day,
             mix_name: self.mix.name(),
             policy: self.policy,
             records,
-        }
+        })
     }
 }
 
@@ -303,21 +331,21 @@ impl DaySimulationBuilder {
 
     /// Finalizes the simulation.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the controller configuration is invalid (see
-    /// [`ControllerConfig::validate`]).
-    pub fn build(self) -> DaySimulation {
-        if let Err(reason) = self.config.validate() {
-            panic!("invalid controller configuration: {reason}");
-        }
+    /// Returns [`CoreError::InvalidConfig`] if the controller configuration
+    /// fails [`ControllerConfig::validate`].
+    pub fn build(self) -> Result<DaySimulation, CoreError> {
+        self.config
+            .validate()
+            .map_err(|reason| CoreError::InvalidConfig { reason })?;
         let ats_threshold = self.ats_threshold.unwrap_or(match self.policy {
             // Fixed-power systems transfer at their budget threshold
             // (Section 6.2).
             Policy::FixedPower(budget) => budget,
             _ => Watts::new(25.0),
         });
-        DaySimulation {
+        Ok(DaySimulation {
             site: self.site,
             season: self.season,
             day: self.day,
@@ -329,7 +357,7 @@ impl DaySimulationBuilder {
             ats_threshold,
             ats_hysteresis: self.ats_hysteresis,
             sensor: self.sensor,
-        }
+        })
     }
 }
 
@@ -337,9 +365,14 @@ impl DaySimulationBuilder {
 /// the floor and hand V/F steps to the best throughput-power ratio while the
 /// what-if power stays under the budget. For this separable concave problem
 /// the greedy fill matches the paper's linear-programming optimum.
-pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) {
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the chip rejects a core id or level transition —
+/// an internal inconsistency between the TPR table and the chip state.
+pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<(), CoreError> {
     for id in 0..chip.core_count() {
-        chip.gate(CoreId(id), false).expect("in range");
+        chip.gate(CoreId(id), false)?;
     }
     chip.set_all_levels(VfLevel::lowest());
 
@@ -347,7 +380,7 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) {
     let mut victim = chip.core_count();
     while chip.total_power() > budget && victim > 0 {
         victim -= 1;
-        chip.gate(CoreId(victim), true).expect("in range");
+        chip.gate(CoreId(victim), true)?;
     }
 
     let mut blocked = vec![false; chip.core_count()];
@@ -360,17 +393,23 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) {
             break;
         };
         let next = chip
-            .core(entry.core)
-            .expect("in range")
+            .core(entry.core)?
             .level()
             .faster()
-            .expect("tpr_up implies a faster level");
-        if chip.power_if(entry.core, next).expect("in range") <= budget {
-            chip.set_level(entry.core, next).expect("in range");
+            .ok_or(CoreError::LevelExhausted {
+                core: entry.core.0,
+            })?;
+        if chip.power_if(entry.core, next)? <= budget {
+            chip.set_level(entry.core, next)?;
         } else {
             blocked[entry.core.0] = true;
         }
     }
+    if invariants::enabled() {
+        // The fill must respect the cap it was given.
+        invariants::assert_budget("budget allocation", chip.total_power(), budget);
+    }
+    Ok(())
 }
 
 /// Aggregated outcome of one simulated day.
@@ -498,7 +537,17 @@ mod tests {
             .mix(Mix::hm2())
             .policy(policy)
             .build()
+            .unwrap()
             .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn invalid_config_fails_the_build() {
+        let mut cfg = ControllerConfig::paper_defaults();
+        cfg.voltage_tolerance = -0.5;
+        let err = DaySimulation::builder().config(cfg).build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
     }
 
     #[test]
@@ -568,7 +617,7 @@ mod tests {
     fn allocate_budget_respects_the_cap_and_uses_it() {
         let mut chip = MultiCoreChip::new(&Mix::hm2());
         let budget = Watts::new(60.0);
-        allocate_budget(&mut chip, budget);
+        allocate_budget(&mut chip, budget).unwrap();
         let p = chip.total_power();
         assert!(p <= budget, "allocated {p} over {budget}");
         assert!(
@@ -580,7 +629,7 @@ mod tests {
     #[test]
     fn allocate_budget_gates_cores_when_budget_is_tiny() {
         let mut chip = MultiCoreChip::new(&Mix::h1());
-        allocate_budget(&mut chip, Watts::new(10.0));
+        allocate_budget(&mut chip, Watts::new(10.0)).unwrap();
         assert!(chip.total_power() <= Watts::new(10.0));
         assert!(chip.cores().iter().any(|c| c.is_gated()));
     }

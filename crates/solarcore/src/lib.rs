@@ -28,15 +28,30 @@
 //!     .mix(Mix::hm2())
 //!     .policy(Policy::MpptOpt)
 //!     .build()
-//!     .run();
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //! assert!(result.utilization() > 0.5);
 //! ```
+//!
+//! ## Panic policy
+//!
+//! Non-test code in this crate must not panic on recoverable conditions:
+//! `unwrap`/`expect`/`panic!` are denied by the gate below and by
+//! `cargo xtask lint`; justified sites carry an explicit allow + waiver.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
 pub mod adapter;
 pub mod battery;
 pub mod config;
 pub mod controller;
 pub mod engine;
+pub mod error;
+pub mod invariants;
 pub mod metrics;
 pub mod policy;
 pub mod tpr;
@@ -46,5 +61,6 @@ pub use battery::{BatteryDayResult, BatterySystem, BatteryTier};
 pub use config::ControllerConfig;
 pub use controller::{SolarCoreController, TrackingRig};
 pub use engine::{DayResult, DaySimulation, MinuteRecord};
+pub use error::CoreError;
 pub use policy::{LoadScheduler, Policy};
 pub use tpr::{tpr_table, TprEntry};

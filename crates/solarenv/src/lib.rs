@@ -23,6 +23,17 @@
 //! assert_eq!(trace.samples().len(), 601); // 07:30..=17:30, minute steps
 //! assert!(trace.insolation_kwh_m2() > 1.5);
 //! ```
+//!
+//! ## Panic policy
+//!
+//! Non-test code in this crate must not panic on recoverable conditions:
+//! `unwrap`/`expect`/`panic!` are denied by the gate below and by
+//! `cargo xtask lint`; justified sites carry an explicit allow + waiver.
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
 pub mod error;
 pub mod geometry;

@@ -162,6 +162,8 @@ impl Site {
             ("TN", Oct) => ([0.15, 0.23, 0.30, 0.32], 8.0, 1.4),
             _ => ([0.5, 0.25, 0.15, 0.10], 20.0, 1.0),
         };
+        #[allow(clippy::expect_used)]
+        // lint:allow(panic): compile-time-constant site climatology, pinned by a unit test
         WeatherProfile::new(weights, dwell, jitter).expect("static site profiles are valid")
     }
 
@@ -191,6 +193,7 @@ impl Site {
     }
 
     /// Deterministic RNG seed for `(site, season, day)` trace generation.
+    #[allow(clippy::cast_possible_truncation)] // Season::index() < 12 fits u8
     pub fn trace_seed(&self, season: Season, day: u32) -> u64 {
         // FNV-1a over the identifying tuple; stable across runs/platforms.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;

@@ -29,7 +29,7 @@ proptest! {
         let a = EnvTrace::generate_window(&site, season, day, start, end).unwrap();
         let b = EnvTrace::generate_window(&site, season, day, start, end).unwrap();
         prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a.samples().len() as u32, end - start + 1);
+        prop_assert_eq!(a.samples().len(), (end - start + 1) as usize);
         for s in a.samples() {
             prop_assert!(s.irradiance.get() >= 0.0);
             prop_assert!(s.irradiance.get() < 1300.0);

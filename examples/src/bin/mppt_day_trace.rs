@@ -10,7 +10,7 @@ use std::env;
 use std::process::ExitCode;
 
 use powertrain::PowerSource;
-use solarcore::{DaySimulation, Policy};
+use solarcore::{CoreError, DaySimulation, Policy};
 use solarenv::{Season, Site};
 use workloads::Mix;
 
@@ -22,7 +22,8 @@ fn parse_season(name: &str) -> Option<Season> {
     Season::ALL.iter().copied().find(|s| s.to_string() == name)
 }
 
-fn main() -> ExitCode {
+#[allow(clippy::cast_possible_truncation)] // bar lengths are clamped to the 60-col chart
+fn main() -> Result<ExitCode, CoreError> {
     let mut args = env::args().skip(1);
     let site = args.next().unwrap_or_else(|| "AZ".into());
     let season = args.next().unwrap_or_else(|| "Jan".into());
@@ -32,7 +33,7 @@ fn main() -> ExitCode {
         (parse_site(&site), parse_season(&season), Mix::by_name(&mix))
     else {
         eprintln!("usage: mppt_day_trace [AZ|CO|NC|TN] [Jan|Apr|Jul|Oct] [H1|H2|M1|M2|L1|L2|HM1|HM2|ML1|ML2]");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     };
 
     let result = DaySimulation::builder()
@@ -40,8 +41,8 @@ fn main() -> ExitCode {
         .season(season)
         .mix(mix.clone())
         .policy(Policy::MpptOpt)
-        .build()
-        .run();
+        .build()?
+        .run()?;
 
     println!(
         "MPP tracking, {} @ {} running {} (· budget, * actual, u = on utility)",
@@ -86,5 +87,5 @@ fn main() -> ExitCode {
         100.0 * result.mean_tracking_error(),
         100.0 * result.effective_fraction()
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }

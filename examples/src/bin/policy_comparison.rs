@@ -11,11 +11,11 @@ use std::process::ExitCode;
 use pv::units::Watts;
 use pv::PvArray;
 use solarcore::engine::phase_seed;
-use solarcore::{BatterySystem, DaySimulation, Policy};
+use solarcore::{BatterySystem, CoreError, DaySimulation, Policy};
 use solarenv::{EnvTrace, Season, Site};
 use workloads::Mix;
 
-fn main() -> ExitCode {
+fn main() -> Result<ExitCode, CoreError> {
     let mut args = env::args().skip(1);
     let site_code = args.next().unwrap_or_else(|| "AZ".into());
     let season_name = args.next().unwrap_or_else(|| "Jan".into());
@@ -30,7 +30,7 @@ fn main() -> ExitCode {
         Mix::by_name(&mix_name),
     ) else {
         eprintln!("usage: policy_comparison [site] [season] [mix]");
-        return ExitCode::FAILURE;
+        return Ok(ExitCode::FAILURE);
     };
 
     println!(
@@ -43,8 +43,8 @@ fn main() -> ExitCode {
     let array = PvArray::solarcore_default();
     let trace = EnvTrace::generate(&site, season, 0);
     let seed = phase_seed(&site, season, 0);
-    let lower = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed);
-    let upper = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed);
+    let lower = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed)?;
+    let upper = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed)?;
 
     let policies = [
         Policy::FixedPower(Watts::new(75.0)),
@@ -62,8 +62,8 @@ fn main() -> ExitCode {
             .season(season)
             .mix(mix.clone())
             .policy(policy)
-            .build()
-            .run();
+            .build()?
+            .run()?;
         println!(
             "{:<16} {:>12.1} {:>12.1} {:>12.2} {:>10.1}",
             policy.to_string(),
@@ -89,5 +89,5 @@ fn main() -> ExitCode {
         upper.instructions / lower.instructions,
         "-"
     );
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }

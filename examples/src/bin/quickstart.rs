@@ -5,11 +5,11 @@
 //! cargo run -p examples --bin quickstart
 //! ```
 
-use solarcore::{DaySimulation, Policy};
+use solarcore::{CoreError, DaySimulation, Policy};
 use solarenv::{Season, Site};
 use workloads::Mix;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     // A mid-January day in Phoenix, running the heterogeneous HM2 mix
     // (bzip, gzip, art, apsi, gcc, mcf, gap, vpr) under the full SolarCore
     // policy: MPP tracking plus throughput-power-ratio load allocation.
@@ -18,8 +18,8 @@ fn main() {
         .season(Season::Jan)
         .mix(Mix::hm2())
         .policy(Policy::MpptOpt)
-        .build()
-        .run();
+        .build()?
+        .run()?;
 
     println!("SolarCore quickstart — Phoenix, AZ / Jan / HM2");
     println!(
@@ -46,4 +46,6 @@ fn main() {
         "  instructions on solar   : {:9.2e} (the performance-time product)",
         result.solar_instructions()
     );
+
+    Ok(())
 }

@@ -11,7 +11,7 @@
 use std::env;
 
 use solarcore::metrics::mean;
-use solarcore::{DaySimulation, Policy};
+use solarcore::{CoreError, DaySimulation, Policy};
 use solarenv::{Season, Site};
 use workloads::Mix;
 
@@ -23,7 +23,7 @@ struct SiteReport {
     daily_instructions: f64,
 }
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     let mix_name = env::args().nth(1).unwrap_or_else(|| "ML2".into());
     let mix = Mix::by_name(&mix_name).unwrap_or_else(Mix::ml2);
     println!(
@@ -33,7 +33,7 @@ fn main() {
 
     let mut reports: Vec<SiteReport> = Site::all()
         .into_iter()
-        .map(|site| {
+        .map(|site| -> Result<SiteReport, CoreError> {
             let mut utils = Vec::new();
             let mut effs = Vec::new();
             let mut whs = Vec::new();
@@ -44,28 +44,24 @@ fn main() {
                     .season(season)
                     .mix(mix.clone())
                     .policy(Policy::MpptOpt)
-                    .build()
-                    .run();
+                    .build()?
+                    .run()?;
                 utils.push(r.utilization());
                 effs.push(r.effective_fraction());
                 whs.push(r.energy_drawn().get());
                 instrs.push(r.solar_instructions());
             }
-            SiteReport {
+            Ok(SiteReport {
                 name: site.name(),
                 utilization: mean(&utils),
                 effective: mean(&effs),
                 daily_wh: mean(&whs),
                 daily_instructions: mean(&instrs),
-            }
+            })
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
-    reports.sort_by(|a, b| {
-        b.daily_instructions
-            .partial_cmp(&a.daily_instructions)
-            .expect("finite")
-    });
+    reports.sort_by(|a, b| b.daily_instructions.total_cmp(&a.daily_instructions));
 
     println!(
         "{:<22} {:>10} {:>10} {:>12} {:>16}",
@@ -86,4 +82,5 @@ fn main() {
         mix.name(),
         reports[0].name
     );
+    Ok(())
 }

@@ -33,15 +33,17 @@ fn grid() -> Vec<Cell> {
                         .mix(mix.clone())
                         .policy(policy)
                         .build()
+                        .unwrap()
                         .run()
+                        .unwrap()
                 };
                 let ic = run(Policy::MpptIc);
                 let rr = run(Policy::MpptRr);
                 let opt = run(Policy::MpptOpt);
                 let trace = EnvTrace::generate(&site, season, 0);
                 let seed = phase_seed(&site, season, 0);
-                let bu = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed);
-                let bl = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed);
+                let bu = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed).unwrap();
+                let bl = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed).unwrap();
                 cells.push(Cell {
                     ic: ic.solar_instructions() / bl.instructions,
                     rr: rr.solar_instructions() / bl.instructions,
@@ -110,7 +112,9 @@ fn solarcore_dominates_every_fixed_budget() {
         .mix(mix.clone())
         .policy(Policy::MpptOpt)
         .build()
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
     for budget in [25.0, 50.0, 75.0, 100.0, 125.0] {
         let fixed = DaySimulation::builder()
             .site(site.clone())
@@ -118,7 +122,9 @@ fn solarcore_dominates_every_fixed_budget() {
             .mix(mix.clone())
             .policy(Policy::FixedPower(Watts::new(budget)))
             .build()
-            .run();
+            .unwrap()
+            .run()
+            .unwrap();
         let energy_ratio = fixed.energy_drawn().get() / opt.energy_drawn().get();
         let ptp_ratio = fixed.solar_instructions() / opt.solar_instructions();
         assert!(
@@ -143,7 +149,9 @@ fn irregular_weather_degrades_tracking_accuracy() {
             .mix(Mix::h1())
             .policy(Policy::MpptOpt)
             .build()
+            .unwrap()
             .run()
+            .unwrap()
             .mean_tracking_error()
     };
     assert!(error(Season::Jul) > error(Season::Jan) * 0.9);
@@ -160,7 +168,9 @@ fn homogeneous_high_epi_has_the_largest_power_ripple() {
             .mix(mix)
             .policy(Policy::MpptOpt)
             .build()
-            .run();
+            .unwrap()
+            .run()
+            .unwrap();
         let gaps: Vec<f64> = r
             .records()
             .iter()

@@ -51,7 +51,7 @@ proptest! {
         let op = solve_operating_point(&array, env, &converter, &LoadModel::Resistance(Ohms::new(r_load)));
         let i_pv = array.current_at(env, op.panel_voltage).unwrap().get();
         prop_assert!((i_pv - op.panel_current.get()).abs() < 1e-4);
-        let r_panel = converter.reflected_resistance(r_load);
+        let r_panel = converter.reflected_resistance(Ohms::new(r_load)).get();
         prop_assert!((op.panel_current.get() - op.panel_voltage.get() / r_panel).abs() < 1e-4);
         // Power never exceeds the MPP oracle.
         prop_assert!(op.panel_power().get() <= array.mpp(env).power.get() + 1e-6);
@@ -74,14 +74,14 @@ proptest! {
         let mut converter = DcDcConverter::solarcore_default();
         converter.set_ratio(start_ratio).unwrap();
         let mut tuner = LoadTuner::new(Policy::MpptOpt);
-        let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults());
+        let mut controller = SolarCoreController::new(ControllerConfig::paper_defaults()).unwrap();
         let report = controller.track(&mut TrackingRig {
             array: &array,
             env,
             converter: &mut converter,
             chip: &mut chip,
             tuner: &mut tuner,
-        });
+        }).unwrap();
         // Within 20 % of the MPP unless the chip itself saturates below it.
         let chip_max = {
             let mut probe = MultiCoreChip::new(&mix);
@@ -103,7 +103,7 @@ proptest! {
     fn budget_allocation_is_tight(budget in 10.0..160.0_f64, mix_idx in 0usize..10) {
         let mix = Mix::all().swap_remove(mix_idx);
         let mut chip = MultiCoreChip::new(&mix);
-        allocate_budget(&mut chip, Watts::new(budget));
+        allocate_budget(&mut chip, Watts::new(budget)).unwrap();
         let used = chip.total_power().get();
         prop_assert!(used <= budget + 1e-9, "used {used:.1} of {budget:.1}");
         // Tightness: no single remaining upgrade fits.
@@ -122,6 +122,35 @@ proptest! {
         }
     }
 
+    /// The runtime sanitizer stays silent on valid traces: a full simulated
+    /// day at any site/season/mix keeps every record inside the budget
+    /// invariant, so re-asserting it after the fact never trips.
+    #[test]
+    fn budget_conservation_never_trips_on_valid_days(
+        site_idx in 0usize..4,
+        season_idx in 0usize..4,
+        mix_idx in 0usize..10,
+    ) {
+        use solarcore::{invariants, DaySimulation};
+        use solarenv::{Season, Site};
+        let site = Site::all().swap_remove(site_idx);
+        let season = Season::ALL[season_idx];
+        let mix = Mix::all().swap_remove(mix_idx);
+        let result = DaySimulation::builder()
+            .site(site)
+            .season(season)
+            .mix(mix)
+            .policy(Policy::MpptOpt)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        for record in result.records() {
+            invariants::assert_power("property replay", record.budget);
+            invariants::assert_budget("property replay", record.drawn, record.budget);
+        }
+    }
+
     /// Battery-system harvest scales exactly with the derating factor.
     #[test]
     fn battery_harvest_scales_with_derating(d1 in 0.3..0.9_f64) {
@@ -129,8 +158,8 @@ proptest! {
         use solarenv::{EnvTrace, Season, Site};
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::golden_co(), Season::Apr, 0);
-        let a = BatterySystem::with_derating(d1).simulate_day(&array, &trace, &Mix::l1(), 1);
-        let b = BatterySystem::with_derating(d1 / 2.0).simulate_day(&array, &trace, &Mix::l1(), 1);
+        let a = BatterySystem::with_derating(d1).simulate_day(&array, &trace, &Mix::l1(), 1).unwrap();
+        let b = BatterySystem::with_derating(d1 / 2.0).simulate_day(&array, &trace, &Mix::l1(), 1).unwrap();
         prop_assert!((a.stored.get() / b.stored.get() - 2.0).abs() < 1e-9);
         prop_assert!(a.instructions >= b.instructions);
     }

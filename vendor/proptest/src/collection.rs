@@ -1,0 +1,101 @@
+//! Collection strategies (upstream `proptest::collection`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length specification for collection strategies (upstream
+/// `SizeRange`). Constructed via `From`, so plain `1..200` literals in
+/// test files infer `usize` exactly as they do with upstream proptest.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let width = (self.hi_inclusive - self.lo) as u128 + 1;
+        self.lo + rng.below(width) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        debug_assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// A strategy generating `Vec`s of `element` with a length drawn from
+/// `len` (upstream `proptest::collection::vec`).
+pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        len: len.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_stay_in_range() {
+        let mut rng = TestRng::for_test("collection-tests");
+        let s = vec(0.0..10.0_f64, 1..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0.0..10.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn fixed_size_and_inclusive_specs() {
+        let mut rng = TestRng::for_test("collection-tests-2");
+        assert_eq!(vec(0u8..=1, 7).generate(&mut rng).len(), 7);
+        let s = vec(0u8..=1, 2..=3);
+        for _ in 0..50 {
+            assert!((2..=3).contains(&s.generate(&mut rng).len()));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` for named-field
+//! structs and fieldless enums, hand-parsed from the token stream (the
+//! offline build has no `syn`/`quote`).
+//!
+//! Generated code targets the sibling `serde` stub's one-method
+//! `Serialize { fn to_value(&self) -> Value }` trait.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (stub flavour) for a named-field struct or a
+/// fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive stub: emit failed: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error! tokens always parse")
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "serde_derive stub does not support generics on `{name}`"
+                ))
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("`{name}` has no brace-delimited body")),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = parse_named_fields(body)?;
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                ));
+            }
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            ))
+        }
+        "enum" => {
+            let variants = parse_fieldless_variants(body, &name)?;
+            let mut arms = String::new();
+            for v in &variants {
+                arms.push_str(&format!(
+                    "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                ));
+            }
+            Ok(format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            ))
+        }
+        other => Err(format!("cannot derive Serialize for `{other}`")),
+    }
+}
+
+/// Extracts field names from a named-field struct body, skipping
+/// attributes, visibility and types (angle-bracket depth aware).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes (doc comments arrive as #[doc = ...]).
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?} \
+                     (tuple structs are unsupported by the serde_derive stub)"
+                ))
+            }
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from a fieldless enum body.
+fn parse_fieldless_variants(body: TokenStream, name: &str) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i += 2;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive stub supports only fieldless enums; \
+                     `{name}::{variant}` carries data"
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip until comma.
+                while let Some(tt) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tt, TokenTree::Punct(q) if q.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}

@@ -1,0 +1,171 @@
+//! Offline stub of `serde_json`: renders the `serde` stub's `Value` tree
+//! as JSON text. Only the writer half is implemented (the workspace never
+//! parses JSON).
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// JSON serialization error (currently unreachable: non-finite floats are
+/// written as `null` instead of erroring, which is what the experiment
+/// harness wants for optional series points).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Reserved for future use; the stub currently always succeeds.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Reserved for future use; the stub currently always succeeds.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, ('[', ']'), items.iter(), indent, depth, |out, v, ind, d| {
+                write_value(out, v, ind, d);
+            });
+        }
+        Value::Object(entries) => {
+            write_seq(
+                out,
+                ('{', '}'),
+                entries.iter(),
+                indent,
+                depth,
+                |out, (k, v), ind, d| {
+                    write_string(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, ind, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<'a, I, T, F>(
+    out: &mut String,
+    (open, close): (char, char),
+    items: I,
+    indent: Option<&str>,
+    depth: usize,
+    f: F,
+) where
+    I: ExactSizeIterator<Item = &'a T>,
+    T: 'a,
+    F: Fn(&mut String, &T, Option<&str>, usize),
+{
+    let empty = items.len() == 0;
+    out.push(open);
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(pad) = indent {
+            out.push('\n');
+            out.push_str(&pad.repeat(depth + 1));
+        }
+        f(out, item, indent, depth + 1);
+    }
+    if let Some(pad) = indent {
+        if !empty {
+            out.push('\n');
+            out.push_str(&pad.repeat(depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep a fractional part so round-trips stay typed as floats.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_rendering() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Str("x\"y".into())),
+            ("c".into(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x\"y","c":[1.5,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Object(vec![("k".into(), Value::Array(vec![Value::Int(-2)]))]);
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"k\": [\n    -2\n  ]\n}");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&3.0f64).unwrap(), "3.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&0.25f64).unwrap(), "0.25");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Pass `cast`: forbids unchecked narrowing `as` casts in the
+//! conversion-heavy modules (`pv::module`, `pv::array`,
+//! `solarenv::weather`).
+//!
+//! Those modules turn trace indices, minute counters and cell counts into
+//! physics inputs; a silent `as u32` truncation there corrupts a whole
+//! simulated day without any error. Widening to `f64` is always safe and
+//! allowed; everything else must go through `TryFrom`/`try_into`, an
+//! explicit clamp, or carry a `// lint:allow(cast): <reason>` marker.
+
+use super::source::SourceFile;
+use super::Violation;
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "cast";
+
+/// Narrowing / lossy cast targets. `as f64` is widening and allowed.
+const LOSSY: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+/// Scope: the conversion-heavy modules named by the invariant catalog.
+pub fn applies_to(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/pv/src/module.rs" | "crates/pv/src/array.rs" | "crates/solarenv/src/weather.rs"
+    )
+}
+
+/// Scans one file for `as <lossy-type>` casts outside test code.
+pub fn check(src: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, code) in src.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test_line(line_no) {
+            continue;
+        }
+        for target in casts_on_line(code) {
+            out.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line: line_no,
+                message: format!(
+                    "unchecked `as {target}` cast can truncate silently; use \
+                     `TryFrom`/`try_into` or an explicit clamp \
+                     (or mark `// lint:allow(cast): <reason>`)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Returns the target types of every lossy `as` cast on a masked line.
+fn casts_on_line(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(pos) = rest.find(" as ") {
+        let after = &rest[pos + 4..];
+        let token: String = after
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if let Some(t) = LOSSY.iter().find(|t| **t == token) {
+            out.push(*t);
+        }
+        rest = after;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Violation> {
+        check(&SourceFile::parse("crates/pv/src/module.rs", text))
+    }
+
+    #[test]
+    fn flags_narrowing_casts() {
+        let v = findings("let n = x as u32;\nlet m = y as f32;\n");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("as u32"));
+        assert!(v[1].message.contains("as f32"));
+    }
+
+    #[test]
+    fn widening_to_f64_is_allowed() {
+        assert!(findings("let x = minute as f64;\n").is_empty());
+    }
+
+    #[test]
+    fn identifiers_containing_as_do_not_trip() {
+        assert!(findings("let bias = phase_shift + alias_usize;\n").is_empty());
+    }
+
+    #[test]
+    fn comments_and_tests_are_ignored() {
+        let text = "// x as u32\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = 1.5 as u8; }\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn scope_is_exactly_the_conversion_modules() {
+        assert!(applies_to("crates/pv/src/module.rs"));
+        assert!(applies_to("crates/pv/src/array.rs"));
+        assert!(applies_to("crates/solarenv/src/weather.rs"));
+        assert!(!applies_to("crates/pv/src/units.rs"));
+        assert!(!applies_to("crates/solarenv/src/trace.rs"));
+    }
+
+    #[test]
+    fn multiple_casts_on_one_line() {
+        let v = findings("let p = (a as usize, b as i64);\n");
+        assert_eq!(v.len(), 2);
+    }
+}

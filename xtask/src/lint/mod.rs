@@ -1,0 +1,190 @@
+//! The repo-specific lint driver: walks workspace sources, runs each pass,
+//! and applies the waiver mechanisms.
+//!
+//! Three passes enforce invariants the compiler cannot see (ISSUE 1):
+//!
+//! * [`panics`] — no `unwrap()`/`expect()`/`panic!` in non-test library
+//!   code (crash-free operation under trace anomalies);
+//! * [`rawf64`] — public APIs of the physics crates must use `pv::units`
+//!   newtypes for physical quantities instead of raw `f64`;
+//! * [`casts`] — conversion-heavy modules must not use unchecked `as`
+//!   numeric casts that can truncate silently.
+//!
+//! Two waiver mechanisms exist, both explicit and reviewable:
+//!
+//! * an inline marker on the offending line:
+//!   `// lint:allow(<pass>): <reason>`;
+//! * a workspace allowlist file `xtask/lint-allow.txt` with
+//!   `<pass> <path-prefix> [# comment]` lines for whole files/directories.
+
+pub mod casts;
+pub mod panics;
+pub mod rawf64;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use source::SourceFile;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which pass produced the finding (`panic`, `raw-f64`, `cast`).
+    pub pass: &'static str,
+    /// Path relative to the workspace root.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.pass, self.message
+        )
+    }
+}
+
+/// Outcome of a full lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All surviving (non-waived) violations.
+    pub violations: Vec<Violation>,
+    /// Number of files scanned by at least one pass.
+    pub files_scanned: usize,
+    /// Findings suppressed by inline markers or the allowlist.
+    pub waivers_used: usize,
+}
+
+/// A parsed `xtask/lint-allow.txt`.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Loads the allowlist; a missing file is an empty allowlist.
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let path = root.join("xtask").join("lint-allow.txt");
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(pass), Some(prefix)) => {
+                    entries.push((pass.to_owned(), prefix.to_owned()));
+                }
+                _ => {
+                    return Err(format!(
+                        "lint-allow.txt:{}: expected `<pass> <path-prefix>`",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// `true` if `pass` findings in `path` are waived wholesale.
+    pub fn allows(&self, pass: &str, path: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(p, prefix)| p == pass && path.starts_with(prefix.as_str()))
+    }
+}
+
+/// Runs every pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let allow = Allowlist::load(root)?;
+    let mut report = Report::default();
+
+    let files = collect_sources(root)?;
+    report.files_scanned = files.len();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let src = SourceFile::parse(&rel, &text);
+
+        let mut findings = Vec::new();
+        if panics::applies_to(&rel) {
+            findings.extend(panics::check(&src));
+        }
+        if rawf64::applies_to(&rel) {
+            findings.extend(rawf64::check(&src));
+        }
+        if casts::applies_to(&rel) {
+            findings.extend(casts::check(&src));
+        }
+
+        for v in findings {
+            if allow.allows(v.pass, &rel) || src.has_waiver(v.line, v.pass) {
+                report.waivers_used += 1;
+            } else {
+                report.violations.push(v);
+            }
+        }
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Collects the `.rs` files the lint passes cover: library sources under
+/// `crates/*/src` (excluding `bin/`), shared integration-test helpers are
+/// deliberately excluded, as is `vendor/` (stub code) and `target/`.
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let crates = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+    for entry in crates.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    out.retain(|p| {
+        let rel = p.to_string_lossy().replace('\\', "/");
+        // Experiment binaries are top-level executables where fail-fast
+        // on I/O errors is the desired behaviour.
+        !rel.contains("/src/bin/")
+    });
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Pass `panic`: forbids `unwrap()`, `expect(...)` and `panic!` in
+//! non-test library code.
+//!
+//! SolarCore's north star is crash-free operation under production trace
+//! loads; a stray `unwrap()` turns a malformed trace sample into an outage.
+//! Library code must propagate the crate's typed `Error` enums instead.
+//! Justified sites (provably-unreachable states, documented startup
+//! validation) carry a `// lint:allow(panic): <reason>` marker or an
+//! allowlist entry.
+
+use super::source::SourceFile;
+use super::Violation;
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "panic";
+
+/// The pass covers every library source file the driver collects.
+pub fn applies_to(_path: &str) -> bool {
+    true
+}
+
+/// Scans one file for panic-capable calls outside test code.
+pub fn check(src: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, code) in src.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test_line(line_no) {
+            continue;
+        }
+        for (needle, what) in [
+            (".unwrap()", "`unwrap()` can panic"),
+            (".expect(", "`expect()` can panic"),
+            ("panic!(", "`panic!` in library code"),
+            ("unimplemented!(", "`unimplemented!` in library code"),
+            ("todo!(", "`todo!` in library code"),
+        ] {
+            if code.contains(needle) {
+                out.push(Violation {
+                    pass: PASS,
+                    path: src.path.clone(),
+                    line: line_no,
+                    message: format!(
+                        "{what}; propagate the crate's typed error instead \
+                         (or mark `// lint:allow(panic): <reason>`)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Violation> {
+        check(&SourceFile::parse("crates/x/src/lib.rs", text))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_panic() {
+        let v = findings("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 4);
+    }
+
+    #[test]
+    fn ignores_tests_comments_and_strings() {
+        let text = "\
+fn f() {
+    // x.unwrap() in a comment
+    let s = \"panic!(\";
+}
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); }
+}
+";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let v = findings("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }");
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Pass `raw-f64`: public APIs of the physics crates (`pv`, `powertrain`,
+//! `solarcore`) must carry physical quantities as `pv::units` newtypes,
+//! not raw `f64`.
+//!
+//! The pass is deliberately name-driven: a raw `f64` parameter or return
+//! is only flagged when its identifier (or, for returns, the function
+//! name) speaks the vocabulary of a unit that *has* a newtype — `voltage`,
+//! `power`, `irradiance`, … Dimensionless quantities (ratios, fractions,
+//! efficiencies, seeds) stay raw `f64` by design and are never flagged.
+
+use super::source::SourceFile;
+use super::Violation;
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "raw-f64";
+
+/// Unit vocabulary: identifier token → the newtype that should carry it.
+const VOCAB: &[(&str, &str)] = &[
+    ("voltage", "pv::units::Volts"),
+    ("volts", "pv::units::Volts"),
+    ("current", "pv::units::Amps"),
+    ("amps", "pv::units::Amps"),
+    ("power", "pv::units::Watts"),
+    ("watts", "pv::units::Watts"),
+    ("joules", "pv::units::Joules"),
+    ("wh", "pv::units::WattHours"),
+    ("resistance", "pv::units::Ohms"),
+    ("ohms", "pv::units::Ohms"),
+    ("irradiance", "pv::units::Irradiance"),
+    ("celsius", "pv::units::Celsius"),
+    ("temperature", "pv::units::Celsius"),
+    ("hertz", "pv::units::Hertz"),
+];
+
+/// Scope: the three crates whose public APIs carry physical quantities.
+pub fn applies_to(path: &str) -> bool {
+    path.starts_with("crates/pv/src/")
+        || path.starts_with("crates/powertrain/src/")
+        || path.starts_with("crates/solarcore/src/")
+}
+
+/// Returns the newtype suggested for an identifier, if any of its `_`
+/// separated tokens is unit vocabulary.
+fn suggested_newtype(ident: &str) -> Option<&'static str> {
+    ident
+        .split('_')
+        .find_map(|tok| VOCAB.iter().find(|(w, _)| *w == tok).map(|(_, t)| *t))
+}
+
+/// Scans public function signatures for raw-`f64` physical quantities.
+pub fn check(src: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut idx = 0;
+    while idx < src.code.len() {
+        let line_no = idx + 1;
+        let line = &src.code[idx];
+        let is_pub_fn = line.trim_start().starts_with("pub ")
+            && line.contains(" fn ")
+            && !src.is_test_line(line_no);
+        if !is_pub_fn {
+            idx += 1;
+            continue;
+        }
+
+        // Join the signature until its body opens or the item ends.
+        let mut sig = String::new();
+        let mut end = idx;
+        while end < src.code.len() {
+            let l = &src.code[end];
+            sig.push_str(l);
+            sig.push(' ');
+            if l.contains('{') || l.trim_end().ends_with(';') {
+                break;
+            }
+            end += 1;
+        }
+        idx = end + 1;
+
+        let Some(fn_name) = fn_name(&sig) else {
+            continue;
+        };
+        for (param, newtype) in raw_f64_params(&sig) {
+            out.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line: line_no,
+                message: format!(
+                    "public fn `{fn_name}` takes physical quantity `{param}` as raw \
+                     `f64`; use {newtype} (or mark `// lint:allow(raw-f64)`)"
+                ),
+            });
+        }
+        if let Some(newtype) = return_violation(&sig, fn_name) {
+            out.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line: line_no,
+                message: format!(
+                    "public fn `{fn_name}` returns a physical quantity as raw `f64`; \
+                     use {newtype} (or mark `// lint:allow(raw-f64)`)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+fn fn_name(sig: &str) -> Option<&str> {
+    let after = sig.split(" fn ").nth(1)?;
+    let name_end = after.find(['(', '<', ' '])?;
+    Some(&after[..name_end])
+}
+
+/// Extracts `(param_name, suggested_newtype)` pairs for raw-`f64` params.
+fn raw_f64_params(sig: &str) -> Vec<(String, &'static str)> {
+    let Some(open) = sig.find('(') else {
+        return Vec::new();
+    };
+    // Find the matching close paren.
+    let mut depth = 0i32;
+    let mut close = None;
+    for (i, c) in sig[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return Vec::new();
+    };
+    let params = &sig[open + 1..close];
+
+    let mut out = Vec::new();
+    for part in split_top_level(params) {
+        let Some((name, ty)) = part.split_once(':') else {
+            continue; // self / _ / pattern params
+        };
+        let name = name.trim().trim_start_matches("mut ").trim();
+        if ty.trim() != "f64" {
+            continue;
+        }
+        if let Some(newtype) = suggested_newtype(name) {
+            out.push((name.to_owned(), newtype));
+        }
+    }
+    out
+}
+
+/// Splits a parameter list at commas not nested in `()`, `<>`, `[]`.
+fn split_top_level(params: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in params.chars() {
+        match c {
+            '(' | '<' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' | '>' | ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// A raw-`f64` return is a violation when the fn name speaks units.
+fn return_violation(sig: &str, fn_name: &str) -> Option<&'static str> {
+    let ret = sig.split("->").nth(1)?;
+    let ret = ret.split(['{', ';']).next()?.trim();
+    if ret != "f64" {
+        return None;
+    }
+    suggested_newtype(fn_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Violation> {
+        check(&SourceFile::parse("crates/pv/src/x.rs", text))
+    }
+
+    #[test]
+    fn flags_unit_named_f64_params() {
+        let v = findings("pub fn set_voltage(&mut self, bus_voltage: f64) {}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("pv::units::Volts"));
+    }
+
+    #[test]
+    fn dimensionless_params_pass() {
+        let v = findings(
+            "pub fn blend(&self, fraction: f64, efficiency: f64, seed: u64) -> f64 { 0.0 }\n",
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn newtype_params_pass() {
+        let v = findings("pub fn set_voltage(&mut self, v: Volts) {}\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_unit_named_f64_return() {
+        let v = findings("pub fn panel_power(&self) -> f64 { 0.0 }\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("returns"));
+    }
+
+    #[test]
+    fn multiline_signatures_are_joined() {
+        let text = "pub fn solve(\n    &self,\n    load_current: f64,\n) -> Volts {\n";
+        let v = findings(text);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_skipped_by_driver() {
+        assert!(applies_to("crates/pv/src/module.rs"));
+        assert!(applies_to("crates/solarcore/src/engine.rs"));
+        assert!(!applies_to("crates/archsim/src/chip.rs"));
+        assert!(!applies_to("crates/bench/src/grid.rs"));
+    }
+}

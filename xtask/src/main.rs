@@ -1,0 +1,110 @@
+//! Repo automation for the SolarCore workspace (`cargo xtask <command>`).
+//!
+//! Commands:
+//!
+//! * `lint` — repo-specific static-analysis passes the compiler cannot
+//!   express: panic-free library code, unit-newtype discipline on public
+//!   APIs, and unchecked-cast detection in conversion-heavy modules.
+//! * `ci`   — the one-command verification gate: release build, tests,
+//!   clippy with denied warnings, and `lint`.
+//!
+//! Exit status is non-zero when any pass finds a violation, so both
+//! commands can gate CI directly.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("ci") => run_ci(),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            print_usage();
+            ExitCode::FAILURE
+        }
+        None => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo xtask <lint | ci>");
+    eprintln!("  lint  run the repo-specific static-analysis passes");
+    eprintln!("  ci    build --release, test, clippy -D warnings, then lint");
+}
+
+/// Locates the workspace root (the directory holding the top Cargo.toml).
+fn workspace_root() -> PathBuf {
+    // cargo sets CARGO_MANIFEST_DIR to <root>/xtask when running this bin.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".to_owned());
+    let dir = PathBuf::from(manifest);
+    dir.parent().map(PathBuf::from).unwrap_or(dir)
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    match lint::run(&root) {
+        Ok(report) => {
+            if report.violations.is_empty() {
+                println!(
+                    "xtask lint: clean ({} files scanned, {} waivers in effect)",
+                    report.files_scanned, report.waivers_used
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("{v}");
+                }
+                eprintln!(
+                    "xtask lint: {} violation(s) in {} file(s) scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("xtask lint: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_ci() -> ExitCode {
+    let root = workspace_root();
+    let steps: [(&str, &[&str]); 3] = [
+        ("build", &["build", "--release", "--workspace"]),
+        ("test", &["test", "-q", "--workspace"]),
+        (
+            "clippy",
+            &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
+        ),
+    ];
+    for (name, args) in steps {
+        println!("xtask ci: running cargo {}", args.join(" "));
+        let status = Command::new("cargo").args(args).current_dir(&root).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask ci: step `{name}` failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(err) => {
+                eprintln!("xtask ci: could not spawn cargo for `{name}`: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("xtask ci: running xtask lint");
+    let code = run_lint();
+    if code == ExitCode::SUCCESS {
+        println!("xtask ci: all gates passed");
+    }
+    code
+}
