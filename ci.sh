@@ -1,7 +1,10 @@
 #!/usr/bin/env sh
-# Full local CI gate: release build, workspace tests, clippy -D warnings,
-# and the workspace invariant lints (cargo xtask lint). Exits non-zero on
-# the first failing gate. See DESIGN.md §11 for the invariant catalog.
+# Full local CI gate, in order: invariant lints (cargo xtask lint),
+# clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
+# determinism / exhaustiveness passes), release build, workspace tests,
+# and the bitwise-reproducibility harness (cargo xtask determinism).
+# Exits non-zero on the first failing gate. See DESIGN.md §11 for the
+# invariant catalog and §12 for the static analysis passes.
 set -eu
 cd "$(dirname "$0")"
 exec cargo xtask ci

@@ -105,6 +105,28 @@ impl MultiCoreChip {
             .sum()
     }
 
+    /// A canonical digest of the per-core V/F state: FNV-1a over each
+    /// core's level index and gate flag, in core order. Two chips with the
+    /// same digest present the same operating point, so the determinism
+    /// harness can compare per-core V/F across runs without serializing
+    /// every core.
+    pub fn vf_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        for core in &self.cores {
+            for byte in (core.level().index() as u64)
+                .to_le_bytes()
+                .into_iter()
+                .chain([u8::from(core.is_gated())])
+            {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        hash
+    }
+
     /// Instantaneous chip throughput in instructions/second.
     pub fn total_ips(&self) -> f64 {
         self.cores.iter().map(Core::current_ips).sum()

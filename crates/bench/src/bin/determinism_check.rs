@@ -1,0 +1,94 @@
+//! Bitwise-reproducibility harness (`cargo xtask determinism`).
+//!
+//! Proves the evaluation pipeline is bit-identical across everything the
+//! thread scheduler can perturb:
+//!
+//! 1. a full NREL-trace day simulation, run twice — every per-minute
+//!    record (budget, drawn power, bus voltage, chip power, PTP, per-core
+//!    V/F digest) must hash identically;
+//! 2. the policy-grid sweep at 1 thread vs N threads;
+//! 3. the same sweep with the input cell order shuffled.
+//!
+//! Exit status is non-zero on any divergence, so CI can gate on it.
+
+use std::process::ExitCode;
+
+use bench::determinism::{day_hash, grid_hash};
+use bench::grid::{GridConfig, PolicyGrid};
+use bench::parallel::default_threads;
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+fn main() -> ExitCode {
+    let mut ok = true;
+
+    // 1. Day-simulation repeatability: same configuration, two runs.
+    let day = |label: &str| -> Option<u64> {
+        let result = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jul)
+            .day(0)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .build()
+            .ok()?
+            .run()
+            .ok()?;
+        let h = day_hash(&result);
+        println!("determinism: day-sim {label:<8} hash {h:016x}");
+        Some(h)
+    };
+    match (day("run #1"), day("run #2")) {
+        (Some(a), Some(b)) if a == b => {}
+        (Some(_), Some(_)) => {
+            eprintln!("determinism: FAIL — repeated day simulations diverge");
+            ok = false;
+        }
+        _ => {
+            eprintln!("determinism: FAIL — day simulation did not run");
+            ok = false;
+        }
+    }
+
+    // 2/3. Grid sweep: serial vs parallel vs shuffled input order.
+    let config = GridConfig::quick();
+    let n = default_threads().max(2);
+
+    let serial = {
+        let mut c = config.clone();
+        c.threads = 1;
+        grid_hash(&PolicyGrid::compute(&c))
+    };
+    println!("determinism: grid threads=1       hash {serial:016x}");
+
+    let parallel = {
+        let mut c = config.clone();
+        c.threads = n;
+        grid_hash(&PolicyGrid::compute(&c))
+    };
+    println!("determinism: grid threads={n:<7} hash {parallel:016x}");
+
+    let shuffled = {
+        let mut c = config;
+        c.threads = n;
+        grid_hash(&PolicyGrid::compute_shuffled(&c, 0x5eed_501a_c07e))
+    };
+    println!("determinism: grid shuffled input  hash {shuffled:016x}");
+
+    if serial != parallel {
+        eprintln!("determinism: FAIL — 1-thread vs {n}-thread grids diverge");
+        ok = false;
+    }
+    if serial != shuffled {
+        eprintln!("determinism: FAIL — shuffled input order diverges");
+        ok = false;
+    }
+
+    if ok {
+        println!("determinism: OK — bit-identical across threads and input order");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -109,9 +109,28 @@ pub struct PolicyGrid {
     pub battery: Vec<BatterySummary>,
 }
 
+/// One `(site, season, mix, day)` sweep cell.
+type GridCell = (Site, Season, Mix, u32);
+
 impl PolicyGrid {
     /// Runs the sweep (parallel across day simulations).
     pub fn compute(config: &GridConfig) -> Self {
+        Self::from_cells(Self::cells(config), config.threads)
+    }
+
+    /// Runs the sweep with the cell order permuted by a seeded shuffle.
+    ///
+    /// Because [`PolicyGrid::from_cells`] emits canonically sorted output,
+    /// the result must be bit-identical to [`PolicyGrid::compute`] — the
+    /// determinism harness verifies exactly that.
+    pub fn compute_shuffled(config: &GridConfig, seed: u64) -> Self {
+        let mut cells = Self::cells(config);
+        crate::determinism::shuffle(&mut cells, seed);
+        Self::from_cells(cells, config.threads)
+    }
+
+    /// Enumerates the sweep cells in configuration order.
+    fn cells(config: &GridConfig) -> Vec<GridCell> {
         let mut cells = Vec::new();
         for site in &config.sites {
             for &season in &config.seasons {
@@ -122,8 +141,15 @@ impl PolicyGrid {
                 }
             }
         }
+        cells
+    }
 
-        let results = parallel_map(cells, config.threads, |(site, season, mix, day)| {
+    /// Simulates the given cells in parallel and assembles the grid in
+    /// canonical order (sorted by site, season, mix, day, policy), so the
+    /// serialized output is byte-stable regardless of thread scheduling
+    /// and input order.
+    fn from_cells(cells: Vec<GridCell>, threads: usize) -> Self {
+        let results = parallel_map(cells, threads, |(site, season, mix, day)| {
             let array = PvArray::solarcore_default();
             let trace = EnvTrace::generate(site, *season, *day);
             let seed = phase_seed(site, *season, *day);
@@ -180,6 +206,16 @@ impl PolicyGrid {
             summaries.extend(s);
             battery.push(b);
         }
+        // Canonical emission order: results arrive in cell order, which a
+        // shuffled run permutes — sorting makes the output independent of
+        // both input order and thread count.
+        summaries.sort_by(|a, b| {
+            (&a.site, &a.season, &a.mix, a.day, &a.policy)
+                .cmp(&(&b.site, &b.season, &b.mix, b.day, &b.policy))
+        });
+        battery.sort_by(|a, b| {
+            (&a.site, &a.season, &a.mix, a.day).cmp(&(&b.site, &b.season, &b.mix, b.day))
+        });
         PolicyGrid { summaries, battery }
     }
 

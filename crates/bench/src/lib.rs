@@ -26,6 +26,7 @@
 //! `expt_all` regenerates everything (sharing the policy-grid sweep).
 
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
+pub mod determinism;
 pub mod experiments;
 pub mod grid;
 pub mod output;

@@ -1,7 +1,6 @@
 //! Tiny parallel-map helper over std scoped threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item of `inputs` across `threads` worker threads,
 /// returning outputs in input order.
@@ -9,48 +8,48 @@ use std::sync::Mutex;
 /// The experiment sweeps are embarrassingly parallel (hundreds of
 /// independent day simulations), so a static grab-next-index scheme over
 /// [`std::thread::scope`] is enough — no need for a work-stealing pool
-/// dependency.
+/// dependency. Each worker accumulates `(index, output)` pairs in a local
+/// buffer — no shared slot vector, no lock — and the buffers are merged
+/// and re-ordered by input index after the workers join, so the caller
+/// sees input order no matter how the scheduler interleaved the work.
 pub fn parallel_map<T, U, F>(inputs: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
     T: Send + Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let threads = threads.max(1);
     let n = inputs.len();
-    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = Mutex::new(slots);
+    let workers = threads.max(1).min(n.max(1));
     let next = AtomicUsize::new(0);
 
+    let mut pairs: Vec<(usize, U)> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let out = f(&inputs[idx]);
-                match slots.lock() {
-                    Ok(mut guard) => guard[idx] = Some(out),
-                    // A poisoned lock means a sibling worker panicked while
-                    // writing its slot; the scope is about to propagate that
-                    // panic, so this worker just stops.
-                    Err(_) => break,
-                }
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        local.push((idx, f(&inputs[idx])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => pairs.extend(local),
+                // Propagate a worker panic with its original payload.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
 
-    slots
-        .into_inner()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-        .into_iter()
-        .enumerate()
-        .map(|(idx, slot)| {
-            slot.unwrap_or_else(|| unreachable!("index {idx} processed by a worker"))
-        })
-        .collect()
+    pairs.sort_unstable_by_key(|(idx, _)| *idx);
+    pairs.into_iter().map(|(_, out)| out).collect()
 }
 
 /// A default worker-thread count: the available parallelism, capped at 16.
@@ -82,5 +81,29 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn order_survives_uneven_work() {
+        // Make early items slow so late items finish first on other
+        // threads; output must still be input-ordered.
+        let out = parallel_map((0..32).collect::<Vec<u64>>(), 8, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(vec![1, 2, 3], 2, |&x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(caught.is_err());
     }
 }

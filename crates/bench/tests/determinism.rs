@@ -1,0 +1,67 @@
+//! Golden bitwise-determinism test: the policy-grid sweep must produce
+//! byte-identical output at 1 thread, 8 threads, and with shuffled input
+//! order. This is the in-tree twin of `cargo xtask determinism` (which
+//! runs a larger sweep in release mode).
+
+use bench::determinism::{day_hash, grid_hash};
+use bench::grid::{GridConfig, PolicyGrid};
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+/// A small grid (2 cells) so the debug-mode runtime stays reasonable while
+/// still giving the shuffle a permutation to apply and `parallel_map`
+/// cross-thread work to reorder.
+fn config(threads: usize) -> GridConfig {
+    GridConfig {
+        sites: vec![Site::phoenix_az(), Site::oak_ridge_tn()],
+        seasons: vec![Season::Jul],
+        mixes: vec![Mix::hm2()],
+        days: 1,
+        threads,
+    }
+}
+
+/// One test computes the three grid variants once and checks both the
+/// canonical hashes and the serialized JSON, so the (expensive, debug-mode)
+/// day simulations are not repeated per assertion.
+#[test]
+fn grid_is_bit_identical_across_threads_and_input_order() {
+    let serial = PolicyGrid::compute(&config(1));
+    let parallel = PolicyGrid::compute(&config(8));
+    // Seed chosen so the 2-cell Fisher-Yates draw actually swaps the cells
+    // (a seed whose first splitmix64 output is even would be the identity).
+    let shuffled = PolicyGrid::compute_shuffled(&config(8), 0x5eed);
+
+    assert_eq!(
+        grid_hash(&serial),
+        grid_hash(&parallel),
+        "1-thread vs 8-thread grid output diverged"
+    );
+    assert_eq!(
+        grid_hash(&serial),
+        grid_hash(&shuffled),
+        "shuffled input order changed the grid output"
+    );
+
+    let a = serde_json::to_string(&serial).expect("serializes");
+    let b = serde_json::to_string(&shuffled).expect("serializes");
+    assert_eq!(a, b, "serialized grid JSON is not byte-stable");
+}
+
+#[test]
+fn repeated_day_simulation_hashes_identically() {
+    let run = || {
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jul)
+            .day(0)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("day runs")
+    };
+    assert_eq!(day_hash(&run()), day_hash(&run()));
+}

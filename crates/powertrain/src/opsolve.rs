@@ -183,6 +183,7 @@ fn assert_point_sane<G: PvGenerator + ?Sized>(
     let voc = generator.open_circuit_voltage(env).get();
     let v = op.panel_voltage.get();
     assert!(
+        // lint:allow(dim): 1e-9 is an absolute nanovolt tolerance on a volt compare
         v.is_finite() && v >= 0.0 && v <= voc + 1e-9,
         "operating-point invariant violated: panel voltage {v} V outside [0, Voc = {voc} V]"
     );

@@ -57,6 +57,10 @@ pub struct MinuteRecord {
     pub chip_capacity: Watts,
     /// Instructions committed during the minute.
     pub instructions: f64,
+    /// Canonical digest of the per-core V/F state at the end of the
+    /// minute ([`MultiCoreChip::vf_digest`]) — lets the determinism
+    /// harness compare per-core operating points across runs.
+    pub vf_digest: u64,
 }
 
 /// Configures and runs one simulated day.
@@ -204,7 +208,10 @@ impl DaySimulation {
                         }
                         (chip.total_power().min(budget_cap), vdd)
                     }
-                    _ => {
+                    Policy::MpptIc
+                    | Policy::MpptRr
+                    | Policy::MpptOpt
+                    | Policy::MpptChipWide => {
                         let op = controller.solve(&self.array, env, &converter, &chip);
                         if force_track
                             || t % self.config.tracking_interval_minutes as usize == 0
@@ -252,6 +259,7 @@ impl DaySimulation {
                 chip_power,
                 chip_capacity,
                 instructions,
+                vf_digest: chip.vf_digest(),
             });
         }
 
@@ -343,7 +351,9 @@ impl DaySimulationBuilder {
             // Fixed-power systems transfer at their budget threshold
             // (Section 6.2).
             Policy::FixedPower(budget) => budget,
-            _ => Watts::new(25.0),
+            Policy::MpptIc | Policy::MpptRr | Policy::MpptOpt | Policy::MpptChipWide => {
+                Watts::new(25.0)
+            }
         });
         Ok(DaySimulation {
             site: self.site,

@@ -55,7 +55,9 @@ impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Policy::FixedPower(w) => write!(f, "Fixed-Power({w:.0})"),
-            other => f.write_str(other.label()),
+            Policy::MpptIc | Policy::MpptRr | Policy::MpptOpt | Policy::MpptChipWide => {
+                f.write_str(self.label())
+            }
         }
     }
 }

@@ -1,0 +1,214 @@
+//! Pass `determinism`: statically flags constructs that can make two runs
+//! of the same simulation differ — hash-ordered iteration, ambient
+//! randomness/time, and completion-order reductions.
+//!
+//! SolarCore's evaluation artifacts (`results/*.json`, the BENCH
+//! trajectory) are only meaningful if a day simulation is bit-identical
+//! across thread counts and input orderings. Three finding groups:
+//!
+//! * **hash-ordered collections** — `HashMap`/`HashSet` iteration order is
+//!   randomized per process; anything that aggregates results or feeds
+//!   serialized output must use `BTreeMap`/`BTreeSet` or sort before
+//!   emission;
+//! * **ambient nondeterminism** — `thread_rng`, `OsRng`, `from_entropy`,
+//!   `SystemTime`, `Instant` inside simulation logic make replays
+//!   impossible; all randomness must flow from explicit seeds;
+//! * **completion-order reductions** — folding worker results in the order
+//!   they arrive (`recv`, `try_iter`, rayon `reduce`) reorders float
+//!   accumulation with thread scheduling; reductions must happen in input
+//!   order (as `bench::parallel_map` guarantees).
+
+use crate::lint::source::SourceFile;
+use crate::lint::Violation;
+
+use super::lexer::{self};
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "determinism";
+
+/// Scope: every crate source, including experiment binaries (their output
+/// is exactly what must be reproducible).
+pub fn applies_to(path: &str) -> bool {
+    path.starts_with("crates/")
+}
+
+/// Identifier → complaint for ambient-nondeterminism sources.
+const AMBIENT: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "`thread_rng()` draws from ambient state; thread randomness through an explicit seed",
+    ),
+    (
+        "OsRng",
+        "`OsRng` draws from the OS entropy pool; thread randomness through an explicit seed",
+    ),
+    (
+        "from_entropy",
+        "`from_entropy()` seeds from ambient entropy; use `seed_from_u64`/explicit seeds",
+    ),
+    (
+        "SystemTime",
+        "`SystemTime` makes output depend on the wall clock; pass timestamps in explicitly",
+    ),
+    (
+        "Instant",
+        "`Instant` makes control flow depend on elapsed wall time; simulate time explicitly",
+    ),
+];
+
+/// Identifier → complaint for completion-order reduction primitives.
+const COMPLETION_ORDER: &[(&str, &str)] = &[
+    (
+        "recv",
+        "receiving worker results in completion order reorders float accumulation",
+    ),
+    (
+        "try_iter",
+        "draining a channel in completion order reorders float accumulation",
+    ),
+    (
+        "recv_timeout",
+        "receiving worker results in completion order reorders float accumulation",
+    ),
+    (
+        "into_par_iter",
+        "parallel-iterator reductions fold in scheduling order",
+    ),
+    (
+        "par_iter",
+        "parallel-iterator reductions fold in scheduling order",
+    ),
+    (
+        "reduce_with",
+        "parallel reductions fold in scheduling order",
+    ),
+];
+
+/// Scans one file for determinism hazards outside test code.
+pub fn check(src: &SourceFile) -> Vec<Violation> {
+    let tokens = lexer::lex(src);
+    let mut out = Vec::new();
+    let mut push = |line: usize, message: String| {
+        out.push(Violation {
+            pass: PASS,
+            path: src.path.clone(),
+            line,
+            message,
+        });
+    };
+
+    let mut last_flagged_line = 0usize;
+    for (i, tok) in tokens.iter().enumerate() {
+        if src.is_test_line(tok.line) {
+            continue;
+        }
+        let Some(name) = tok.ident() else { continue };
+
+        if matches!(name, "HashMap" | "HashSet") && tok.line != last_flagged_line {
+            last_flagged_line = tok.line;
+            push(
+                tok.line,
+                format!(
+                    "`{name}` iteration order is randomized per process; use \
+                     `BTree{}` or sort before emission \
+                     (or mark `// lint:allow(determinism): <reason>`)",
+                    &name[4..]
+                ),
+            );
+            continue;
+        }
+
+        if let Some((_, why)) = AMBIENT.iter().find(|(w, _)| *w == name) {
+            // `Instant`/`SystemTime` as a path segment or type; the rng
+            // names anywhere.
+            push(
+                tok.line,
+                format!("{why} (or mark `// lint:allow(determinism): <reason>`)"),
+            );
+            continue;
+        }
+
+        if let Some((_, why)) = COMPLETION_ORDER.iter().find(|(w, _)| *w == name) {
+            // Only as a method call or path item: `x.recv()`, `mpsc::…`.
+            let called = tokens.get(i + 1).is_some_and(|t| t.is_op("("));
+            let method = i > 0 && tokens[i - 1].is_op(".");
+            if called || method {
+                push(
+                    tok.line,
+                    format!(
+                        "{why}; reorder to input order before folding \
+                         (or mark `// lint:allow(determinism): <reason>`)"
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(text: &str) -> Vec<Violation> {
+        check(&SourceFile::parse("crates/bench/src/x.rs", text))
+    }
+
+    #[test]
+    fn hash_collections_are_flagged_once_per_line() {
+        let v = findings("use std::collections::HashMap;\nfn f() { let m: HashMap<u32, f64> = HashMap::new(); }\n");
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("BTreeMap"));
+    }
+
+    #[test]
+    fn hash_set_suggests_btree_set() {
+        let v = findings("use std::collections::HashSet;\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("BTreeSet"));
+    }
+
+    #[test]
+    fn ambient_time_and_rng_are_flagged() {
+        let v = findings(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let r = rand::thread_rng();\n}\n",
+        );
+        assert_eq!(v.len(), 2);
+        assert!(v[0].message.contains("wall time"));
+        assert!(v[1].message.contains("explicit seed"));
+    }
+
+    #[test]
+    fn completion_order_receives_are_flagged() {
+        let v = findings("fn f(rx: Receiver<f64>) {\n    let mut sum = 0.0;\n    while let Ok(x) = rx.recv() {\n        sum += x;\n    }\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("completion order"));
+    }
+
+    #[test]
+    fn ordinary_identifiers_do_not_trip() {
+        let v = findings(
+            "fn f() {\n    let recv_count = 3;\n    let instant_power = 1.0;\n    let _ = recv_count as f64 + instant_power;\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let text = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn btree_collections_pass() {
+        assert!(findings("use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f64>) {}\n").is_empty());
+    }
+
+    #[test]
+    fn scope_is_all_crate_sources() {
+        assert!(applies_to("crates/bench/src/grid.rs"));
+        assert!(applies_to("crates/bench/src/bin/expt_all.rs"));
+        assert!(applies_to("crates/solarcore/src/engine.rs"));
+        assert!(!applies_to("xtask/src/main.rs"));
+    }
+}

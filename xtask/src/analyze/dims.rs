@@ -1,0 +1,618 @@
+//! Pass `dim`: shadow dimensional analysis over the workspace sources.
+//!
+//! The `pv::units` newtypes make unit errors compile errors — until a value
+//! is laundered to raw `f64`. This pass keeps tracking dimensions *after*
+//! the launder: a binding initialized from `voltage.get()` still carries
+//! the `Volts` dimension here, so `v + p` (volts plus watts, both `f64` to
+//! the compiler) is flagged, and so is a product whose dimension the
+//! algebra in `crates/pv/src/units.rs` does not declare.
+//!
+//! Three findings:
+//!
+//! * **cross-unit `+`/`-`** — operands of different tracked dimensions;
+//! * **undeclared dimension** — `*`/`/` of tracked dimensions with no
+//!   declared output (e.g. `Watts * Watts`);
+//! * **unit laundering** — raw `.0` tuple-field extraction of a unit value
+//!   feeding arithmetic (`.get()` is the sanctioned accessor and stays
+//!   dimension-tracked; `.0` bypasses the API).
+//!
+//! The pass is deliberately conservative: it only reasons about operands it
+//! can resolve (locals annotated or initialized with a known quantity, and
+//! `.get()` chains off them); a name observed with conflicting dimensions
+//! anywhere in a file is dropped from tracking entirely.
+
+use std::collections::BTreeMap;
+
+use crate::lint::source::SourceFile;
+use crate::lint::Violation;
+
+use super::lexer::{self, Tok, Token};
+use super::units::{UnitAlgebra, SCALAR};
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "dim";
+
+/// Scope: every crate source except the unit-definition file itself (whose
+/// macro bodies legitimately touch `.0`).
+pub fn applies_to(path: &str) -> bool {
+    path.starts_with("crates/") && path != "crates/pv/src/units.rs"
+}
+
+/// A name's tracked dimension within one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Dim {
+    /// Single consistent dimension observed.
+    Known(String),
+    /// Conflicting observations — drop from tracking.
+    Conflicted,
+}
+
+/// Scans one file against the learned unit algebra.
+pub fn check(src: &SourceFile, algebra: &UnitAlgebra) -> Vec<Violation> {
+    let tokens = lexer::lex(src);
+    let table = build_table(&tokens, algebra);
+    let mut out = Vec::new();
+
+    let resolve = |name: &str| -> Option<String> {
+        match table.get(name) {
+            Some(Dim::Known(u)) => Some(u.clone()),
+            _ => None,
+        }
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if src.is_test_line(tok.line) {
+            continue;
+        }
+
+        // Unit laundering: `<ident>.0` on a unit-typed name, adjacent to an
+        // arithmetic operator on either side.
+        if tok.is_op(".")
+            && matches!(&tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Num(n)) if n == "0")
+        {
+            if let Some(name) = tokens.get(i.wrapping_sub(1)).and_then(Token::ident) {
+                if let Some(unit) = resolve(name) {
+                    let before = i.checked_sub(2).and_then(|k| tokens.get(k));
+                    let after = tokens.get(i + 2);
+                    if before.is_some_and(is_arith_op) || after.is_some_and(is_arith_op) {
+                        out.push(Violation {
+                            pass: PASS,
+                            path: src.path.clone(),
+                            line: tok.line,
+                            message: format!(
+                                "`{name}.0` launders a `{unit}` into raw arithmetic; keep the \
+                                 newtype or use `.get()` at the boundary \
+                                 (or mark `// lint:allow(dim): <reason>`)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Binary arithmetic between two resolvable atoms.
+        let Some(op) = arith_op_char(tok) else {
+            continue;
+        };
+        if !is_binary_position(&tokens, i) {
+            continue;
+        }
+        let Some((lhs, lname)) = left_operand(&tokens, i, &resolve, algebra) else {
+            continue;
+        };
+        let Some((rhs, rname)) = right_operand(&tokens, i, op, &resolve, algebra) else {
+            continue;
+        };
+        if lhs == SCALAR && rhs == SCALAR {
+            continue;
+        }
+        let combined = algebra.combine(&lhs, op, &rhs);
+        let ok = match tok.tok {
+            // Compound assignment must preserve the left dimension.
+            Tok::Op("+=" | "-=" | "*=" | "/=") => combined == Some(lhs.as_str()),
+            _ => combined.is_some(),
+        };
+        if !ok {
+            let what = if matches!(op, '+' | '-') {
+                "cross-unit addition/subtraction"
+            } else {
+                "product with no declared dimension"
+            };
+            out.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line: tok.line,
+                message: format!(
+                    "{what}: `{lname}` is {lhs}, `{rname}` is {rhs} — `{lhs} {op} {rhs}` is not \
+                     declared in pv::units (or mark `// lint:allow(dim): <reason>`)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// `true` for tokens that continue arithmetic around a laundered `.0`.
+fn is_arith_op(t: &Token) -> bool {
+    matches!(
+        t.tok,
+        Tok::Op("+" | "-" | "*" | "/" | "%" | "+=" | "-=" | "*=" | "/=")
+    )
+}
+
+/// Maps an operator token to its algebra character.
+fn arith_op_char(t: &Token) -> Option<char> {
+    match t.tok {
+        Tok::Op("+" | "+=") => Some('+'),
+        Tok::Op("-" | "-=") => Some('-'),
+        Tok::Op("*" | "*=") => Some('*'),
+        Tok::Op("/" | "/=") => Some('/'),
+        _ => None,
+    }
+}
+
+/// `true` if the operator at `i` is binary: the previous token must end an
+/// operand (otherwise `-x` is negation, `*x` a deref, `&x` a borrow).
+fn is_binary_position(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|k| tokens.get(k)) else {
+        return false;
+    };
+    matches!(
+        &prev.tok,
+        Tok::Ident(_) | Tok::Num(_) | Tok::Op(")" | "]")
+    )
+}
+
+/// Resolves the full left operand of the operator at `i`, folding the
+/// leftward multiplicative chain so precedence is honoured: for the `+` in
+/// `a * b + c` the left operand is `(a * b)`, not `b`. Bails (`None`) if
+/// any chain element is unresolvable; a chain whose product is undeclared
+/// also bails — the offending `*`/`/` is reported at its own position.
+fn left_operand(
+    tokens: &[Token],
+    i: usize,
+    resolve: &dyn Fn(&str) -> Option<String>,
+    algebra: &UnitAlgebra,
+) -> Option<(String, String)> {
+    let (dim0, name0, start0) = left_atom(tokens, i, resolve, algebra)?;
+    // Collect rightmost-first: atoms[k] sits right of ops[k].
+    let mut atoms = vec![dim0];
+    let mut ops = Vec::new();
+    let mut start = start0;
+    while let Some(k) = start.checked_sub(1) {
+        let c = match &tokens[k].tok {
+            Tok::Op("*") => '*',
+            Tok::Op("/") => '/',
+            _ => break,
+        };
+        let (d, _, s) = left_atom(tokens, k, resolve, algebra)?;
+        atoms.push(d);
+        ops.push(c);
+        start = s;
+    }
+    let folded = atoms.len() > 1;
+    // Fold left-associatively from the leftmost atom.
+    let mut dim = atoms.pop()?;
+    while let (Some(c), Some(d)) = (ops.pop(), atoms.pop()) {
+        dim = algebra.combine(&dim, c, &d)?.to_owned();
+    }
+    let display = if folded { format!("…*{name0}") } else { name0 };
+    Some((dim, display))
+}
+
+/// Resolves the full right operand of the operator at `i`. For `+`/`-` the
+/// forward multiplicative chain is folded (`c + a * b` adds `(a * b)`);
+/// for `*`/`/` the operand is the single next atom (left associativity
+/// makes the continuation the next operator's problem).
+fn right_operand(
+    tokens: &[Token],
+    i: usize,
+    op: char,
+    resolve: &dyn Fn(&str) -> Option<String>,
+    algebra: &UnitAlgebra,
+) -> Option<(String, String)> {
+    let (mut dim, name0, mut end) = right_atom(tokens, i, resolve, algebra)?;
+    let mut folded = false;
+    if matches!(op, '+' | '-') {
+        while let Some(t) = tokens.get(end + 1) {
+            let c = match &t.tok {
+                Tok::Op("*") => '*',
+                Tok::Op("/") => '/',
+                _ => break,
+            };
+            let (d, _, e) = right_atom(tokens, end + 1, resolve, algebra)?;
+            dim = algebra.combine(&dim, c, &d)?.to_owned();
+            end = e;
+            folded = true;
+        }
+    }
+    let display = if folded { format!("{name0}*…") } else { name0 };
+    Some((dim, display))
+}
+
+/// Resolves the operand ending at `i - 1`.
+/// Returns `(dimension, display, start index)`.
+fn left_atom(
+    tokens: &[Token],
+    i: usize,
+    resolve: &dyn Fn(&str) -> Option<String>,
+    algebra: &UnitAlgebra,
+) -> Option<(String, String, usize)> {
+    let last = i.checked_sub(1)?;
+    match &tokens[last].tok {
+        Tok::Num(n) => Some((SCALAR.to_owned(), n.clone(), last)),
+        Tok::Ident(name) => {
+            // Skip field accesses (`x.y`) and path tails (`A::y`).
+            if last >= 1 && matches!(tokens[last - 1].tok, Tok::Op("." | "::")) {
+                return None;
+            }
+            resolve(name).map(|u| (u, name.clone(), last))
+        }
+        Tok::Op(")") => {
+            // `….get()` off a resolvable name, or `U::new(…)` / a parenthesized
+            // expression we do not attempt to type.
+            let open = matching_open(tokens, last)?;
+            // x.get() — tokens: [Ident x][.][get][(][)]
+            if open >= 3
+                && tokens[open - 1].is_ident("get")
+                && tokens[open - 2].is_op(".")
+            {
+                if let Some(name) = tokens[open - 3].ident() {
+                    if open >= 4 && matches!(tokens[open - 4].tok, Tok::Op("." | "::")) {
+                        return None;
+                    }
+                    return resolve(name).map(|u| (u, format!("{name}.get()"), open - 3));
+                }
+                return None;
+            }
+            // U::new(…) / U::from_*(…)
+            if open >= 3 && tokens[open - 2].is_op("::") {
+                if let (Some(unit), Some(_ctor)) =
+                    (tokens[open - 3].ident(), tokens[open - 1].ident())
+                {
+                    if algebra.is_unit(unit) {
+                        return Some((unit.to_owned(), format!("{unit}::…"), open - 3));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Resolves the operand starting at `i + 1`.
+/// Returns `(dimension, display, end index)`.
+fn right_atom(
+    tokens: &[Token],
+    i: usize,
+    resolve: &dyn Fn(&str) -> Option<String>,
+    algebra: &UnitAlgebra,
+) -> Option<(String, String, usize)> {
+    let first = tokens.get(i + 1)?;
+    match &first.tok {
+        Tok::Num(n) => {
+            // A bare literal is scalar unless it is a method-call receiver.
+            if tokens.get(i + 2).is_some_and(|t| t.is_op(".")) {
+                return None;
+            }
+            Some((SCALAR.to_owned(), n.clone(), i + 1))
+        }
+        Tok::Ident(name) => {
+            match tokens.get(i + 2).map(|t| &t.tok) {
+                // `name(` is a call, `name::` a path — except `U::new(…)`.
+                Some(Tok::Op("(")) => None,
+                Some(Tok::Op("::")) => {
+                    let ctor = tokens.get(i + 3)?.ident()?;
+                    if algebra.is_unit(name) {
+                        if ctor == "ZERO" {
+                            return Some((name.clone(), format!("{name}::{ctor}"), i + 3));
+                        }
+                        if tokens.get(i + 4)?.is_op("(") {
+                            let close = lexer::matching_close(tokens, i + 4)?;
+                            return Some((name.clone(), format!("{name}::{ctor}"), close));
+                        }
+                    }
+                    None
+                }
+                // `name.get()` stays the name's dimension; any other method
+                // or field access is unresolved.
+                Some(Tok::Op(".")) => {
+                    if tokens.get(i + 3).is_some_and(|t| t.is_ident("get"))
+                        && tokens.get(i + 4).is_some_and(|t| t.is_op("("))
+                        && tokens.get(i + 5).is_some_and(|t| t.is_op(")"))
+                    {
+                        resolve(name).map(|u| (u, format!("{name}.get()"), i + 5))
+                    } else {
+                        None
+                    }
+                }
+                _ => resolve(name).map(|u| (u, name.clone(), i + 1)),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Finds the opening bracket matching the closer at `close`.
+fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for k in (0..=close).rev() {
+        match tokens[k].tok {
+            Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth += 1,
+            Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Builds the per-file dimension table from annotations and initializers.
+fn build_table(tokens: &[Token], algebra: &UnitAlgebra) -> BTreeMap<String, Dim> {
+    let mut table: BTreeMap<String, Dim> = BTreeMap::new();
+    let mut observe = |name: &str, unit: Option<&str>| match (table.get(name), unit) {
+        (None, Some(u)) => {
+            table.insert(name.to_owned(), Dim::Known(u.to_owned()));
+        }
+        (Some(Dim::Known(prev)), Some(u)) if prev == u => {}
+        (Some(_), _) => {
+            table.insert(name.to_owned(), Dim::Conflicted);
+        }
+        (None, None) => {}
+    };
+
+    // Annotations: `name : [&][mut] [path::]Type` — params, lets, struct
+    // fields alike. A non-unit annotation conflicts the name out.
+    for i in 0..tokens.len() {
+        if !tokens[i].is_op(":") {
+            continue;
+        }
+        let Some(name) = i
+            .checked_sub(1)
+            .and_then(|k| tokens.get(k))
+            .and_then(Token::ident)
+        else {
+            continue;
+        };
+        // Only lowercase binding-style names; type names / enum variants in
+        // struct patterns are not bindings.
+        if !name.starts_with(|c: char| c.is_ascii_lowercase() || c == '_') {
+            continue;
+        }
+        let mut k = i + 1;
+        while tokens
+            .get(k)
+            .is_some_and(|t| t.is_op("&") || t.is_ident("mut") || matches!(t.tok, Tok::Lifetime(_)))
+        {
+            k += 1;
+        }
+        // Walk a path `a::b::C`, keeping the final segment.
+        let mut last_ident: Option<&str> = None;
+        while let Some(t) = tokens.get(k) {
+            match &t.tok {
+                Tok::Ident(s) => {
+                    last_ident = Some(s);
+                    k += 1;
+                }
+                Tok::Op("::") => k += 1,
+                _ => break,
+            }
+        }
+        match last_ident {
+            Some(ty) if algebra.is_unit(ty) => observe(name, Some(ty)),
+            Some(_) => observe(name, None),
+            // `:` followed by punctuation (struct literal value, etc.):
+            // no type information either way.
+            None => {}
+        }
+    }
+
+    // Initializers: `let [mut] name = <expr>` where the expression's
+    // dimension is derivable (`U::new(…)`, `U::ZERO`, `x.get()`, or a
+    // single binary op between two already-resolved atoms).
+    for i in 0..tokens.len() {
+        if !tokens[i].is_ident("let") {
+            continue;
+        }
+        let mut k = i + 1;
+        if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        let Some(name) = tokens.get(k).and_then(Token::ident) else {
+            continue;
+        };
+        // Skip annotated lets (handled above) and pattern lets.
+        if !tokens.get(k + 1).is_some_and(|t| t.is_op("=")) {
+            continue;
+        }
+        let resolve = |n: &str| -> Option<String> {
+            match table.get(n) {
+                Some(Dim::Known(u)) => Some(u.clone()),
+                _ => None,
+            }
+        };
+        if let Some(dim) = initializer_dim(&tokens[k + 2..], &resolve, algebra) {
+            match (table.get(name), &dim) {
+                (None, d) => {
+                    table.insert(name.to_owned(), Dim::Known(d.clone()));
+                }
+                (Some(Dim::Known(prev)), d) if prev == d => {}
+                _ => {
+                    table.insert(name.to_owned(), Dim::Conflicted);
+                }
+            }
+        }
+    }
+    table
+}
+
+/// Derives the dimension of a `let` initializer when it is one of the
+/// simple shapes the pass understands. `rest` starts after the `=`.
+fn initializer_dim(
+    rest: &[Token],
+    resolve: &dyn Fn(&str) -> Option<String>,
+    algebra: &UnitAlgebra,
+) -> Option<String> {
+    let first = rest.first()?;
+    let name = first.ident()?;
+    // `U::new(…)` / `U::ZERO`
+    if algebra.is_unit(name) && rest.get(1).is_some_and(|t| t.is_op("::")) {
+        let ctor = rest.get(2)?.ident()?;
+        if ctor == "ZERO" || ctor == "new" || ctor.starts_with("from_") {
+            return Some(name.to_owned());
+        }
+        return None;
+    }
+    // `x.get()` — laundered but tracked.
+    if rest.get(1).is_some_and(|t| t.is_op("."))
+        && rest.get(2).is_some_and(|t| t.is_ident("get"))
+        && rest.get(3).is_some_and(|t| t.is_op("("))
+        && rest.get(4).is_some_and(|t| t.is_op(")"))
+    {
+        let after = rest.get(5)?;
+        // Only a terminated statement or a single following binary op.
+        if after.is_op(";") {
+            return resolve(name);
+        }
+        if let Some(op) = arith_op_char(after) {
+            let lhs = resolve(name)?;
+            let (rhs, _, _) = right_atom(rest, 5, resolve, algebra)?;
+            return algebra.combine(&lhs, op, &rhs).map(str::to_owned);
+        }
+        return None;
+    }
+    // `a <op> b ;` between two resolved atoms.
+    if let Some(op_tok) = rest.get(1) {
+        if let Some(op) = arith_op_char(op_tok) {
+            let lhs = resolve(name)?;
+            let (rhs, _, _) = right_atom(rest, 1, resolve, algebra)?;
+            if rest.get(3).is_some_and(|t| t.is_op(";"))
+                || (rest.get(3).is_some_and(|t| t.is_op("."))
+                    && rest.get(4).is_some_and(|t| t.is_ident("get")))
+            {
+                return algebra.combine(&lhs, op, &rhs).map(str::to_owned);
+            }
+            return None;
+        }
+        if op_tok.is_op(";") {
+            // Alias: `let y = x;`
+            return resolve(name);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn algebra() -> UnitAlgebra {
+        let src = SourceFile::parse(
+            "crates/pv/src/units.rs",
+            r#"
+quantity!(Volts, "V");
+quantity!(Amps, "A");
+quantity!(Watts, "W");
+impl Mul<Amps> for Volts { type Output = Watts; }
+impl Mul<Volts> for Amps { type Output = Watts; }
+impl Div<Volts> for Watts { type Output = Amps; }
+"#,
+        );
+        UnitAlgebra::from_source(&src)
+    }
+
+    fn findings(text: &str) -> Vec<Violation> {
+        check(&SourceFile::parse("crates/x/src/lib.rs", text), &algebra())
+    }
+
+    #[test]
+    fn cross_unit_add_on_newtypes_is_flagged() {
+        let v = findings("fn f(voltage: Volts, power: Watts) {\n    let _x = voltage + power;\n}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("cross-unit"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn laundered_dimensions_are_still_tracked() {
+        let text = "fn f(voltage: Volts, power: Watts) {\n    let v = voltage.get();\n    let p = power.get();\n    let _bad = v + p;\n}\n";
+        let v = findings(text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Volts"));
+        assert!(v[0].message.contains("Watts"));
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn declared_products_pass() {
+        let text = "fn f(voltage: Volts, current: Amps) {\n    let _p = voltage.get() * current.get();\n    let _q = Volts::new(1.0) * Amps::new(2.0);\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn undeclared_product_is_flagged() {
+        let text = "fn f(voltage: Volts) {\n    let v = voltage.get();\n    let _sq = v * v;\n}\n";
+        let v = findings(text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no declared dimension"));
+    }
+
+    #[test]
+    fn scalar_multiplication_passes() {
+        let text = "fn f(power: Watts) {\n    let _h = power * 0.5;\n    let p = power.get();\n    let _x = p / 60.0;\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn dot_zero_laundering_is_flagged() {
+        let text = "fn f(power: Watts) {\n    let _x = power.0 * 2.0;\n}\n";
+        let v = findings(text);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("launders"));
+    }
+
+    #[test]
+    fn dot_zero_on_untracked_names_passes() {
+        // CoreId-style tuple structs must not trip the launder rule.
+        let text = "fn f(id: CoreId) {\n    let _x = id.0 + 1;\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn conflicting_observations_drop_tracking() {
+        let text = "fn f(x: Volts) {}\nfn g(x: Watts) {\n    let _y = x + x;\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t(voltage: Volts, power: Watts) { let _ = voltage + power; }\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn unary_minus_is_not_binary() {
+        let text = "fn f(power: Watts) -> Watts {\n    -power\n}\n";
+        assert!(findings(text).is_empty());
+    }
+
+    #[test]
+    fn compound_assign_must_preserve_dimension() {
+        let text = "fn f(power: Watts, voltage: Volts) {\n    let mut p = power.get();\n    p += voltage.get();\n}\n";
+        let v = findings(text);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn scope_excludes_units_rs() {
+        assert!(applies_to("crates/pv/src/cell.rs"));
+        assert!(applies_to("crates/solarcore/src/engine.rs"));
+        assert!(!applies_to("crates/pv/src/units.rs"));
+        assert!(!applies_to("xtask/src/main.rs"));
+    }
+}

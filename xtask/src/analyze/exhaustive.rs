@@ -1,0 +1,430 @@
+//! Pass `exhaustive`: state-machine enums must be matched exhaustively,
+//! and every declared state must be reachable.
+//!
+//! The controller/policy enums (`solarcore::controller`,
+//! `solarcore::policy`, `archsim::dvfs`) encode the paper's state machines
+//! — Table 6 policies, the MPPT perturb/observe phases, DVFS level
+//! transitions. A wildcard `_` (or a catch-all binder) arm on one of these
+//! silently absorbs any state added later: the compiler stops pointing at
+//! every `match` that must be taught about the new state, which is exactly
+//! how a new policy ends up simulated with another policy's transition
+//! rule. Two finding kinds:
+//!
+//! * **wildcard arms** — `_ =>` or `name =>` catch-alls in any `match`
+//!   whose arms mention a scoped enum; spell out the variants (`A | B =>`
+//!   keeps the arm shared *and* exhaustive);
+//! * **dead variants** — variants of a scoped enum never referenced by
+//!   path (`Enum::Variant`) anywhere outside their declaration: states the
+//!   simulation can never enter.
+
+use std::path::Path;
+
+use crate::lint::source::SourceFile;
+use crate::lint::Violation;
+
+use super::lexer::{self, Tok, Token};
+
+/// Pass name used in waivers and reports.
+pub const PASS: &str = "exhaustive";
+
+/// The modules whose enums are treated as state machines.
+const SCOPED_FILES: &[&str] = &[
+    "crates/solarcore/src/controller.rs",
+    "crates/solarcore/src/policy.rs",
+    "crates/archsim/src/dvfs.rs",
+];
+
+/// Scope: matches anywhere in crate code can dispatch on a scoped enum.
+pub fn applies_to(path: &str) -> bool {
+    path.starts_with("crates/")
+}
+
+/// One learned state-machine enum.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Enum name (`Policy`).
+    pub name: String,
+    /// Declaring file, workspace-relative.
+    pub path: String,
+    /// `(variant name, declaration line)`.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// The learned set of scoped enums.
+#[derive(Debug, Default)]
+pub struct Enums {
+    /// All enums found in the scoped files.
+    pub defs: Vec<EnumDef>,
+}
+
+impl Enums {
+    /// Learns enum definitions from the scoped state-machine modules.
+    /// Missing files are skipped (a module may not exist yet).
+    pub fn learn(root: &Path) -> Result<Self, String> {
+        let mut defs = Vec::new();
+        for rel in SCOPED_FILES {
+            let path = root.join(rel);
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+            };
+            let src = SourceFile::parse(rel, &text);
+            defs.extend(enums_in(&src));
+        }
+        Ok(Self { defs })
+    }
+
+    /// `true` if `name` is a scoped state-machine enum.
+    pub fn is_scoped(&self, name: &str) -> bool {
+        self.defs.iter().any(|d| d.name == name)
+    }
+}
+
+/// Extracts every `enum Name { Variant, … }` item from one file.
+pub fn enums_in(src: &SourceFile) -> Vec<EnumDef> {
+    let tokens = lexer::lex(src);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("enum") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        // Skip generics, find the body brace.
+        let Some(open) = tokens[i..]
+            .iter()
+            .position(|t| t.is_op("{"))
+            .map(|k| i + k)
+        else {
+            break;
+        };
+        let Some(close) = lexer::matching_close(&tokens, open) else {
+            break;
+        };
+        let mut variants = Vec::new();
+        let mut depth = 0i32;
+        let mut expect_variant = true;
+        for t in &tokens[open + 1..close] {
+            match &t.tok {
+                Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+                Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth -= 1,
+                Tok::Op(",") if depth == 0 => expect_variant = true,
+                // `#[...]` attributes between variants keep expectation.
+                Tok::Op("#") | Tok::Op("=") => {}
+                Tok::Ident(v) if depth == 0 && expect_variant => {
+                    if v.starts_with(char::is_uppercase) {
+                        variants.push((v.clone(), t.line));
+                    }
+                    expect_variant = false;
+                }
+                _ => {}
+            }
+        }
+        if !variants.is_empty() {
+            out.push(EnumDef {
+                name: name.to_owned(),
+                path: src.path.clone(),
+                variants,
+            });
+        }
+        i = close + 1;
+    }
+    out
+}
+
+/// Flags wildcard/catch-all arms in matches that dispatch on a scoped enum.
+pub fn check(src: &SourceFile, enums: &Enums) -> Vec<Violation> {
+    let tokens = lexer::lex(src);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // The match body is the first `{` after the scrutinee at bracket
+        // depth 0 (struct literals cannot appear bare in a scrutinee).
+        let mut depth = 0i32;
+        let mut open = None;
+        for (k, t) in tokens.iter().enumerate().skip(i + 1) {
+            match &t.tok {
+                Tok::Op("(") | Tok::Op("[") => depth += 1,
+                Tok::Op(")") | Tok::Op("]") => depth -= 1,
+                Tok::Op("{") if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Op("{") => depth += 1,
+                Tok::Op("}") => depth -= 1,
+                _ => {}
+            }
+        }
+        let Some(open) = open else {
+            i += 1;
+            continue;
+        };
+        let Some(close) = lexer::matching_close(&tokens, open) else {
+            i += 1;
+            continue;
+        };
+        let body = &tokens[open + 1..close];
+        let patterns = arm_patterns(body);
+        // The match dispatches on a scoped enum iff some arm *pattern*
+        // mentions `Enum::Variant` (arm values constructing the enum do
+        // not count — `match s { "ic" => Policy::MpptIc, _ => … }` is a
+        // match over a string, not the enum).
+        let dispatched = patterns.iter().find_map(|&(s, e)| {
+            body[s..e].iter().enumerate().find_map(|(k, t)| {
+                t.ident()
+                    .filter(|n| enums.is_scoped(n))
+                    .filter(|_| body[s..e].get(k + 1).is_some_and(|t| t.is_op("::")))
+                    .map(str::to_owned)
+            })
+        });
+        if let Some(enum_name) = dispatched {
+            for &(s, e) in &patterns {
+                flag_catchall(src, &body[s..e], &enum_name, &mut out);
+            }
+        }
+        // Nested matches inside arm bodies get their own visit.
+        i += 1;
+    }
+    out
+}
+
+/// Splits a match body into arm pattern spans: `(start, arrow)` token
+/// ranges, exclusive of the `=>`.
+fn arm_patterns(body: &[Token]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut in_value = false;
+    for (k, t) in body.iter().enumerate() {
+        match &t.tok {
+            Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+            Tok::Op(")") | Tok::Op("]") => depth -= 1,
+            Tok::Op("}") => {
+                depth -= 1;
+                // A block arm value closing back to arm depth ends the arm
+                // even without a trailing comma.
+                if depth == 0 && in_value {
+                    in_value = false;
+                    start = k + 1;
+                }
+            }
+            Tok::Op(",") if depth == 0 => {
+                if in_value {
+                    in_value = false;
+                }
+                start = k + 1;
+            }
+            Tok::Op("=>") if depth == 0 && !in_value => {
+                out.push((start, k));
+                in_value = true;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Flags one arm pattern if it is a bare `_` or a single-binder catch-all.
+fn flag_catchall(src: &SourceFile, pattern: &[Token], enum_name: &str, out: &mut Vec<Violation>) {
+    let [only] = pattern else { return };
+    if only.is_op("_") {
+        out.push(Violation {
+            pass: PASS,
+            path: src.path.clone(),
+            line: only.line,
+            message: format!(
+                "wildcard `_` arm on state-machine enum `{enum_name}`: list the \
+                 variants (`A | B =>`) so new states fail to compile here \
+                 (or mark `// lint:allow(exhaustive): <reason>`)"
+            ),
+        });
+    } else if let Some(name) = only.ident() {
+        if name.starts_with(char::is_lowercase) && !is_keyword_pattern(name) {
+            out.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line: only.line,
+                message: format!(
+                    "catch-all binder `{name} =>` on state-machine enum \
+                     `{enum_name}`: list the variants so new states fail to \
+                     compile here (or mark `// lint:allow(exhaustive): <reason>`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Pattern words that look like binders but are not catch-alls.
+fn is_keyword_pattern(name: &str) -> bool {
+    matches!(name, "true" | "false")
+}
+
+/// Records which `Enum::Variant` paths `src` mentions (for dead-variant
+/// accounting); declaration lines inside the declaring file are excluded
+/// by the caller comparing paths.
+pub fn mentions(src: &SourceFile, enums: &Enums) -> Vec<(String, String)> {
+    let tokens = lexer::lex(src);
+    let mut out = Vec::new();
+    for k in 0..tokens.len().saturating_sub(2) {
+        let Some(name) = tokens[k].ident() else {
+            continue;
+        };
+        if !enums.is_scoped(name) || !tokens[k + 1].is_op("::") {
+            continue;
+        }
+        if let Some(variant) = tokens[k + 2].ident() {
+            if variant.starts_with(char::is_uppercase) {
+                out.push((name.to_owned(), variant.to_owned()));
+            }
+        }
+    }
+    out
+}
+
+/// Emits a violation for every variant never mentioned outside its
+/// declaring file. `mentioned` is the union of [`mentions`] over every
+/// file except each enum's own declaration file.
+pub fn dead_variants(enums: &Enums, mentioned: &[(String, String)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for def in &enums.defs {
+        for (variant, line) in &def.variants {
+            let used = mentioned
+                .iter()
+                .any(|(e, v)| e == &def.name && v == variant);
+            if !used {
+                out.push(Violation {
+                    pass: PASS,
+                    path: def.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "dead state: `{}::{variant}` is never referenced outside its \
+                         declaration — the simulation can never enter it \
+                         (or mark `// lint:allow(exhaustive): <reason>`)",
+                        def.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scoped() -> Enums {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/policy.rs",
+            "pub enum Policy {\n    FixedPower(Watts),\n    MpptIc,\n    MpptRr,\n}\n",
+        );
+        Enums { defs: enums_in(&src) }
+    }
+
+    #[test]
+    fn enum_variants_are_learned() {
+        let e = scoped();
+        assert_eq!(e.defs.len(), 1);
+        assert_eq!(e.defs[0].name, "Policy");
+        let names: Vec<&str> = e.defs[0].variants.iter().map(|(v, _)| v.as_str()).collect();
+        assert_eq!(names, ["FixedPower", "MpptIc", "MpptRr"]);
+    }
+
+    #[test]
+    fn tuple_payloads_do_not_become_variants() {
+        let src = SourceFile::parse(
+            "crates/archsim/src/dvfs.rs",
+            "enum Mode {\n    Auto(VfLevel, Watts),\n    Manual { level: VfLevel },\n}\n",
+        );
+        let defs = enums_in(&src);
+        let names: Vec<&str> = defs[0].variants.iter().map(|(v, _)| v.as_str()).collect();
+        assert_eq!(names, ["Auto", "Manual"]);
+    }
+
+    #[test]
+    fn wildcard_arm_on_scoped_enum_is_flagged() {
+        let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::MpptIc => 1,\n        _ => 0,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn binder_catchall_is_flagged() {
+        let text = "fn f(p: &Policy) {\n    match p {\n        Policy::FixedPower(w) => drop(w),\n        other => drop(other),\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/solarcore/src/policy.rs", text), &scoped());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("catch-all binder `other =>`"));
+    }
+
+    #[test]
+    fn exhaustive_match_passes() {
+        let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::FixedPower(_) => 0,\n        Policy::MpptIc | Policy::MpptRr => 1,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wildcards_on_unscoped_matches_pass() {
+        let text = "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/bench/src/grid.rs", text), &scoped());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn guards_and_payload_binders_are_not_catchalls() {
+        let text = "fn f(p: Policy, n: u32) -> u32 {\n    match p {\n        Policy::FixedPower(w) if n > 0 => 1,\n        Policy::MpptIc => 2,\n        Policy::MpptRr => 3,\n        Policy::FixedPower(_) => 4,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn arm_values_constructing_the_enum_do_not_scope_the_match() {
+        // A match over a *string* that builds Policy values: its `_` arm
+        // is fine — the compiler cannot exhaust strings.
+        let text = "fn f(s: &str) -> Policy {\n    match s {\n        \"ic\" => Policy::MpptIc,\n        _ => Policy::MpptRr,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/bench/src/args.rs", text), &scoped());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn block_arm_values_do_not_break_arm_splitting() {
+        let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::FixedPower(_) => {\n            let x = 1;\n            x\n        }\n        _ => 0,\n    }\n}\n";
+        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("wildcard"));
+    }
+
+    #[test]
+    fn dead_variant_is_reported_and_used_one_is_not() {
+        let e = scoped();
+        let mentioned = vec![
+            ("Policy".to_owned(), "FixedPower".to_owned()),
+            ("Policy".to_owned(), "MpptIc".to_owned()),
+        ];
+        let v = dead_variants(&e, &mentioned);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("Policy::MpptRr"));
+        assert_eq!(v[0].path, "crates/solarcore/src/policy.rs");
+    }
+
+    #[test]
+    fn mentions_collects_enum_variant_paths() {
+        let src = SourceFile::parse(
+            "crates/bench/src/grid.rs",
+            "fn f() { let p = Policy::MpptRr; let q = Other::Thing; }\n",
+        );
+        let m = mentions(&src, &scoped());
+        assert_eq!(m, vec![("Policy".to_owned(), "MpptRr".to_owned())]);
+    }
+}

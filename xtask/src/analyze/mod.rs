@@ -1,0 +1,162 @@
+//! `cargo xtask analyze`: token-level static analysis the compiler cannot
+//! do for us (ISSUE 2).
+//!
+//! Three passes run over every crate source, experiment binaries included:
+//!
+//! * [`dims`] — dimensional analysis: learns the unit algebra from
+//!   `crates/pv/src/units.rs` and shadows it through arithmetic, catching
+//!   cross-unit `+`/`-`, undeclared product dimensions, and `.0` unit
+//!   laundering even after values pass through raw `f64` locals;
+//! * [`determinism`] — hash-ordered iteration, ambient randomness/time,
+//!   and completion-order reductions that would break bitwise
+//!   reproducibility of the day simulations;
+//! * [`exhaustive`] — wildcard/catch-all arms on the state-machine enums
+//!   of `solarcore::{controller,policy}` and `archsim::dvfs`, plus
+//!   dead (never-referenced) states.
+//!
+//! Findings use the same waiver machinery as `cargo xtask lint`: inline
+//! `// lint:allow(<pass>): <reason>` markers and `xtask/lint-allow.txt`
+//! path prefixes — and like lint, an unused waiver is itself an error.
+
+pub mod determinism;
+pub mod dims;
+pub mod exhaustive;
+pub mod lexer;
+pub mod units;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lint::source::SourceFile;
+use crate::lint::{self, Report, Violation};
+
+/// The passes `cargo xtask analyze` runs; scopes unused-waiver accounting.
+pub const PASSES: &[&str] = &[dims::PASS, determinism::PASS, exhaustive::PASS];
+
+/// Runs the three analysis passes over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<Report, String> {
+    let mut allow = lint::Allowlist::load(root)?;
+    let algebra = units::UnitAlgebra::learn(root)?;
+    if algebra.unit_count() == 0 {
+        return Err("no unit newtypes learned from crates/pv/src/units.rs — dimensional \
+                    analysis would be vacuous"
+            .to_owned());
+    }
+    let enums = exhaustive::Enums::learn(root)?;
+    let mut report = Report::default();
+
+    let files = collect_sources(root)?;
+    report.files_scanned = files.len();
+
+    // Two-stage run: per-file findings are buffered so the whole-workspace
+    // dead-variant pass can append to the declaring files before waiver
+    // accounting (a waiver for a dead state must count as used).
+    let mut buffered: Vec<(SourceFile, Vec<Violation>)> = Vec::new();
+    let mut mentioned: Vec<(String, String)> = Vec::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let src = SourceFile::parse(&rel, &text);
+
+        let mut findings = Vec::new();
+        if dims::applies_to(&rel) {
+            findings.extend(dims::check(&src, &algebra));
+        }
+        if determinism::applies_to(&rel) {
+            findings.extend(determinism::check(&src));
+        }
+        if exhaustive::applies_to(&rel) {
+            findings.extend(exhaustive::check(&src, &enums));
+            for (e, v) in exhaustive::mentions(&src, &enums) {
+                let declared_here = enums
+                    .defs
+                    .iter()
+                    .any(|d| d.name == e && d.path == rel);
+                if !declared_here {
+                    mentioned.push((e, v));
+                }
+            }
+        }
+        buffered.push((src, findings));
+    }
+
+    for dead in exhaustive::dead_variants(&enums, &mentioned) {
+        if let Some((_, findings)) = buffered.iter_mut().find(|(s, _)| s.path == dead.path) {
+            findings.push(dead);
+        } else {
+            report.violations.push(dead);
+        }
+    }
+
+    for (src, findings) in buffered {
+        lint::apply_file_waivers(&mut allow, &src, findings, PASSES, &mut report);
+    }
+    report.violations.extend(allow.unused(PASSES));
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(report)
+}
+
+/// Collects every `.rs` under `crates/*/src` — unlike lint, the experiment
+/// binaries are included: their serialized output is exactly what the
+/// determinism pass protects.
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let crates = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+    for entry in crates.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// End-to-end: the analyzer must run clean on the real workspace —
+    /// this is the same gate `ci.sh` enforces.
+    #[test]
+    fn workspace_analyzes_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap();
+        let report = run(root).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "analyze found {} violation(s):\n{}",
+            report.violations.len(),
+            report
+                .violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.files_scanned > 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Learns the workspace's physical-unit vocabulary and dimensional algebra
+//! from `crates/pv/src/units.rs` — no hardcoded unit list, so adding a new
+//! quantity or operator impl there automatically teaches the analyzer.
+//!
+//! Two sources of truth are read:
+//!
+//! * `quantity!( … Name, "unit" )` invocations declare the newtypes and
+//!   imply the macro-generated rules (`U + U = U`, `U * f64 = U`,
+//!   `U / U = f64`, …);
+//! * explicit `impl Mul<Rhs> for Lhs { type Output = Out; … }` (and `Div`)
+//!   blocks declare the cross-unit products (`Volts * Amps = Watts`, …).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::lint::source::SourceFile;
+
+use super::lexer::{self, Token};
+
+/// The scalar pseudo-unit: plain `f64`.
+pub const SCALAR: &str = "f64";
+
+/// The learned dimensional system.
+#[derive(Debug, Default)]
+pub struct UnitAlgebra {
+    /// Declared quantity newtypes (`Volts`, `Watts`, …).
+    units: BTreeSet<String>,
+    /// `(lhs, op, rhs) → output` for `*` and `/`; `+`/`-` are implicit
+    /// (same-unit only).
+    products: BTreeMap<(String, char, String), String>,
+}
+
+impl UnitAlgebra {
+    /// Learns the algebra from the workspace's unit-definition file.
+    pub fn learn(root: &Path) -> Result<Self, String> {
+        let path = root.join("crates/pv/src/units.rs");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let src = SourceFile::parse("crates/pv/src/units.rs", &text);
+        Ok(Self::from_source(&src))
+    }
+
+    /// Learns the algebra from an already-parsed source file.
+    pub fn from_source(src: &SourceFile) -> Self {
+        let tokens = lexer::lex(src);
+        let mut algebra = UnitAlgebra::default();
+        algebra.learn_quantities(&tokens);
+        algebra.learn_impls(&tokens);
+        algebra.seed_macro_rules();
+        algebra
+    }
+
+    /// `true` if `name` is a declared quantity newtype.
+    pub fn is_unit(&self, name: &str) -> bool {
+        self.units.contains(name)
+    }
+
+    /// Number of declared quantity newtypes.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The result dimension of `lhs op rhs`, if the combination is declared.
+    /// `op` is one of `+ - * /`. Returns `None` for undeclared dimensions.
+    pub fn combine(&self, lhs: &str, op: char, rhs: &str) -> Option<&str> {
+        match op {
+            '+' | '-' => {
+                if lhs != rhs {
+                    None
+                } else if lhs == SCALAR {
+                    Some(SCALAR)
+                } else {
+                    self.units.get(lhs).map(String::as_str)
+                }
+            }
+            '*' | '/' => self
+                .products
+                .get(&(lhs.to_owned(), op, rhs.to_owned()))
+                .map(String::as_str),
+            _ => None,
+        }
+    }
+
+    /// Every `quantity!( … Name, … )` invocation: the declared name is the
+    /// first uppercase-initial identifier inside the invocation (doc
+    /// comments and the unit string are masked away).
+    fn learn_quantities(&mut self, tokens: &[Token]) {
+        let mut i = 0;
+        while i + 2 < tokens.len() {
+            if tokens[i].is_ident("quantity") && tokens[i + 1].is_op("!") {
+                if let Some(close) = lexer::matching_close(tokens, i + 2) {
+                    if let Some(name) = tokens[i + 3..close].iter().find_map(|t| {
+                        t.ident()
+                            .filter(|s| s.starts_with(char::is_uppercase))
+                            .map(str::to_owned)
+                    }) {
+                        self.units.insert(name);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Explicit `impl Mul<Rhs> for Lhs { type Output = Out; … }` blocks.
+    fn learn_impls(&mut self, tokens: &[Token]) {
+        let mut i = 0;
+        while i < tokens.len() {
+            if !tokens[i].is_ident("impl") {
+                i += 1;
+                continue;
+            }
+            // impl <Trait> '<' Rhs '>' for Lhs '{'
+            let Some(trait_tok) = tokens.get(i + 1) else {
+                break;
+            };
+            let op = match trait_tok.ident() {
+                Some("Mul") => '*',
+                Some("Div") => '/',
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if !tokens.get(i + 2).is_some_and(|t| t.is_op("<")) {
+                i += 1;
+                continue;
+            }
+            let rhs = tokens.get(i + 3).and_then(Token::ident).map(str::to_owned);
+            let lhs = tokens
+                .iter()
+                .skip(i + 4)
+                .take(4)
+                .skip_while(|t| !t.is_ident("for"))
+                .nth(1)
+                .and_then(Token::ident)
+                .map(str::to_owned);
+            // type Output = Out ;
+            let out = tokens[i..]
+                .windows(4)
+                .take(24)
+                .find(|w| w[0].is_ident("type") && w[1].is_ident("Output") && w[2].is_op("="))
+                .and_then(|w| w[3].ident())
+                .map(str::to_owned);
+            if let (Some(rhs), Some(lhs), Some(out)) = (rhs, lhs, out) {
+                self.products.insert((lhs, op, rhs), out);
+            }
+            i += 1;
+        }
+    }
+
+    /// The rules every `quantity!` expansion provides for each unit `U`:
+    /// `U * f64 = U`, `f64 * U = U`, `U / f64 = U`, `U / U = f64`.
+    fn seed_macro_rules(&mut self) {
+        for u in &self.units {
+            let entries = [
+                ((u.clone(), '*', SCALAR.to_owned()), u.clone()),
+                ((SCALAR.to_owned(), '*', u.clone()), u.clone()),
+                ((u.clone(), '/', SCALAR.to_owned()), u.clone()),
+                ((u.clone(), '/', u.clone()), SCALAR.to_owned()),
+            ];
+            for (k, v) in entries {
+                self.products.entry(k).or_insert(v);
+            }
+        }
+        // Scalars combine freely.
+        self.products
+            .entry((SCALAR.to_owned(), '*', SCALAR.to_owned()))
+            .or_insert_with(|| SCALAR.to_owned());
+        self.products
+            .entry((SCALAR.to_owned(), '/', SCALAR.to_owned()))
+            .or_insert_with(|| SCALAR.to_owned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI_UNITS: &str = r#"
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Current.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Power.
+    Watts,
+    "W"
+);
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.get() * rhs.get())
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps::new(self.get() / rhs.get())
+    }
+}
+"#;
+
+    fn mini() -> UnitAlgebra {
+        UnitAlgebra::from_source(&SourceFile::parse("crates/pv/src/units.rs", MINI_UNITS))
+    }
+
+    #[test]
+    fn quantities_are_learned_from_macro_invocations() {
+        let a = mini();
+        assert!(a.is_unit("Volts"));
+        assert!(a.is_unit("Amps"));
+        assert!(a.is_unit("Watts"));
+        assert!(!a.is_unit("Ohms"));
+        assert_eq!(a.unit_count(), 3);
+    }
+
+    #[test]
+    fn cross_unit_products_come_from_impls() {
+        let a = mini();
+        assert_eq!(a.combine("Volts", '*', "Amps"), Some("Watts"));
+        assert_eq!(a.combine("Watts", '/', "Volts"), Some("Amps"));
+        // Not declared: Amps * Volts (the real file declares both ways).
+        assert_eq!(a.combine("Amps", '*', "Volts"), None);
+        assert_eq!(a.combine("Watts", '*', "Watts"), None);
+    }
+
+    #[test]
+    fn macro_rules_are_implied() {
+        let a = mini();
+        assert_eq!(a.combine("Watts", '*', SCALAR), Some("Watts"));
+        assert_eq!(a.combine(SCALAR, '*', "Watts"), Some("Watts"));
+        assert_eq!(a.combine("Watts", '/', "Watts"), Some(SCALAR));
+        assert_eq!(a.combine("Watts", '+', "Watts"), Some("Watts"));
+        assert_eq!(a.combine("Watts", '+', "Volts"), None);
+        assert_eq!(a.combine("Watts", '-', "Amps"), None);
+    }
+
+    #[test]
+    fn real_units_file_learns_the_full_algebra() {
+        // Walk up from the xtask manifest to the workspace root.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let a = UnitAlgebra::learn(&root).unwrap();
+        assert!(a.unit_count() >= 10, "learned {} units", a.unit_count());
+        assert_eq!(a.combine("Volts", '*', "Amps"), Some("Watts"));
+        assert_eq!(a.combine("Amps", '*', "Volts"), Some("Watts"));
+        assert_eq!(a.combine("Watts", '*', "Seconds"), Some("Joules"));
+        assert_eq!(a.combine("Joules", '/', "Seconds"), Some("Watts"));
+        assert_eq!(a.combine("Volts", '/', "Amps"), Some("Ohms"));
+        assert_eq!(a.combine("Watts", '*', "Volts"), None);
+    }
+}

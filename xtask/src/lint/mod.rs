@@ -62,10 +62,26 @@ pub struct Report {
     pub waivers_used: usize,
 }
 
+/// The passes `cargo xtask lint` runs (analyze has its own set); used to
+/// scope unused-waiver accounting so each command only polices its own
+/// markers and allowlist entries.
+pub const PASSES: &[&str] = &["panic", "raw-f64", "cast"];
+
+/// One `<pass> <path-prefix>` allowlist entry, with usage tracking.
+#[derive(Debug)]
+struct AllowEntry {
+    pass: String,
+    prefix: String,
+    /// 1-based line in `lint-allow.txt`.
+    line: usize,
+    /// Set once a finding was suppressed through this entry.
+    used: bool,
+}
+
 /// A parsed `xtask/lint-allow.txt`.
 #[derive(Debug, Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String)>,
+    entries: Vec<AllowEntry>,
 }
 
 impl Allowlist {
@@ -86,7 +102,12 @@ impl Allowlist {
             let mut parts = line.split_whitespace();
             match (parts.next(), parts.next()) {
                 (Some(pass), Some(prefix)) => {
-                    entries.push((pass.to_owned(), prefix.to_owned()));
+                    entries.push(AllowEntry {
+                        pass: pass.to_owned(),
+                        prefix: prefix.to_owned(),
+                        line: n + 1,
+                        used: false,
+                    });
                 }
                 _ => {
                     return Err(format!(
@@ -99,17 +120,99 @@ impl Allowlist {
         Ok(Self { entries })
     }
 
-    /// `true` if `pass` findings in `path` are waived wholesale.
-    pub fn allows(&self, pass: &str, path: &str) -> bool {
+    /// `true` if `pass` findings in `path` are waived wholesale; marks the
+    /// matching entry as used.
+    pub fn allows(&mut self, pass: &str, path: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.pass == pass && path.starts_with(e.prefix.as_str()) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Stale entries for the given pass set: never matched a finding during
+    /// this run, so they allow nothing and must be pruned.
+    pub fn unused(&self, passes: &[&str]) -> Vec<Violation> {
         self.entries
             .iter()
-            .any(|(p, prefix)| p == pass && path.starts_with(prefix.as_str()))
+            .filter(|e| !e.used && passes.contains(&e.pass.as_str()))
+            .map(|e| Violation {
+                pass: "waiver",
+                path: "xtask/lint-allow.txt".to_owned(),
+                line: e.line,
+                message: format!(
+                    "stale allowlist entry `{} {}`: no finding matches it any more — \
+                     remove the line",
+                    e.pass, e.prefix
+                ),
+            })
+            .collect()
+    }
+}
+
+/// Applies both waiver mechanisms to one file's findings, feeding `report`;
+/// also flags reason-less and unused inline markers belonging to `passes`.
+pub fn apply_file_waivers(
+    allow: &mut Allowlist,
+    src: &SourceFile,
+    findings: Vec<Violation>,
+    passes: &[&str],
+    report: &mut Report,
+) {
+    let mut inline_hits: Vec<(usize, &'static str)> = Vec::new();
+    for v in findings {
+        if allow.allows(v.pass, &src.path) {
+            report.waivers_used += 1;
+        } else if src.has_waiver(v.line, v.pass) {
+            report.waivers_used += 1;
+            inline_hits.push((v.line, v.pass));
+        } else {
+            report.violations.push(v);
+        }
+    }
+    for m in src.waiver_markers() {
+        if !passes.contains(&m.pass.as_str()) {
+            continue;
+        }
+        if !m.has_reason {
+            report.violations.push(Violation {
+                pass: "waiver",
+                path: src.path.clone(),
+                line: m.line,
+                message: format!(
+                    "waiver `lint:allow({})` has no reason — write \
+                     `// lint:allow({}): <why>`",
+                    m.pass, m.pass
+                ),
+            });
+            continue;
+        }
+        // A marker covers its own line and, as a comment-only line, the
+        // line below (matching `SourceFile::has_waiver`).
+        let used = inline_hits
+            .iter()
+            .any(|(l, p)| *p == m.pass && (*l == m.line || *l == m.line + 1));
+        if !used {
+            report.violations.push(Violation {
+                pass: "waiver",
+                path: src.path.clone(),
+                line: m.line,
+                message: format!(
+                    "unused waiver `lint:allow({})`: the finding it suppressed no \
+                     longer fires — remove the marker",
+                    m.pass
+                ),
+            });
+        }
     }
 }
 
 /// Runs every pass over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Result<Report, String> {
-    let allow = Allowlist::load(root)?;
+    let mut allow = Allowlist::load(root)?;
     let mut report = Report::default();
 
     let files = collect_sources(root)?;
@@ -136,14 +239,9 @@ pub fn run(root: &Path) -> Result<Report, String> {
             findings.extend(casts::check(&src));
         }
 
-        for v in findings {
-            if allow.allows(v.pass, &rel) || src.has_waiver(v.line, v.pass) {
-                report.waivers_used += 1;
-            } else {
-                report.violations.push(v);
-            }
-        }
+        apply_file_waivers(&mut allow, &src, findings, PASSES, &mut report);
     }
+    report.violations.extend(allow.unused(PASSES));
 
     report
         .violations

@@ -56,6 +56,42 @@ impl SourceFile {
     pub fn is_test_line(&self, line: usize) -> bool {
         self.in_test.get(line.wrapping_sub(1)).copied().unwrap_or(false)
     }
+
+    /// Every inline `lint:allow(<pass>)` marker in the file, for
+    /// unused-waiver accounting.
+    pub fn waiver_markers(&self) -> Vec<WaiverMarker> {
+        const NEEDLE: &str = "lint:allow(";
+        let mut out = Vec::new();
+        for (idx, raw) in self.raw.iter().enumerate() {
+            let mut rest = raw.as_str();
+            while let Some(p) = rest.find(NEEDLE) {
+                let after = &rest[p + NEEDLE.len()..];
+                let Some(end) = after.find(')') else { break };
+                let tail = &after[end + 1..];
+                out.push(WaiverMarker {
+                    line: idx + 1,
+                    pass: after[..end].trim().to_owned(),
+                    has_reason: tail
+                        .trim_start()
+                        .strip_prefix(':')
+                        .is_some_and(|r| !r.trim().is_empty()),
+                });
+                rest = tail;
+            }
+        }
+        out
+    }
+}
+
+/// One inline `// lint:allow(<pass>): <reason>` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverMarker {
+    /// 1-based line the marker sits on.
+    pub line: usize,
+    /// The pass it waives.
+    pub pass: String,
+    /// `true` if a non-empty `: <reason>` follows the marker.
+    pub has_reason: bool,
 }
 
 /// Masks comments, string literals and char literals with spaces, line by
@@ -317,5 +353,16 @@ mod tests {
     fn char_literals_do_not_derail_masking() {
         let src = SourceFile::parse("t.rs", "let c = '\"'; x.unwrap();");
         assert!(src.code[0].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn waiver_markers_are_enumerated_with_reason_state() {
+        let text = "a(); // lint:allow(panic): startup config\nb(); // lint:allow(cast)\nc(); // lint:allow(dim):   \n";
+        let src = SourceFile::parse("t.rs", text);
+        let m = src.waiver_markers();
+        assert_eq!(m.len(), 3);
+        assert_eq!((m[0].line, m[0].pass.as_str(), m[0].has_reason), (1, "panic", true));
+        assert_eq!((m[1].line, m[1].pass.as_str(), m[1].has_reason), (2, "cast", false));
+        assert_eq!((m[2].line, m[2].pass.as_str(), m[2].has_reason), (3, "dim", false));
     }
 }

@@ -5,12 +5,20 @@
 //! * `lint` — repo-specific static-analysis passes the compiler cannot
 //!   express: panic-free library code, unit-newtype discipline on public
 //!   APIs, and unchecked-cast detection in conversion-heavy modules.
-//! * `ci`   — the one-command verification gate: release build, tests,
-//!   clippy with denied warnings, and `lint`.
+//! * `analyze` — token-level analysis passes: dimensional consistency of
+//!   unit arithmetic, determinism hazards (hash ordering, ambient
+//!   time/randomness, completion-order folds), and exhaustiveness/dead
+//!   states of the controller and policy enums.
+//! * `determinism` — dynamic bitwise-reproducibility harness: runs the
+//!   policy-grid day simulations at 1 thread, N threads, and with shuffled
+//!   input order and compares canonical `f64::to_bits` hashes.
+//! * `ci`   — the one-command verification gate, in dependency order:
+//!   lint → clippy → analyze → build → test → determinism.
 //!
-//! Exit status is non-zero when any pass finds a violation, so both
+//! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
 
+mod analyze;
 mod lint;
 
 use std::path::PathBuf;
@@ -20,6 +28,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("analyze") => run_analyze(),
+        Some("determinism") => run_determinism(),
         Some("ci") => run_ci(),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -34,9 +44,11 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <lint | ci>");
-    eprintln!("  lint  run the repo-specific static-analysis passes");
-    eprintln!("  ci    build --release, test, clippy -D warnings, then lint");
+    eprintln!("usage: cargo xtask <lint | analyze | determinism | ci>");
+    eprintln!("  lint         run the repo-specific static-analysis passes");
+    eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
+    eprintln!("  determinism  verify bit-identical day-sim output across thread counts");
+    eprintln!("  ci           lint, clippy, analyze, build, test, determinism");
 }
 
 /// Locates the workspace root (the directory holding the top Cargo.toml).
@@ -47,13 +59,14 @@ fn workspace_root() -> PathBuf {
     dir.parent().map(PathBuf::from).unwrap_or(dir)
 }
 
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    match lint::run(&root) {
+/// Prints a report and converts it to an exit code, shared by the two
+/// static-analysis commands.
+fn finish(command: &str, result: Result<lint::Report, String>) -> ExitCode {
+    match result {
         Ok(report) => {
             if report.violations.is_empty() {
                 println!(
-                    "xtask lint: clean ({} files scanned, {} waivers in effect)",
+                    "xtask {command}: clean ({} files scanned, {} waivers in effect)",
                     report.files_scanned, report.waivers_used
                 );
                 ExitCode::SUCCESS
@@ -62,7 +75,7 @@ fn run_lint() -> ExitCode {
                     eprintln!("{v}");
                 }
                 eprintln!(
-                    "xtask lint: {} violation(s) in {} file(s) scanned",
+                    "xtask {command}: {} violation(s) in {} file(s) scanned",
                     report.violations.len(),
                     report.files_scanned
                 );
@@ -70,7 +83,37 @@ fn run_lint() -> ExitCode {
             }
         }
         Err(err) => {
-            eprintln!("xtask lint: error: {err}");
+            eprintln!("xtask {command}: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    finish("lint", lint::run(&workspace_root()))
+}
+
+fn run_analyze() -> ExitCode {
+    finish("analyze", analyze::run(&workspace_root()))
+}
+
+/// Runs the dynamic reproducibility harness (a bench binary, so xtask does
+/// not link the simulation crates).
+fn run_determinism() -> ExitCode {
+    let root = workspace_root();
+    println!("xtask determinism: running determinism_check (release)");
+    let status = Command::new("cargo")
+        .args(["run", "--release", "-q", "-p", "bench", "--bin", "determinism_check"])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask determinism: divergence detected (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask determinism: could not spawn cargo: {err}");
             ExitCode::FAILURE
         }
     }
@@ -78,33 +121,55 @@ fn run_lint() -> ExitCode {
 
 fn run_ci() -> ExitCode {
     let root = workspace_root();
-    let steps: [(&str, &[&str]); 3] = [
+
+    // Static gates first: they are cheap and fail fast.
+    println!("xtask ci: running xtask lint");
+    if run_lint() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    let clippy: &[&str] = &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"];
+    println!("xtask ci: running cargo {}", clippy.join(" "));
+    if !run_cargo_step(&root, "clippy", clippy) {
+        return ExitCode::FAILURE;
+    }
+
+    println!("xtask ci: running xtask analyze");
+    if run_analyze() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    let build_test: [(&str, &[&str]); 2] = [
         ("build", &["build", "--release", "--workspace"]),
         ("test", &["test", "-q", "--workspace"]),
-        (
-            "clippy",
-            &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"],
-        ),
     ];
-    for (name, args) in steps {
+    for (name, args) in build_test {
         println!("xtask ci: running cargo {}", args.join(" "));
-        let status = Command::new("cargo").args(args).current_dir(&root).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("xtask ci: step `{name}` failed with {s}");
-                return ExitCode::FAILURE;
-            }
-            Err(err) => {
-                eprintln!("xtask ci: could not spawn cargo for `{name}`: {err}");
-                return ExitCode::FAILURE;
-            }
+        if !run_cargo_step(&root, name, args) {
+            return ExitCode::FAILURE;
         }
     }
-    println!("xtask ci: running xtask lint");
-    let code = run_lint();
-    if code == ExitCode::SUCCESS {
-        println!("xtask ci: all gates passed");
+
+    println!("xtask ci: running xtask determinism");
+    if run_determinism() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
     }
-    code
+
+    println!("xtask ci: all gates passed");
+    ExitCode::SUCCESS
+}
+
+/// Spawns one cargo step; `true` on success.
+fn run_cargo_step(root: &std::path::Path, name: &str, args: &[&str]) -> bool {
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask ci: step `{name}` failed with {s}");
+            false
+        }
+        Err(err) => {
+            eprintln!("xtask ci: could not spawn cargo for `{name}`: {err}");
+            false
+        }
+    }
 }
