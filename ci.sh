@@ -2,9 +2,17 @@
 # Full local CI gate, in order: invariant lints (cargo xtask lint),
 # clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
 # determinism / exhaustiveness passes), release build, workspace tests,
-# and the bitwise-reproducibility harness (cargo xtask determinism).
+# the bitwise-reproducibility harness (cargo xtask determinism), and a
+# benchmark smoke run (cargo xtask bench --smoke) that validates every
+# bench target and archives BENCH_pr3.json at the repo root.
 # Exits non-zero on the first failing gate. See DESIGN.md §11 for the
-# invariant catalog and §12 for the static analysis passes.
+# invariant catalog, §12 for the static analysis passes, and §13 for the
+# caching/benchmark layer.
+#
+# Note on proptest regressions: the vendored proptest stub does not read
+# tests/tests/properties.proptest-regressions. The corpus is replayed as
+# explicit tests in tests/tests/regressions.rs (covered by the workspace
+# test step); see DESIGN.md §13 for the workflow when adding a new seed.
 set -eu
 cd "$(dirname "$0")"
 exec cargo xtask ci

@@ -55,5 +55,85 @@ fn bench_day_by_weather(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_day_by_policy, bench_day_by_weather);
+/// The cold-vs-warm comparison behind the PR's headline speedup claim:
+///
+/// * `uncached` — solver memo disabled, trace regenerated per run: the
+///   pre-caching engine, every I-V solve cold.
+/// * `cached_cold` — memo enabled but rebuilt per run (`run()` prepares a
+///   fresh setup each call): measures the intra-run hit rate alone.
+/// * `warm` — one prepared [`solarcore::SimSetup`] reused across runs:
+///   trace decode amortized and the memo saturated, the steady state of a
+///   batched sweep.
+///
+/// All three produce bit-identical `DayResult`s (asserted in
+/// `tests/determinism.rs`); only the wall clock differs.
+fn bench_day_cache_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_sim_cache");
+    group.sample_size(10);
+    let build = |cache: bool| {
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .solver_cache(cache)
+            .build()
+            .expect("valid config")
+    };
+    group.bench_function("uncached", |b| {
+        let sim = build(false);
+        b.iter(|| sim.run())
+    });
+    group.bench_function("cached_cold", |b| {
+        let sim = build(true);
+        b.iter(|| sim.run())
+    });
+    group.bench_function("warm", |b| {
+        let sim = build(true);
+        let setup = sim.prepare();
+        b.iter(|| sim.run_prepared(&setup))
+    });
+    group.finish();
+}
+
+/// One three-policy batch over a shared setup vs. three standalone runs —
+/// the amortization the policy grid exercises per cell.
+fn bench_policy_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_sim_batch");
+    group.sample_size(10);
+    let policies = [Policy::MpptIc, Policy::MpptRr, Policy::MpptOpt];
+    group.bench_function("three_policies_batched", |b| {
+        let batch = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .build_batch(&policies)
+            .expect("valid config");
+        b.iter(|| batch.run_all())
+    });
+    group.bench_function("three_policies_standalone", |b| {
+        let sims: Vec<DaySimulation> = policies
+            .iter()
+            .map(|&p| {
+                DaySimulation::builder()
+                    .site(Site::phoenix_az())
+                    .season(Season::Jan)
+                    .mix(Mix::hm2())
+                    .policy(p)
+                    .build()
+                    .expect("valid config")
+            })
+            .collect();
+        b.iter(|| sims.iter().map(DaySimulation::run).collect::<Vec<_>>())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_day_by_policy,
+    bench_day_by_weather,
+    bench_day_cache_modes,
+    bench_policy_batch
+);
 criterion_main!(benches);

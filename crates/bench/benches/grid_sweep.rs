@@ -1,0 +1,28 @@
+//! Policy-grid sweep throughput: one `(site, season, mix, day)` cell is
+//! three batched day simulations plus the two battery baselines — the unit
+//! of work `parallel_map` distributes in the full evaluation sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::grid::{GridConfig, PolicyGrid};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+fn bench_grid_cell(c: &mut Criterion) {
+    let config = GridConfig {
+        sites: vec![Site::phoenix_az()],
+        seasons: vec![Season::Jan],
+        mixes: vec![Mix::hm2()],
+        days: 1,
+        threads: 1,
+    };
+    let mut group = c.benchmark_group("grid");
+    group.sample_size(10);
+    group.bench_function("one_cell_serial", |b| {
+        b.iter(|| PolicyGrid::compute(&config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_cell);
+criterion_main!(benches);

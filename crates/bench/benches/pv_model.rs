@@ -5,7 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use pv::units::{Celsius, Irradiance, Volts};
-use pv::{CellEnv, Datasheet, IvCurve, PvModule};
+use pv::{ArrayCache, CachedArray, CellEnv, Datasheet, IvCurve, PvArray, PvGenerator, PvModule};
 
 fn bench_current_solve(c: &mut Criterion) {
     let module = PvModule::bp3180n();
@@ -41,11 +41,64 @@ fn bench_datasheet_fit(c: &mut Criterion) {
     });
 }
 
+/// Coefficient hoisting: a [`pv::ModuleSolver`] held across an I-V sweep
+/// resolves `Iph`/`I0`/`n·Vt` once, vs. `current_at` resolving per call.
+fn bench_warm_solver_sweep(c: &mut Criterion) {
+    let module = PvModule::bp3180n();
+    let env = CellEnv::new(Irradiance::new(850.0), Celsius::new(48.0));
+    let mut group = c.benchmark_group("pv_warm");
+    group.bench_function("iv_sweep_40pts_cold", |b| {
+        b.iter(|| {
+            (0..40)
+                .map(|k| {
+                    module
+                        .current_at(env, Volts::new(k as f64))
+                        .map(|i| i.get())
+                        .unwrap_or(0.0)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("iv_sweep_40pts_warm", |b| {
+        b.iter(|| {
+            let solver = module.solver(env);
+            (0..40)
+                .map(|k| {
+                    solver
+                        .current_at(Volts::new(k as f64))
+                        .map(|i| i.get())
+                        .unwrap_or(0.0)
+                })
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+/// Exact-key memoization: repeated `(G, T, V)` solves through a
+/// [`CachedArray`] against the cold path (the perturb-and-observe pattern).
+fn bench_memo_hits(c: &mut Criterion) {
+    let array = PvArray::solarcore_default();
+    let env = CellEnv::new(Irradiance::new(700.0), Celsius::new(40.0));
+    let mut group = c.benchmark_group("pv_memo");
+    group.bench_function("repeat_solve_cold", |b| {
+        b.iter(|| array.current_at(black_box(env), black_box(Volts::new(34.0))))
+    });
+    group.bench_function("repeat_solve_memoized", |b| {
+        let cache = ArrayCache::new();
+        let cached = CachedArray::new(&array, &cache);
+        b.iter(|| cached.current_at(black_box(env), black_box(Volts::new(34.0))))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_current_solve,
     bench_mpp_search,
     bench_curve_sampling,
-    bench_datasheet_fit
+    bench_datasheet_fit,
+    bench_warm_solver_sweep,
+    bench_memo_hits
 );
 criterion_main!(benches);

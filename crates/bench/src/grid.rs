@@ -7,7 +7,7 @@ use serde::Serialize;
 use pv::PvArray;
 use solarcore::engine::phase_seed;
 use solarcore::{BatterySystem, DaySimulation, Policy};
-use solarenv::{EnvTrace, Season, Site};
+use solarenv::{Season, Site};
 use workloads::Mix;
 
 use crate::parallel::{default_threads, parallel_map};
@@ -151,43 +151,43 @@ impl PolicyGrid {
     fn from_cells(cells: Vec<GridCell>, threads: usize) -> Self {
         let results = parallel_map(cells, threads, |(site, season, mix, day)| {
             let array = PvArray::solarcore_default();
-            let trace = EnvTrace::generate(site, *season, *day);
             let seed = phase_seed(site, *season, *day);
 
-            let summaries: Vec<DaySummary> = GRID_POLICIES
+            // One batch per cell: the weather trace is synthesized once and
+            // the PV solver memo is shared, so the second and third policy
+            // hit the per-minute MPP solves the first one warmed.
+            let batch = DaySimulation::builder()
+                .site(site.clone())
+                .season(*season)
+                .day(*day)
+                .mix(mix.clone())
+                .build_batch(&GRID_POLICIES)
+                .expect("valid config");
+            let results = batch.run_all().expect("day runs");
+
+            let summaries: Vec<DaySummary> = results
                 .iter()
-                .map(|&policy| {
-                    let result = DaySimulation::builder()
-                        .site(site.clone())
-                        .season(*season)
-                        .day(*day)
-                        .mix(mix.clone())
-                        .policy(policy)
-                        .build()
-                        .expect("valid config")
-                        .run()
-                        .expect("day runs");
-                    DaySummary {
-                        site: site.code().to_string(),
-                        season: season.to_string(),
-                        mix: mix.name().to_string(),
-                        policy: policy.label().to_string(),
-                        day: *day,
-                        utilization: result.utilization(),
-                        effective_fraction: result.effective_fraction(),
-                        ptp: result.solar_instructions(),
-                        tracking_error: result.mean_tracking_error(),
-                        energy_drawn_wh: result.energy_drawn().get(),
-                        energy_available_wh: result.energy_available().get(),
-                    }
+                .map(|result| DaySummary {
+                    site: site.code().to_string(),
+                    season: season.to_string(),
+                    mix: mix.name().to_string(),
+                    policy: result.policy().label().to_string(),
+                    day: *day,
+                    utilization: result.utilization(),
+                    effective_fraction: result.effective_fraction(),
+                    ptp: result.solar_instructions(),
+                    tracking_error: result.mean_tracking_error(),
+                    energy_drawn_wh: result.energy_drawn().get(),
+                    energy_available_wh: result.energy_available().get(),
                 })
                 .collect();
 
+            let trace = batch.setup().trace();
             let upper = BatterySystem::upper_bound()
-                .simulate_day(&array, &trace, mix, seed)
+                .simulate_day(&array, trace, mix, seed)
                 .expect("battery day runs");
             let lower = BatterySystem::lower_bound()
-                .simulate_day(&array, &trace, mix, seed)
+                .simulate_day(&array, trace, mix, seed)
                 .expect("battery day runs");
             let battery = BatterySummary {
                 site: site.code().to_string(),

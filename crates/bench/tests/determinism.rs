@@ -65,3 +65,42 @@ fn repeated_day_simulation_hashes_identically() {
     };
     assert_eq!(day_hash(&run()), day_hash(&run()));
 }
+
+/// The solver cache is bit-transparent end to end: a day simulated with
+/// the memo enabled, with it disabled, and replayed over an already-warm
+/// [`solarcore::SimSetup`] all hash to the same canonical digest.
+#[test]
+fn solver_cache_does_not_change_day_hash() {
+    let builder = || {
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jul)
+            .day(0)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+    };
+    let cached = builder().build().expect("valid config");
+    let uncached = builder()
+        .solver_cache(false)
+        .build()
+        .expect("valid config");
+
+    let reference = day_hash(&uncached.run().expect("day runs"));
+    assert_eq!(
+        reference,
+        day_hash(&cached.run().expect("day runs")),
+        "enabling the solver cache changed the day digest"
+    );
+
+    // Re-running over the same prepared setup keeps the memo warm from the
+    // first pass; the second pass is ~all hits and must not drift.
+    let setup = cached.prepare();
+    let first = day_hash(&cached.run_prepared(&setup).expect("day runs"));
+    let second = day_hash(&cached.run_prepared(&setup).expect("day runs"));
+    assert_eq!(reference, first, "cold-memo prepared run diverged");
+    assert_eq!(reference, second, "warm-memo prepared run diverged");
+    assert!(
+        setup.cache_stats().hits > 0,
+        "warm replay should actually hit the memo"
+    );
+}

@@ -161,23 +161,82 @@ impl CellParams {
     /// The root of `f` in `I` is the cell's operating current at voltage `V`.
     /// `f` is strictly decreasing in `I`, which the solvers rely on.
     pub fn current_residual(&self, env: CellEnv, voltage: Volts, current: Amps) -> Amps {
-        let iph = self.photocurrent(env).get();
-        let i0 = self.saturation_current(env.temperature).get();
-        let nvt = self.n_vt(env.temperature);
-        let arg = (voltage.get() + current.get() * self.series_resistance.get()) / nvt;
-        // exp_m1 keeps precision near V ≈ 0 and avoids overflow surprises for
-        // physical operating ranges (arg stays modest below ~1.5 V/cell).
-        Amps::new(iph - i0 * arg.exp_m1() - current.get())
+        CellCoeffs::resolve(self, env).residual(voltage, current)
     }
 
     /// Derivative of [`Self::current_residual`] with respect to `I` (always
     /// negative), used by the Newton step in the module solver.
     // lint:allow(raw-f64): dF/dI is dimensionless (amps per amp) — no newtype fits
     pub fn current_residual_di(&self, env: CellEnv, voltage: Volts, current: Amps) -> f64 {
-        let i0 = self.saturation_current(env.temperature).get();
-        let nvt = self.n_vt(env.temperature);
-        let arg = (voltage.get() + current.get() * self.series_resistance.get()) / nvt;
-        -i0 * arg.exp() * self.series_resistance.get() / nvt - 1.0
+        CellCoeffs::resolve(self, env).residual_di(voltage, current)
+    }
+}
+
+/// Environment-resolved coefficients of the implicit cell equation:
+/// everything in `f(I) = Iph − I0·(exp((V + I·Rs)/(n·Vt)) − 1) − I` that
+/// depends only on `(G, T)`, hoisted out of the per-iteration hot path.
+///
+/// The Newton/bisection solver evaluates the residual and its derivative
+/// dozens of times per terminal-voltage solve; recomputing `Iph`, `I0` and
+/// `n·Vt` (two transcendental-heavy functions) on every evaluation roughly
+/// doubles the cost of the loop. Resolving them once per `(G, T)` is a pure
+/// hoist: [`CellCoeffs::residual`] and [`CellCoeffs::residual_di`] evaluate
+/// the exact expressions [`CellParams::current_residual`] and
+/// [`CellParams::current_residual_di`] always evaluated (those methods now
+/// delegate here), with identical operation order — so a solver holding
+/// resolved coefficients is *bitwise identical* to one recomputing them each
+/// iteration. The differential tests in `crates/pv/tests/` pin this down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCoeffs {
+    /// Photocurrent `Iph(G, T)`, amps.
+    iph: f64,
+    /// Diode reverse-saturation current `I0(T)`, amps.
+    i0: f64,
+    /// Diode slope scale `n·Vt(T)`, volts.
+    nvt: f64,
+    /// Lumped series resistance, ohms.
+    rs: f64,
+}
+
+impl CellCoeffs {
+    /// Resolves the `(G, T)`-dependent coefficients for one environment.
+    pub fn resolve(cell: &CellParams, env: CellEnv) -> Self {
+        Self {
+            iph: cell.photocurrent(env).get(),
+            i0: cell.saturation_current(env.temperature).get(),
+            nvt: cell.n_vt(env.temperature),
+            rs: cell.series_resistance.get(),
+        }
+    }
+
+    /// The resolved photocurrent `Iph(G, T)`.
+    pub fn photocurrent(&self) -> Amps {
+        Amps::new(self.iph)
+    }
+
+    /// The cell equation residual at a trial `(V, I)`; see
+    /// [`CellParams::current_residual`].
+    pub fn residual(&self, voltage: Volts, current: Amps) -> Amps {
+        let arg = (voltage.get() + current.get() * self.rs) / self.nvt;
+        // exp_m1 keeps precision near V ≈ 0 and avoids overflow surprises for
+        // physical operating ranges (arg stays modest below ~1.5 V/cell).
+        Amps::new(self.iph - self.i0 * arg.exp_m1() - current.get())
+    }
+
+    /// Derivative of [`Self::residual`] with respect to `I` (always
+    /// negative); see [`CellParams::current_residual_di`].
+    pub fn residual_di(&self, voltage: Volts, current: Amps) -> f64 {
+        let arg = (voltage.get() + current.get() * self.rs) / self.nvt;
+        -self.i0 * arg.exp() * self.rs / self.nvt - 1.0
+    }
+
+    /// Closed-form open-circuit voltage of a single cell under the resolved
+    /// environment (`Voc,cell = n·Vt · ln(Iph/I0 + 1)`), zero in darkness.
+    pub fn open_circuit_cell_voltage(&self) -> Volts {
+        if self.iph <= 0.0 {
+            return Volts::ZERO;
+        }
+        Volts::new(self.nvt * (self.iph / self.i0 + 1.0).ln())
     }
 }
 

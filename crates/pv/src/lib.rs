@@ -51,13 +51,15 @@ pub mod error;
 pub mod generator;
 pub mod module;
 pub mod mpp;
+pub mod solve;
 pub mod units;
 
 pub use array::PvArray;
-pub use cell::{CellEnv, CellParams};
+pub use cell::{CellCoeffs, CellEnv, CellParams};
 pub use curve::{resistive_operating_point, IvCurve, IvPoint};
 pub use datasheet::Datasheet;
 pub use error::PvError;
 pub use generator::PvGenerator;
 pub use module::PvModule;
 pub use mpp::MppPoint;
+pub use solve::{ArrayCache, CacheStats, CachedArray, ModuleSolver};

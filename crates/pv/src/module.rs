@@ -10,13 +10,8 @@ use crate::cell::{CellEnv, CellParams};
 use crate::datasheet::Datasheet;
 use crate::error::PvError;
 use crate::mpp::{self, MppPoint};
+use crate::solve::ModuleSolver;
 use crate::units::{Amps, Volts, Watts};
-
-/// Maximum iterations for the hybrid Newton/bisection current solver.
-const MAX_SOLVER_ITERS: u32 = 128;
-
-/// Convergence tolerance on the current residual, in amperes.
-const CURRENT_TOLERANCE: f64 = 1e-10;
 
 /// A photovoltaic module (or, with `strings_parallel > 1`, a small array of
 /// identical series strings) under uniform conditions.
@@ -112,13 +107,15 @@ impl PvModule {
     ///
     /// Returns zero volts in darkness.
     pub fn open_circuit_voltage(&self, env: CellEnv) -> Volts {
-        let iph = self.cell.photocurrent(env).get();
-        if iph <= 0.0 {
-            return Volts::ZERO;
-        }
-        let i0 = self.cell.saturation_current(env.temperature).get();
-        let v_cell = self.cell.n_vt(env.temperature) * (iph / i0 + 1.0).ln();
-        Volts::new(v_cell * self.cells_series as f64)
+        self.solver(env).open_circuit_voltage()
+    }
+
+    /// Resolves a per-environment [`ModuleSolver`]: the `(G, T)`-dependent
+    /// coefficients are computed once and shared by every solve made
+    /// through the returned handle. Results are bitwise identical to the
+    /// corresponding [`PvModule`] methods, which all delegate here.
+    pub fn solver(&self, env: CellEnv) -> ModuleSolver<'_> {
+        ModuleSolver::new(self, env)
     }
 
     /// Short-circuit current `Isc` under the given environment.
@@ -165,62 +162,7 @@ impl PvModule {
     /// iteration budget (not expected for physical inputs) and
     /// [`PvError::InvalidParameter`] for non-finite voltage.
     pub fn current_at(&self, env: CellEnv, voltage: Volts) -> Result<Amps, PvError> {
-        if !voltage.is_finite() {
-            return Err(PvError::InvalidParameter {
-                name: "voltage",
-                value: voltage.get(),
-                constraint: "must be finite",
-            });
-        }
-        let v_cell = Volts::new(voltage.get() / self.cells_series as f64);
-        let iph = self.cell.photocurrent(env).get();
-
-        // Bracket the root of the strictly-decreasing residual f(i):
-        // f(iph) <= 0 always; expand the lower bound until f(lo) >= 0.
-        let mut hi = iph;
-        let mut lo = 0.0_f64.min(-0.01 * iph.max(1.0));
-        let mut expand = 0;
-        while self.cell.current_residual(env, v_cell, Amps::new(lo)).get() < 0.0 {
-            lo = lo * 4.0 - 1.0;
-            expand += 1;
-            if expand > 64 {
-                return Err(PvError::NoConvergence {
-                    context: "bracketing module current",
-                    iterations: expand,
-                });
-            }
-        }
-        debug_assert!(self.cell.current_residual(env, v_cell, Amps::new(hi)).get() <= 0.0);
-
-        // Newton iterations, falling back to bisection whenever the step
-        // would leave the bracket (guaranteed convergence).
-        let mut i = 0.5 * (lo + hi);
-        for iter in 0..MAX_SOLVER_ITERS {
-            let f = self.cell.current_residual(env, v_cell, Amps::new(i)).get();
-            if f.abs() < CURRENT_TOLERANCE {
-                return Ok(Amps::new(i * self.strings_parallel as f64));
-            }
-            if f > 0.0 {
-                lo = i;
-            } else {
-                hi = i;
-            }
-            let df = self.cell.current_residual_di(env, v_cell, Amps::new(i));
-            let newton = i - f / df;
-            i = if newton > lo && newton < hi {
-                newton
-            } else {
-                0.5 * (lo + hi)
-            };
-            if (hi - lo).abs() < CURRENT_TOLERANCE {
-                return Ok(Amps::new(i * self.strings_parallel as f64));
-            }
-            let _ = iter;
-        }
-        Err(PvError::NoConvergence {
-            context: "module current at voltage",
-            iterations: MAX_SOLVER_ITERS,
-        })
+        self.solver(env).current_at(voltage)
     }
 
     /// Output power at a prescribed terminal voltage.

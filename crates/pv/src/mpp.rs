@@ -8,6 +8,7 @@
 
 use crate::cell::CellEnv;
 use crate::module::PvModule;
+use crate::solve::ModuleSolver;
 use crate::units::{Amps, Volts, Watts};
 
 /// Golden ratio conjugate used by the section search.
@@ -41,14 +42,21 @@ impl MppPoint {
 ///
 /// Returns [`MppPoint::DARK`] when the panel produces no power (night).
 pub fn find_mpp(module: &PvModule, env: CellEnv) -> MppPoint {
-    let voc = module.open_circuit_voltage(env);
+    find_mpp_with(&module.solver(env))
+}
+
+/// [`find_mpp`] against a pre-resolved [`ModuleSolver`]: the ~60 power
+/// probes of the golden-section search share one coefficient resolution.
+/// Bitwise identical to [`find_mpp`] (which delegates here).
+pub fn find_mpp_with(solver: &ModuleSolver<'_>) -> MppPoint {
+    let voc = solver.open_circuit_voltage();
     if voc <= Volts::ZERO {
         return MppPoint::DARK;
     }
 
     let power = |v: f64| -> f64 {
-        module
-            .power_at(env, Volts::new(v))
+        solver
+            .power_at(Volts::new(v))
             .map(Watts::get)
             .unwrap_or(0.0)
     };
@@ -74,7 +82,7 @@ pub fn find_mpp(module: &PvModule, env: CellEnv) -> MppPoint {
         }
     }
     let v = Volts::new(0.5 * (a + b));
-    let i = module.current_at(env, v).unwrap_or(Amps::ZERO);
+    let i = solver.current_at(v).unwrap_or(Amps::ZERO);
     MppPoint {
         voltage: v,
         current: i,

@@ -1,0 +1,150 @@
+//! Differential properties proving the fast solver paths are *bitwise*
+//! transparent: for any `(G, T, V)` sequence — including exact repeats,
+//! which hit the memo — a [`CachedArray`] and a hoisted [`ModuleSolver`]
+//! return `f64`s whose `to_bits()` match the cold reference solver
+//! exactly. Approximate equality is not good enough here: the downstream
+//! determinism harness hashes raw bit patterns, so a single-ULP wobble
+//! from caching would break reproducibility.
+
+use proptest::prelude::*;
+
+use pv::units::{Celsius, Irradiance, Volts};
+use pv::{ArrayCache, CachedArray, CellEnv, PvArray, PvGenerator, PvModule};
+
+fn arb_env() -> impl Strategy<Value = CellEnv> {
+    (0.0..1100.0_f64, -10.0..80.0_f64)
+        .prop_map(|(g, t)| CellEnv::new(Irradiance::new(g), Celsius::new(t)))
+}
+
+/// `to_bits` comparison of two solver outcomes, mapping errors to a
+/// sentinel so mismatched error paths also fail the property.
+fn current_bits(result: Result<pv::units::Amps, pv::PvError>) -> u64 {
+    match result {
+        Ok(amps) => amps.get().to_bits(),
+        Err(_) => u64::MAX,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A memoized array is bit-identical to the plain array over a random
+    /// probe sequence replayed twice — the second pass is ~all cache hits,
+    /// so this exercises both the miss path (store) and the hit path
+    /// (replay) against the cold reference.
+    #[test]
+    fn cached_array_is_bit_identical(
+        env in arb_env(),
+        env2 in arb_env(),
+        frac in 0.0..1.2_f64,
+    ) {
+        let array = PvArray::solarcore_default();
+        let cache = ArrayCache::new();
+        let cached = CachedArray::new(&array, &cache);
+
+        for pass in 0..2 {
+            for e in [env, env2] {
+                let voc_cold = array.open_circuit_voltage(e);
+                let voc_fast = cached.open_circuit_voltage(e);
+                prop_assert_eq!(
+                    voc_cold.get().to_bits(), voc_fast.get().to_bits(),
+                    "voc bits diverged on pass {}", pass
+                );
+
+                let v = Volts::new(voc_cold.get() * frac);
+                prop_assert_eq!(
+                    current_bits(array.current_at(e, v)),
+                    current_bits(cached.current_at(e, v)),
+                    "current bits diverged on pass {} at {:?}", pass, v
+                );
+
+                let mpp_cold = array.mpp(e);
+                let mpp_fast = cached.mpp(e);
+                prop_assert_eq!(mpp_cold.voltage.get().to_bits(), mpp_fast.voltage.get().to_bits());
+                prop_assert_eq!(mpp_cold.current.get().to_bits(), mpp_fast.current.get().to_bits());
+                prop_assert_eq!(mpp_cold.power.get().to_bits(), mpp_fast.power.get().to_bits());
+            }
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "second pass should hit the memo");
+    }
+
+    /// The hoisted per-environment solver ([`PvModule::solver`]) matches
+    /// the unhoisted module entry points bit for bit across a voltage
+    /// sweep: coefficient hoisting must not change evaluation order.
+    #[test]
+    fn module_solver_matches_module(env in arb_env(), steps in 3u32..24) {
+        let module = PvModule::bp3180n();
+        let solver = module.solver(env);
+        prop_assert_eq!(
+            module.open_circuit_voltage(env).get().to_bits(),
+            solver.open_circuit_voltage().get().to_bits()
+        );
+        let voc = module.open_circuit_voltage(env).get();
+        for k in 0..=steps {
+            let v = Volts::new(voc * k as f64 / steps as f64);
+            prop_assert_eq!(
+                current_bits(module.current_at(env, v)),
+                current_bits(solver.current_at(v)),
+                "solver diverged at {:?}", v
+            );
+        }
+        let mpp_cold = module.mpp(env);
+        let mpp_warm = pv::mpp::find_mpp_with(&solver);
+        prop_assert_eq!(mpp_cold.voltage.get().to_bits(), mpp_warm.voltage.get().to_bits());
+        prop_assert_eq!(mpp_cold.power.get().to_bits(), mpp_warm.power.get().to_bits());
+    }
+
+    /// Non-finite probe voltages take the uncached error path and still
+    /// agree with the reference solver's error.
+    #[test]
+    fn cached_array_matches_on_error_paths(env in arb_env()) {
+        let array = PvArray::solarcore_default();
+        let cache = ArrayCache::new();
+        let cached = CachedArray::new(&array, &cache);
+        for v in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let v = Volts::new(v);
+            prop_assert_eq!(
+                current_bits(array.current_at(env, v)),
+                current_bits(cached.current_at(env, v))
+            );
+        }
+    }
+}
+
+/// Long mixed workload: interleaved fresh keys and repeats, forcing
+/// set-associative evictions (more than `WAYS` distinct keys per set),
+/// then re-probing everything cold vs. cached.
+#[test]
+fn eviction_churn_stays_bit_identical() {
+    let array = PvArray::solarcore_default();
+    let cache = ArrayCache::new();
+    let cached = CachedArray::new(&array, &cache);
+
+    // Deterministic pseudo-random probe stream (LCG; no ambient RNG).
+    let mut state: u64 = 0x5eed_cafe_f00d_0001;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut probes = Vec::new();
+    for _ in 0..4000 {
+        let env = CellEnv::new(
+            Irradiance::new(100.0 + 900.0 * next()),
+            Celsius::new(-5.0 + 70.0 * next()),
+        );
+        probes.push((env, Volts::new(40.0 * next())));
+    }
+    // Replay a slice of early probes at the end so some keys repeat after
+    // heavy churn has evicted and re-filled their sets.
+    let replay: Vec<_> = probes.iter().take(64).copied().collect();
+    probes.extend(replay);
+
+    for (env, v) in &probes {
+        let cold = array.current_at(*env, *v).map(|i| i.get().to_bits());
+        let fast = cached.current_at(*env, *v).map(|i| i.get().to_bits());
+        assert_eq!(cold.ok(), fast.ok(), "bit divergence at {env:?} {v:?}");
+    }
+    let stats = cache.stats();
+    assert!(stats.misses > 0 && stats.hits > 0);
+}

@@ -97,6 +97,7 @@ pub struct DaySimulation {
     ats_threshold: Watts,
     ats_hysteresis: Watts,
     sensor: IvSensor,
+    solver_cache: bool,
 }
 
 /// Builder for [`DaySimulation`].
@@ -113,6 +114,42 @@ pub struct DaySimulationBuilder {
     ats_threshold: Option<Watts>,
     ats_hysteresis: Watts,
     sensor: IvSensor,
+    solver_cache: bool,
+}
+
+/// Reusable per-`(site, season, day, mix)` state of a day simulation: the
+/// decoded weather trace, the workload phase traces, and the PV solver memo
+/// ([`pv::ArrayCache`]).
+///
+/// [`DaySimulation::run`] builds one of these internally on every call;
+/// [`DaySimulation::prepare`] + [`DaySimulation::run_prepared`] let callers
+/// amortize it — across the policies of a [`DayBatch`], or across repeated
+/// runs (the cold-vs-warm comparison the benchmark suite measures). Because
+/// trace generation is a pure function of `(site, season, day, mix)` and the
+/// cache is bitwise-transparent, a prepared run is bit-identical to a fresh
+/// one; `crates/bench/tests/determinism.rs` asserts exactly that.
+#[derive(Debug)]
+pub struct SimSetup {
+    site_code: &'static str,
+    season: Season,
+    day: u32,
+    mix_name: &'static str,
+    trace: EnvTrace,
+    phases: Vec<PhaseTrace>,
+    cache: pv::ArrayCache,
+}
+
+impl SimSetup {
+    /// The decoded environment trace (also the battery baselines' input,
+    /// so grid sweeps need not regenerate it per policy).
+    pub fn trace(&self) -> &EnvTrace {
+        &self.trace
+    }
+
+    /// Hit/miss counters of the shared PV solver memo.
+    pub fn cache_stats(&self) -> pv::CacheStats {
+        self.cache.stats()
+    }
 }
 
 impl DaySimulation {
@@ -131,6 +168,7 @@ impl DaySimulation {
             ats_threshold: None,
             ats_hysteresis: Watts::new(3.0),
             sensor: IvSensor::ideal(),
+            solver_cache: true,
         }
     }
 
@@ -149,10 +187,58 @@ impl DaySimulation {
     /// over-draws, runaway bus voltages — trip the [`invariants`]
     /// sanitizer instead of returning.
     pub fn run(&self) -> Result<DayResult, CoreError> {
+        self.run_prepared(&self.prepare())
+    }
+
+    /// Decodes the per-`(site, season, day, mix)` inputs — weather trace and
+    /// workload phases — and allocates a fresh PV solver memo, for reuse
+    /// across [`Self::run_prepared`] calls.
+    pub fn prepare(&self) -> SimSetup {
         let trace = EnvTrace::generate(&self.site, self.season, self.day);
         let minutes = trace.samples().len();
         let seed = phase_seed(&self.site, self.season, self.day);
         let phases = PhaseTrace::for_mix(&self.mix, seed, minutes);
+        SimSetup {
+            site_code: self.site.code(),
+            season: self.season,
+            day: self.day,
+            mix_name: self.mix.name(),
+            trace,
+            phases,
+            cache: pv::ArrayCache::new(),
+        }
+    }
+
+    /// Runs the day against a previously [`Self::prepare`]d setup, skipping
+    /// trace regeneration and reusing the setup's PV solver memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `setup` was prepared for a
+    /// different `(site, season, day, mix)`, plus everything
+    /// [`Self::run`] can return.
+    pub fn run_prepared(&self, setup: &SimSetup) -> Result<DayResult, CoreError> {
+        if setup.site_code != self.site.code()
+            || setup.season != self.season
+            || setup.day != self.day
+            || setup.mix_name != self.mix.name()
+        {
+            return Err(CoreError::InvalidConfig {
+                reason: "SimSetup was prepared for a different (site, season, day, mix)",
+            });
+        }
+        let trace = &setup.trace;
+        let phases = &setup.phases;
+
+        // All PV access goes through one generator handle; with the solver
+        // cache enabled that handle memoizes exact-key solves (bitwise
+        // transparent — every miss delegates to the plain array).
+        let cached = pv::CachedArray::new(&self.array, &setup.cache);
+        let array: &dyn PvGenerator = if self.solver_cache {
+            &cached
+        } else {
+            &self.array
+        };
 
         let mut controller =
             SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone())?;
@@ -167,10 +253,10 @@ impl DaySimulation {
         let mut prev_source = PowerSource::Utility;
         let mut force_track = false;
 
-        let mut records = Vec::with_capacity(minutes);
+        let mut records = Vec::with_capacity(trace.samples().len());
         for (t, sample) in trace.samples().iter().enumerate() {
             let env = sample.cell_env();
-            let budget = self.array.mpp(env).power;
+            let budget = array.mpp(env).power;
             let source = ats.update(budget);
 
             if source != prev_source {
@@ -212,13 +298,13 @@ impl DaySimulation {
                     | Policy::MpptRr
                     | Policy::MpptOpt
                     | Policy::MpptChipWide => {
-                        let op = controller.solve(&self.array, env, &converter, &chip);
+                        let op = controller.solve(array, env, &converter, &chip);
                         if force_track
                             || t % self.config.tracking_interval_minutes as usize == 0
                             || controller.needs_retrack(&op)
                         {
                             controller.track(&mut TrackingRig {
-                                array: &self.array,
+                                array,
                                 env,
                                 converter: &mut converter,
                                 chip: &mut chip,
@@ -230,7 +316,7 @@ impl DaySimulation {
                             invariants::assert_bus_voltage(
                                 "engine minute",
                                 op.output_voltage,
-                                Volts::new(self.array.open_circuit_voltage(env).get() / k_min),
+                                Volts::new(array.open_circuit_voltage(env).get() / k_min),
                             );
                         }
                         // The chip's useful draw is capped at its DVFS
@@ -337,6 +423,37 @@ impl DaySimulationBuilder {
         self
     }
 
+    /// Enables or disables the bitwise-transparent PV solver memo
+    /// (default: enabled). Disabling forces every I-V solve cold — the
+    /// baseline the cold-vs-warm benchmarks and differential tests compare
+    /// against.
+    pub fn solver_cache(mut self, enabled: bool) -> Self {
+        self.solver_cache = enabled;
+        self
+    }
+
+    /// Builds one simulation per policy, all sharing a single prepared
+    /// [`SimSetup`] (one trace decode, one solver memo), returned as a
+    /// [`DayBatch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `policies` is empty or the
+    /// controller configuration fails validation.
+    pub fn build_batch(self, policies: &[Policy]) -> Result<DayBatch, CoreError> {
+        let sims = policies
+            .iter()
+            .map(|&policy| self.clone().policy(policy).build())
+            .collect::<Result<Vec<_>, _>>()?;
+        let Some(first) = sims.first() else {
+            return Err(CoreError::InvalidConfig {
+                reason: "a day batch requires at least one policy",
+            });
+        };
+        let setup = first.prepare();
+        Ok(DayBatch { sims, setup })
+    }
+
     /// Finalizes the simulation.
     ///
     /// # Errors
@@ -367,7 +484,47 @@ impl DaySimulationBuilder {
             ats_threshold,
             ats_hysteresis: self.ats_hysteresis,
             sensor: self.sensor,
+            solver_cache: self.solver_cache,
         })
+    }
+}
+
+/// A set of day simulations over the same `(site, season, day, mix)` cell —
+/// typically one per policy — sharing a single prepared [`SimSetup`].
+///
+/// Batching amortizes the per-cell setup (weather-trace synthesis, phase
+/// decode) and lets later simulations hit the solver memo the earlier ones
+/// warmed: the per-minute budget oracle solves the *same* MPP sequence
+/// under every policy. Output is bit-identical to running each simulation
+/// standalone (the determinism tests compare the two paths hash-for-hash).
+#[derive(Debug)]
+pub struct DayBatch {
+    sims: Vec<DaySimulation>,
+    setup: SimSetup,
+}
+
+impl DayBatch {
+    /// The batched simulations, in the policy order given to
+    /// [`DaySimulationBuilder::build_batch`].
+    pub fn simulations(&self) -> &[DaySimulation] {
+        &self.sims
+    }
+
+    /// The shared prepared setup.
+    pub fn setup(&self) -> &SimSetup {
+        &self.setup
+    }
+
+    /// Runs every simulation against the shared setup, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] any run returns.
+    pub fn run_all(&self) -> Result<Vec<DayResult>, CoreError> {
+        self.sims
+            .iter()
+            .map(|sim| sim.run_prepared(&self.setup))
+            .collect()
     }
 }
 

@@ -60,7 +60,7 @@ pub use adapter::LoadTuner;
 pub use battery::{BatteryDayResult, BatterySystem, BatteryTier};
 pub use config::ControllerConfig;
 pub use controller::{SolarCoreController, TrackingRig};
-pub use engine::{DayResult, DaySimulation, MinuteRecord};
+pub use engine::{DayBatch, DayResult, DaySimulation, MinuteRecord, SimSetup};
 pub use error::CoreError;
 pub use policy::{LoadScheduler, Policy};
 pub use tpr::{tpr_table, TprEntry};

@@ -3,10 +3,22 @@
 //! Provides the `criterion_group!`/`criterion_main!` macros, `Criterion`,
 //! benchmark groups and `black_box` so `[[bench]]` targets compile and run
 //! without the real statistics engine. Each benchmark is timed with a
-//! simple warmup + fixed-iteration loop and reported as mean ns/iter on
-//! stdout — adequate for relative, same-machine comparisons.
+//! warmup/calibration pass followed by several fixed-iteration samples and
+//! reported as the **median** ns/iter — robust to one-off scheduler noise
+//! and adequate for relative, same-machine comparisons.
+//!
+//! Two environment variables drive the harness (read per benchmark, so a
+//! parent process can set them for `cargo bench`):
+//!
+//! * `SOLARCORE_BENCH_JSON=<path>` — append one JSON line per benchmark:
+//!   `{"name":…,"median_ns":…,"iters":…,"samples":…}`. `cargo xtask bench`
+//!   collects these into `BENCH_pr3.json`.
+//! * `SOLARCORE_BENCH_SMOKE=1` — reduced sample count and measurement
+//!   time, for CI smoke runs where only "runs without panicking and emits
+//!   well-formed numbers" is asserted.
 
 use std::hint;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benchmarked
@@ -15,11 +27,49 @@ pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
 }
 
+/// True when `SOLARCORE_BENCH_SMOKE` requests a reduced smoke run.
+fn smoke_mode() -> bool {
+    std::env::var_os("SOLARCORE_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Timed samples per benchmark (median is reported).
+fn sample_count() -> usize {
+    if smoke_mode() {
+        3
+    } else {
+        7
+    }
+}
+
+/// Wall-clock budget per sample.
+fn sample_time() -> Duration {
+    if smoke_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(100)
+    }
+}
+
+/// Median of a small sample vector (mean of the middle pair when even).
+fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        0.5 * (samples[n / 2 - 1] + samples[n / 2])
+    }
+}
+
 /// Per-iteration timer handle passed to benchmark closures.
 #[derive(Debug, Default)]
 pub struct Bencher {
-    measured_ns: f64,
+    median_ns: f64,
     iters: u64,
+    samples: usize,
 }
 
 /// Batch-size hint for [`Bencher::iter_batched`]; the stub only uses it to
@@ -43,38 +93,48 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> R,
     {
-        // Calibrate on one timed call.
+        // Warmup + calibration on one timed call.
         let input = setup();
         let start = Instant::now();
         black_box(routine(input));
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
-        let mut total = Duration::ZERO;
-        for _ in 0..iters {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            total += start.elapsed();
+        let iters = (sample_time().as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_count());
+        for _ in 0..sample_count() {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / iters as f64);
         }
-        self.measured_ns = total.as_nanos() as f64 / iters as f64;
+        self.median_ns = median(&mut samples);
         self.iters = iters;
+        self.samples = samples.len();
     }
 
-    /// Times `f` over a warmup pass and a measurement pass.
+    /// Times `f` over a warmup pass and several fixed-iteration samples.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        // Warmup + iteration-count calibration: aim for ~0.2 s measurement.
+        // Warmup + iteration-count calibration.
         let start = Instant::now();
         black_box(f());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(200).as_nanos() / once.as_nanos())
-            .clamp(1, 10_000) as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
+        let iters = (sample_time().as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_count());
+        for _ in 0..sample_count() {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
-        let total = start.elapsed();
-        self.measured_ns = total.as_nanos() as f64 / iters as f64;
+        self.median_ns = median(&mut samples);
         self.iters = iters;
+        self.samples = samples.len();
     }
 }
 
@@ -136,11 +196,33 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+/// Minimal JSON string escaping for benchmark names.
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 fn report(name: &str, b: &Bencher) {
     println!(
-        "bench {name:<40} {:>14.1} ns/iter  ({} iters)",
-        b.measured_ns, b.iters
+        "bench {name:<44} {:>14.1} ns/iter  ({} iters x {} samples)",
+        b.median_ns, b.iters, b.samples
     );
+    if let Some(path) = std::env::var_os("SOLARCORE_BENCH_JSON") {
+        let line = format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.3},\"iters\":{},\"samples\":{}}}\n",
+            escape_json(name),
+            b.median_ns,
+            b.iters,
+            b.samples
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(err) = written {
+            eprintln!("criterion stub: cannot append to {path:?}: {err}");
+        }
+    }
 }
 
 /// Declares a benchmark group function, mirroring criterion's macro.
@@ -186,5 +268,17 @@ mod tests {
         let mut group = c.benchmark_group("g");
         group.sample_size(10).bench_function("one", |b| b.iter(|| black_box(2 * 2)));
         group.finish();
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn json_names_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
     }
 }

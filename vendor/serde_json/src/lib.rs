@@ -1,10 +1,12 @@
 //! Offline stub of `serde_json`: renders the `serde` stub's `Value` tree
-//! as JSON text. Only the writer half is implemented (the workspace never
-//! parses JSON).
+//! as JSON text, plus a small recursive-descent reader ([`from_str`]) so
+//! tests can load the committed `results/*.json` artifacts back into a
+//! [`Value`] tree.
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::Serialize;
+pub use serde::Value;
 
 /// JSON serialization error (currently unreachable: non-finite floats are
 /// written as `null` instead of erroring, which is what the experiment
@@ -135,6 +137,214 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// Supports the subset the workspace writes: objects, arrays, strings
+/// (with `\uXXXX` escapes), numbers, booleans and `null`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_owned())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".to_owned()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| Error("truncated \\u escape".to_owned()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error(format!("bad \\u escape `{hex}`")))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by the writer
+                            // half; map lone surrogates to the replacement
+                            // character rather than erroring.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".to_owned()))?;
+                    let c = s.chars().next().ok_or_else(|| {
+                        Error("unterminated string".to_owned())
+                    })?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_owned()))?;
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(if n >= 0 {
+                    #[allow(clippy::cast_sign_loss)] // checked non-negative
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                });
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +377,47 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("a\"b\\c\nd".into())),
+            ("xs".into(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+            ("n".into(), Value::Int(-3)),
+            ("u".into(), Value::UInt(7)),
+            ("ok".into(), Value::Bool(true)),
+        ]);
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            assert_eq!(from_str(&rendered).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn parser_reads_scientific_notation_and_indexing_works() {
+        let v = from_str(r#"{"rows":[["AZ",[0.08521867475698039,1e-3]]]}"#).unwrap();
+        let row = &v["rows"][0];
+        assert_eq!(row[0].as_str(), Some("AZ"));
+        let cell = row[1][0].as_f64().unwrap();
+        assert!((cell - 0.08521867475698039).abs() < 1e-18);
+        assert!((row[1][1].as_f64().unwrap() - 1e-3).abs() < 1e-12);
+        // Missing keys index to Null instead of panicking.
+        assert_eq!(v["absent"][9], Value::Null);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(from_str("{\"a\":}").is_err());
+        assert!(from_str("[1,2").is_err());
+        assert!(from_str("12 34").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes() {
+        assert_eq!(
+            from_str("\"\\u0041\\u00e9\"").unwrap(),
+            Value::Str("Aé".into())
+        );
     }
 }

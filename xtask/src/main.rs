@@ -12,13 +12,17 @@
 //! * `determinism` — dynamic bitwise-reproducibility harness: runs the
 //!   policy-grid day simulations at 1 thread, N threads, and with shuffled
 //!   input order and compares canonical `f64::to_bits` hashes.
+//! * `bench` — runs the criterion suite and collects median ns/iter per
+//!   benchmark into `BENCH_pr3.json`; `--smoke` shrinks sample counts so
+//!   CI can verify the harness without a full measurement run.
 //! * `ci`   — the one-command verification gate, in dependency order:
-//!   lint → clippy → analyze → build → test → determinism.
+//!   lint → clippy → analyze → build → test → determinism → bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
 
 mod analyze;
+mod bench;
 mod lint;
 
 use std::path::PathBuf;
@@ -30,6 +34,10 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(),
         Some("analyze") => run_analyze(),
         Some("determinism") => run_determinism(),
+        Some("bench") => {
+            let smoke = args.iter().any(|a| a == "--smoke");
+            bench::run(&workspace_root(), smoke)
+        }
         Some("ci") => run_ci(),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -44,11 +52,12 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <lint | analyze | determinism | ci>");
+    eprintln!("usage: cargo xtask <lint | analyze | determinism | bench [--smoke] | ci>");
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
     eprintln!("  determinism  verify bit-identical day-sim output across thread counts");
-    eprintln!("  ci           lint, clippy, analyze, build, test, determinism");
+    eprintln!("  bench        run the criterion suite and write BENCH_pr3.json");
+    eprintln!("  ci           lint, clippy, analyze, build, test, determinism, bench smoke");
 }
 
 /// Locates the workspace root (the directory holding the top Cargo.toml).
@@ -152,6 +161,13 @@ fn run_ci() -> ExitCode {
 
     println!("xtask ci: running xtask determinism");
     if run_determinism() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    // Benchmark smoke: proves every bench target runs to completion and
+    // emits a well-formed BENCH_pr3.json; does not assert timing.
+    println!("xtask ci: running xtask bench --smoke");
+    if bench::run(&root, true) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 
