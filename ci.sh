@@ -1,13 +1,17 @@
 #!/usr/bin/env sh
 # Full local CI gate, in order: invariant lints (cargo xtask lint),
 # clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
-# determinism / exhaustiveness passes), release build, workspace tests,
-# the bitwise-reproducibility harness (cargo xtask determinism), and a
-# benchmark smoke run (cargo xtask bench --smoke) that validates every
-# bench target and archives BENCH_pr3.json at the repo root.
+# determinism / exhaustiveness passes), rustdoc with RUSTDOCFLAGS="-D
+# warnings" (cargo doc --no-deps — the telemetry schema in
+# solarcore::schema is rustdoc, so doc rot fails CI), release build,
+# workspace tests, the bitwise-reproducibility harness (cargo xtask
+# determinism — now also proves traced runs are bit-transparent and
+# their JSONL byte-identical), and a benchmark smoke run (cargo xtask
+# bench --smoke) that validates every bench target and archives
+# BENCH_pr3.json at the repo root.
 # Exits non-zero on the first failing gate. See DESIGN.md §11 for the
-# invariant catalog, §12 for the static analysis passes, and §13 for the
-# caching/benchmark layer.
+# invariant catalog, §12 for the static analysis passes, §13 for the
+# caching/benchmark layer, and §14 for the observability contract.
 #
 # Note on proptest regressions: the vendored proptest stub does not read
 # tests/tests/properties.proptest-regressions. The corpus is replayed as

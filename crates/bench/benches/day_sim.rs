@@ -129,11 +129,61 @@ fn bench_policy_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Telemetry overhead on the day-sim hot loop:
+///
+/// * `disabled` — the default [`Telemetry::disabled`] handle: every
+///   emission site is a branch on an empty `Option`.
+/// * `null_sink` — a live handle draining into [`telemetry::NullSink`]:
+///   records are built, stamped and discarded; this is the full
+///   instrumentation cost without I/O.
+/// * `jsonl_sink` — records additionally encoded to JSONL in memory, the
+///   cost a `cargo xtask trace` run actually pays.
+///
+/// The acceptance bar for the subsystem is `null_sink` within 3 % of the
+/// uninstrumented `day_sim` baseline (`cargo xtask bench` checks the
+/// committed ratio).
+fn bench_day_telemetry(c: &mut Criterion) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use telemetry::{JsonlSink, NullSink, Telemetry};
+
+    let mut group = c.benchmark_group("day_sim_telemetry");
+    group.sample_size(10);
+    let build = |tel: Telemetry| {
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .telemetry(tel)
+            .build()
+            .expect("valid config")
+    };
+    group.bench_function("disabled", |b| {
+        let sim = build(Telemetry::disabled());
+        b.iter(|| sim.run())
+    });
+    group.bench_function("null_sink", |b| {
+        let sim = build(Telemetry::attached(Rc::new(RefCell::new(NullSink))));
+        b.iter(|| sim.run())
+    });
+    group.bench_function("jsonl_sink", |b| {
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        let sim = build(Telemetry::attached(sink.clone()));
+        b.iter(|| {
+            sink.borrow_mut().clear();
+            sim.run()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_day_by_policy,
     bench_day_by_weather,
     bench_day_cache_modes,
-    bench_policy_batch
+    bench_policy_batch,
+    bench_day_telemetry
 );
 criterion_main!(benches);

@@ -15,6 +15,7 @@ fn bench_grid_cell(c: &mut Criterion) {
         mixes: vec![Mix::hm2()],
         days: 1,
         threads: 1,
+        telemetry_dir: None,
     };
     let mut group = c.benchmark_group("grid");
     group.sample_size(10);

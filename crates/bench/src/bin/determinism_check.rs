@@ -7,17 +7,23 @@
 //!    record (budget, drawn power, bus voltage, chip power, PTP, per-core
 //!    V/F digest) must hash identically;
 //! 2. the policy-grid sweep at 1 thread vs N threads;
-//! 3. the same sweep with the input cell order shuffled.
+//! 3. the same sweep with the input cell order shuffled;
+//! 4. the telemetry stream — instrumentation must be bitwise transparent
+//!    (a traced day hashes identically to an untraced one) and two traced
+//!    runs must emit **byte-identical** JSONL.
 //!
 //! Exit status is non-zero on any divergence, so CI can gate on it.
 
+use std::cell::RefCell;
 use std::process::ExitCode;
+use std::rc::Rc;
 
 use bench::determinism::{day_hash, grid_hash};
 use bench::grid::{GridConfig, PolicyGrid};
 use bench::parallel::default_threads;
 use solarcore::{DaySimulation, Policy};
 use solarenv::{Season, Site};
+use telemetry::{JsonlSink, Telemetry};
 use workloads::Mix;
 
 fn main() -> ExitCode {
@@ -85,8 +91,53 @@ fn main() -> ExitCode {
         ok = false;
     }
 
+    // 4. Telemetry: the instrumented run must compute the same day
+    //    (transparency) and two instrumented runs must serialize the same
+    //    bytes (stream reproducibility).
+    let traced_day = |label: &str| -> Option<(u64, String)> {
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        let result = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jul)
+            .day(0)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .telemetry(Telemetry::attached(sink.clone()))
+            .build()
+            .ok()?
+            .run()
+            .ok()?;
+        let h = day_hash(&result);
+        let stream = sink.borrow().buffer().to_string();
+        println!(
+            "determinism: traced day {label:<8} hash {h:016x} ({} records)",
+            stream.lines().count()
+        );
+        Some((h, stream))
+    };
+    match (day("untraced"), traced_day("run #1"), traced_day("run #2")) {
+        (Some(plain), Some((h1, s1)), Some((h2, s2))) => {
+            if h1 != plain {
+                eprintln!("determinism: FAIL — telemetry instrumentation changed the simulation");
+                ok = false;
+            }
+            if h1 != h2 || s1 != s2 {
+                eprintln!("determinism: FAIL — traced runs emit diverging JSONL streams");
+                ok = false;
+            }
+            if s1.is_empty() {
+                eprintln!("determinism: FAIL — traced run emitted an empty stream");
+                ok = false;
+            }
+        }
+        _ => {
+            eprintln!("determinism: FAIL — traced day simulation did not run");
+            ok = false;
+        }
+    }
+
     if ok {
-        println!("determinism: OK — bit-identical across threads and input order");
+        println!("determinism: OK — bit-identical across threads, input order and telemetry");
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

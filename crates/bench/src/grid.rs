@@ -2,12 +2,17 @@
 //! day simulation, plus the battery baselines — the raw material for
 //! Table 7 and Figures 18–21 and the headline claims.
 
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
 use serde::Serialize;
 
 use pv::PvArray;
 use solarcore::engine::phase_seed;
 use solarcore::{BatterySystem, DaySimulation, Policy};
 use solarenv::{Season, Site};
+use telemetry::{JsonlSink, Telemetry};
 use workloads::Mix;
 
 use crate::parallel::{default_threads, parallel_map};
@@ -28,6 +33,10 @@ pub struct GridConfig {
     pub days: u32,
     /// Worker threads.
     pub threads: usize,
+    /// When set, every sweep cell writes its telemetry stream — one JSONL
+    /// file per `(site, season, mix, day)`, shared by the cell's three
+    /// policy runs in run order — into this directory.
+    pub telemetry_dir: Option<PathBuf>,
 }
 
 impl Default for GridConfig {
@@ -38,6 +47,7 @@ impl Default for GridConfig {
             mixes: Mix::all(),
             days: 1,
             threads: default_threads(),
+            telemetry_dir: None,
         }
     }
 }
@@ -52,6 +62,7 @@ impl GridConfig {
             mixes: vec![Mix::h1(), Mix::hm2(), Mix::l1()],
             days: 1,
             threads: default_threads(),
+            telemetry_dir: None,
         }
     }
 }
@@ -115,18 +126,22 @@ type GridCell = (Site, Season, Mix, u32);
 impl PolicyGrid {
     /// Runs the sweep (parallel across day simulations).
     pub fn compute(config: &GridConfig) -> Self {
-        Self::from_cells(Self::cells(config), config.threads)
+        Self::from_cells(
+            Self::cells(config),
+            config.threads,
+            config.telemetry_dir.as_deref(),
+        )
     }
 
     /// Runs the sweep with the cell order permuted by a seeded shuffle.
     ///
-    /// Because [`PolicyGrid::from_cells`] emits canonically sorted output,
+    /// Because the cell assembly emits canonically sorted output,
     /// the result must be bit-identical to [`PolicyGrid::compute`] — the
     /// determinism harness verifies exactly that.
     pub fn compute_shuffled(config: &GridConfig, seed: u64) -> Self {
         let mut cells = Self::cells(config);
         crate::determinism::shuffle(&mut cells, seed);
-        Self::from_cells(cells, config.threads)
+        Self::from_cells(cells, config.threads, config.telemetry_dir.as_deref())
     }
 
     /// Enumerates the sweep cells in configuration order.
@@ -148,10 +163,26 @@ impl PolicyGrid {
     /// canonical order (sorted by site, season, mix, day, policy), so the
     /// serialized output is byte-stable regardless of thread scheduling
     /// and input order.
-    fn from_cells(cells: Vec<GridCell>, threads: usize) -> Self {
+    fn from_cells(
+        cells: Vec<GridCell>,
+        threads: usize,
+        telemetry_dir: Option<&std::path::Path>,
+    ) -> Self {
+        if let Some(dir) = telemetry_dir {
+            std::fs::create_dir_all(dir).expect("telemetry directory is creatable");
+        }
         let results = parallel_map(cells, threads, |(site, season, mix, day)| {
             let array = PvArray::solarcore_default();
             let seed = phase_seed(site, *season, *day);
+
+            // One JSONL stream per cell, shared by the batch's policies.
+            // The sink is created inside the worker (it is thread-local by
+            // construction); distinct cells write distinct files, so the
+            // output set is identical regardless of thread count.
+            let sink = telemetry_dir.map(|_| Rc::new(RefCell::new(JsonlSink::new())));
+            let telemetry = sink
+                .as_ref()
+                .map_or_else(Telemetry::disabled, |s| Telemetry::attached(s.clone()));
 
             // One batch per cell: the weather trace is synthesized once and
             // the PV solver memo is shared, so the second and third policy
@@ -161,9 +192,16 @@ impl PolicyGrid {
                 .season(*season)
                 .day(*day)
                 .mix(mix.clone())
+                .telemetry(telemetry)
                 .build_batch(&GRID_POLICIES)
                 .expect("valid config");
             let results = batch.run_all().expect("day runs");
+
+            if let (Some(dir), Some(sink)) = (telemetry_dir, sink) {
+                let name = format!("{}_{}_{}_day{}.jsonl", site.code(), season, mix.name(), day);
+                std::fs::write(dir.join(name), sink.borrow().buffer())
+                    .expect("telemetry stream is writable");
+            }
 
             let summaries: Vec<DaySummary> = results
                 .iter()
@@ -275,6 +313,7 @@ mod tests {
             mixes: vec![Mix::hm2()],
             days: 1,
             threads: 2,
+            telemetry_dir: None,
         })
     }
 
@@ -298,6 +337,26 @@ mod tests {
         assert!(opt > 0.5 && opt < 2.0);
         let bu = grid.mean_normalized_battery_upper();
         assert!((bu - 0.92 / 0.81).abs() < 0.05, "battery-U/L {bu:.3}");
+    }
+
+    #[test]
+    fn telemetry_dir_writes_one_stream_per_cell() {
+        let dir = std::env::temp_dir().join("solarcore_grid_telemetry_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let grid = PolicyGrid::compute(&GridConfig {
+            sites: vec![Site::phoenix_az()],
+            seasons: vec![Season::Jan],
+            mixes: vec![Mix::hm2()],
+            days: 1,
+            threads: 2,
+            telemetry_dir: Some(dir.clone()),
+        });
+        assert_eq!(grid.summaries.len(), 3);
+        let stream = std::fs::read_to_string(dir.join("AZ_Jan_HM2_day0.jsonl")).unwrap();
+        // The cell's three policy runs share one stream in run order.
+        assert_eq!(stream.matches("\"day_start\"").count(), 3);
+        assert_eq!(stream.matches("\"day_summary\"").count(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -22,8 +22,23 @@
 //! | Figure 20 (utilization vs duration) | [`experiments::fig20`] | `expt_fig20_util_vs_duration` |
 //! | Figure 21 (normalized PTP) | [`experiments::fig21`] | `expt_fig21_ptp_policies` |
 //! | Headline claims | [`experiments::headline`] | `expt_headline` |
+//! | Telemetry golden day | [`trace_report`] | `trace_report` (`cargo xtask trace`) |
 //!
 //! `expt_all` regenerates everything (sharing the policy-grid sweep).
+//!
+//! # Quick start
+//!
+//! The sweeps all start from a [`grid::GridConfig`]; `quick()` is the
+//! reduced grid the tests and the determinism harness run:
+//!
+//! ```
+//! use bench::grid::GridConfig;
+//!
+//! let quick = GridConfig::quick();
+//! let full = GridConfig::default();
+//! assert!(quick.sites.len() < full.sites.len());
+//! assert_eq!(full.days, 1);
+//! ```
 
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 pub mod determinism;
@@ -31,6 +46,7 @@ pub mod experiments;
 pub mod grid;
 pub mod output;
 pub mod parallel;
+pub mod trace_report;
 
 pub use grid::{DaySummary, GridConfig, PolicyGrid};
 pub use output::{write_json, TextTable};

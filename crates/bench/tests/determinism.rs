@@ -19,6 +19,7 @@ fn config(threads: usize) -> GridConfig {
         mixes: vec![Mix::hm2()],
         days: 1,
         threads,
+        telemetry_dir: None,
     }
 }
 

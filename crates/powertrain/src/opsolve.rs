@@ -7,7 +7,9 @@
 //! is strictly increasing; solved by bisection on `[0, Voc]`.
 
 use pv::cell::CellEnv;
+use pv::error::PvError;
 use pv::generator::PvGenerator;
+use pv::mpp::MppPoint;
 use pv::units::{Amps, Ohms, Volts, Watts};
 
 use crate::converter::DcDcConverter;
@@ -59,6 +61,93 @@ impl OperatingPoint {
     pub fn output_power(&self) -> Watts {
         self.output_voltage * self.output_current
     }
+}
+
+/// Interior-mutable work counters for the operating-point solver, shared
+/// with the telemetry subsystem (`Cell`-based so they can be bumped behind
+/// the `&self` methods of [`PvGenerator`]).
+///
+/// Counting is observationally free: the traced solver wraps the generator
+/// in a pass-through adapter whose arithmetic path is identical to the
+/// untraced one, so every solved bit matches `solve_operating_point`.
+#[derive(Debug, Default)]
+pub struct SolveStats {
+    solves: core::cell::Cell<u64>,
+    pv_evals: core::cell::Cell<u64>,
+    newton_iters: core::cell::Cell<u64>,
+}
+
+impl SolveStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of operating-point solves performed.
+    pub fn solves(&self) -> u64 {
+        self.solves.get()
+    }
+
+    /// Number of PV I-V curve evaluations across all solves (~96 bisection
+    /// probes + 1 finish per solve).
+    pub fn pv_evals(&self) -> u64 {
+        self.pv_evals.get()
+    }
+
+    /// Total inner Newton/bisection iterations across all PV evaluations
+    /// (zero for memo hits on a [`pv::CachedArray`]).
+    pub fn newton_iters(&self) -> u64 {
+        self.newton_iters.get()
+    }
+}
+
+/// Pass-through [`PvGenerator`] adapter that tallies evaluation work into a
+/// [`SolveStats`]. Every call delegates to the counted inner path, which is
+/// bit-identical to the plain one by the `pv` crate's contract.
+struct CountingGenerator<'a, G: PvGenerator + ?Sized> {
+    inner: &'a G,
+    stats: &'a SolveStats,
+}
+
+impl<G: PvGenerator + ?Sized> PvGenerator for CountingGenerator<'_, G> {
+    fn open_circuit_voltage(&self, env: CellEnv) -> Volts {
+        self.inner.open_circuit_voltage(env)
+    }
+
+    fn current_at(&self, env: CellEnv, voltage: Volts) -> Result<Amps, PvError> {
+        Ok(self.current_at_counted(env, voltage)?.0)
+    }
+
+    fn mpp(&self, env: CellEnv) -> MppPoint {
+        self.inner.mpp(env)
+    }
+
+    fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
+        let (current, iters) = self.inner.current_at_counted(env, voltage)?;
+        self.stats.pv_evals.set(self.stats.pv_evals.get().saturating_add(1));
+        self.stats
+            .newton_iters
+            .set(self.stats.newton_iters.get().saturating_add(u64::from(iters)));
+        Ok((current, iters))
+    }
+}
+
+/// [`solve_operating_point`] with work counters: identical output bits,
+/// plus `stats` accumulates the solve/evaluation/iteration tallies the
+/// telemetry subsystem reports (DESIGN.md §14).
+pub fn solve_operating_point_traced<G: PvGenerator + ?Sized>(
+    generator: &G,
+    env: CellEnv,
+    converter: &DcDcConverter,
+    load: &LoadModel,
+    stats: &SolveStats,
+) -> OperatingPoint {
+    stats.solves.set(stats.solves.get().saturating_add(1));
+    let counting = CountingGenerator {
+        inner: generator,
+        stats,
+    };
+    solve_operating_point(&counting, env, converter, load)
 }
 
 /// Solves the operating point of `generator` + `converter` + `load` under
@@ -308,6 +397,27 @@ mod tests {
         assert_eq!(op, OperatingPoint::default());
         let op = solve_operating_point(&array, env, &dcdc, &LoadModel::ConstantPower(Watts::ZERO));
         assert_eq!(op.panel_current, Amps::ZERO);
+    }
+
+    #[test]
+    fn traced_solve_is_bit_identical_and_counts_work() {
+        let (array, dcdc, env) = rig();
+        let load = LoadModel::Resistance(Ohms::new(1.2));
+        let plain = solve_operating_point(&array, env, &dcdc, &load);
+        let stats = SolveStats::new();
+        let traced = solve_operating_point_traced(&array, env, &dcdc, &load, &stats);
+        assert_eq!(
+            plain.panel_voltage.get().to_bits(),
+            traced.panel_voltage.get().to_bits()
+        );
+        assert_eq!(
+            plain.output_current.get().to_bits(),
+            traced.output_current.get().to_bits()
+        );
+        assert_eq!(stats.solves(), 1);
+        // 96 bisection probes + 1 finish evaluation.
+        assert_eq!(stats.pv_evals(), 97);
+        assert!(stats.newton_iters() >= stats.pv_evals());
     }
 
     #[test]

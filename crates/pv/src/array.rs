@@ -99,6 +99,12 @@ impl PvGenerator for PvArray {
         Ok(self.module.current_at(env, per_module)? * self.strings_parallel as f64)
     }
 
+    fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
+        let per_module = voltage / self.modules_series as f64;
+        let (current, iters) = self.module.current_at_counted(env, per_module)?;
+        Ok((current * self.strings_parallel as f64, iters))
+    }
+
     fn mpp(&self, env: CellEnv) -> MppPoint {
         let module_mpp = mpp::find_mpp(&self.module, env);
         MppPoint {

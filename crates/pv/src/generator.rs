@@ -27,6 +27,21 @@ pub trait PvGenerator {
     /// efficiency is measured against).
     fn mpp(&self, env: CellEnv) -> MppPoint;
 
+    /// [`Self::current_at`] plus the number of inner solver iterations the
+    /// evaluation cost — the telemetry subsystem's per-solve cost signal.
+    ///
+    /// The default reports zero iterations (correct for closed-form or
+    /// mocked sources); iterative implementations override it with the
+    /// true Newton/bisection count. Overrides must return bit-identical
+    /// currents to [`Self::current_at`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::current_at`].
+    fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
+        Ok((self.current_at(env, voltage)?, 0))
+    }
+
     /// Output power at terminal voltage `voltage`.
     ///
     /// # Errors
@@ -48,6 +63,10 @@ impl PvGenerator for crate::module::PvModule {
 
     fn mpp(&self, env: CellEnv) -> MppPoint {
         crate::module::PvModule::mpp(self, env)
+    }
+
+    fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
+        self.solver(env).current_at_counted(voltage)
     }
 }
 

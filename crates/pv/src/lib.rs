@@ -36,6 +36,7 @@
 //! Non-test code in this crate must not panic on recoverable conditions:
 //! `unwrap`/`expect`/`panic!` are denied by the gate below and by
 //! `cargo xtask lint`; justified sites carry an explicit allow + waiver.
+#![warn(missing_docs)]
 #![cfg_attr(
     not(test),
     deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)

@@ -99,6 +99,19 @@ impl<'m> ModuleSolver<'m> {
     /// iteration budget (not expected for physical inputs) and
     /// [`PvError::InvalidParameter`] for non-finite voltage.
     pub fn current_at(&self, voltage: Volts) -> Result<Amps, PvError> {
+        Ok(self.current_at_counted(voltage)?.0)
+    }
+
+    /// [`Self::current_at`] plus the number of Newton/bisection iterations
+    /// the solve took — the telemetry subsystem's per-solve cost signal
+    /// (DESIGN.md §14). The arithmetic is *identical* to `current_at`
+    /// (which now delegates here), so counting is observationally free:
+    /// every returned current bit is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::current_at`].
+    pub fn current_at_counted(&self, voltage: Volts) -> Result<(Amps, u32), PvError> {
         if !voltage.is_finite() {
             return Err(PvError::InvalidParameter {
                 name: "voltage",
@@ -133,7 +146,7 @@ impl<'m> ModuleSolver<'m> {
         for iter in 0..MAX_SOLVER_ITERS {
             let f = self.coeffs.residual(v_cell, Amps::new(i)).get();
             if f.abs() < CURRENT_TOLERANCE {
-                return Ok(Amps::new(i * strings));
+                return Ok((Amps::new(i * strings), iter + 1));
             }
             if f > 0.0 {
                 lo = i;
@@ -148,9 +161,8 @@ impl<'m> ModuleSolver<'m> {
                 0.5 * (lo + hi)
             };
             if (hi - lo).abs() < CURRENT_TOLERANCE {
-                return Ok(Amps::new(i * strings));
+                return Ok((Amps::new(i * strings), iter + 1));
             }
-            let _ = iter;
         }
         Err(PvError::NoConvergence {
             context: "module current at voltage",
@@ -437,22 +449,28 @@ impl PvGenerator for CachedArray<'_> {
     }
 
     fn current_at(&self, env: CellEnv, voltage: Volts) -> Result<Amps, PvError> {
+        Ok(self.current_at_counted(env, voltage)?.0)
+    }
+
+    fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
         if !voltage.is_finite() {
             // Error paths are not memoized; delegate for the exact error.
-            return self.array.current_at(env, voltage);
+            return self.array.current_at_counted(env, voltage);
         }
         let (g, t) = Self::env_key(env);
         let key = (g, t, voltage.get().to_bits());
         let hit = self.cache.state.borrow_mut().lookup_solve(key);
         if let Some(bits) = hit {
-            return Ok(Amps::new(f64::from_bits(bits)));
+            // A replayed memo entry costs zero solver iterations — exactly
+            // what the telemetry histogram should show for a warm cache.
+            return Ok((Amps::new(f64::from_bits(bits)), 0));
         }
-        let current = self.array.current_at(env, voltage)?;
+        let (current, iters) = self.array.current_at_counted(env, voltage)?;
         self.cache
             .state
             .borrow_mut()
             .store_solve(key, current.get().to_bits());
-        Ok(current)
+        Ok((current, iters))
     }
 
     fn mpp(&self, env: CellEnv) -> MppPoint {

@@ -17,8 +17,13 @@
 //! of Figure 11); a final load-decrease step leaves the power margin the
 //! paper uses for robustness.
 
+use std::rc::Rc;
+
 use archsim::MultiCoreChip;
-use powertrain::{solve_operating_point, DcDcConverter, IvSensor, LoadModel, OperatingPoint};
+use powertrain::{
+    solve_operating_point, solve_operating_point_traced, DcDcConverter, IvSensor, LoadModel,
+    OperatingPoint, SolveStats,
+};
 use pv::cell::CellEnv;
 use pv::generator::PvGenerator;
 use pv::units::Ohms;
@@ -60,6 +65,10 @@ pub struct TrackReport {
     /// Total tuning actions (VID writes + ratio nudges), a proxy for the
     /// controller's real-time cost (the paper reports < 5 ms per tracking).
     pub actions: u32,
+    /// Perturbation-direction reversals: probe rounds whose `+Δk` nudge
+    /// *lowered* the output current and was undone with a net `−Δk`. High
+    /// counts mean the tracker is oscillating around the MPP knee.
+    pub reversals: u32,
     /// Output power at the end of tracking, watts.
     pub final_output_power: f64,
     /// Transfer ratio at the end of tracking.
@@ -71,6 +80,10 @@ pub struct TrackReport {
 pub struct SolarCoreController {
     config: ControllerConfig,
     sensor: IvSensor,
+    /// When attached, every operating-point solve is tallied here (solves,
+    /// PV evaluations, Newton iterations) for the telemetry stream. Solves
+    /// are bit-identical with or without it.
+    solve_stats: Option<Rc<SolveStats>>,
 }
 
 impl SolarCoreController {
@@ -96,12 +109,23 @@ impl SolarCoreController {
         config
             .validate()
             .map_err(|reason| CoreError::InvalidConfig { reason })?;
-        Ok(Self { config, sensor })
+        Ok(Self {
+            config,
+            sensor,
+            solve_stats: None,
+        })
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// Attaches shared solver-work counters; see
+    /// [`powertrain::SolveStats`]. Passing the same handle the engine
+    /// snapshots lets a day simulation report per-run solver cost.
+    pub fn set_solve_stats(&mut self, stats: Rc<SolveStats>) {
+        self.solve_stats = Some(stats);
     }
 
     /// Solves the electrical operating point and passes the output-side
@@ -138,7 +162,10 @@ impl SolarCoreController {
             let vdd = self.config.nominal_bus_voltage.get();
             LoadModel::Resistance(Ohms::new(vdd * vdd / demand))
         };
-        solve_operating_point(array, env, converter, &load)
+        match &self.solve_stats {
+            Some(stats) => solve_operating_point_traced(array, env, converter, &load, stats),
+            None => solve_operating_point(array, env, converter, &load),
+        }
     }
 
     /// `true` if the bus voltage is outside the event-retrack band and the
@@ -188,6 +215,7 @@ impl SolarCoreController {
                 // Wrong direction: net −Δk.
                 rig.converter.nudge_ratio(-2);
                 report.actions += 1;
+                report.reversals += 1;
             }
 
             // Step 3: load-match the output voltage back down to Vdd.

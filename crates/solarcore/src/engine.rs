@@ -7,11 +7,14 @@
 //! the configured power-management policy, and records per-minute budget
 //! vs. actual power, bus voltage and committed instructions.
 
+use std::rc::Rc;
+
 use archsim::{CoreId, MultiCoreChip, VfLevel};
-use powertrain::{AutomaticTransferSwitch, DcDcConverter, IvSensor, PowerSource};
+use powertrain::{AutomaticTransferSwitch, DcDcConverter, IvSensor, PowerSource, SolveStats};
 use pv::generator::PvGenerator;
 use pv::units::{Volts, WattHours, Watts};
 use solarenv::{EnvTrace, Season, Site};
+use telemetry::{field, Telemetry};
 use workloads::{Mix, PhaseTrace};
 
 use crate::adapter::LoadTuner;
@@ -21,6 +24,7 @@ use crate::error::CoreError;
 use crate::invariants;
 use crate::metrics;
 use crate::policy::Policy;
+use crate::telemetry::{schema, CountingArray, DayInstruments};
 use crate::tpr;
 
 /// Seed-mixing constant so phase traces differ from weather traces.
@@ -98,6 +102,7 @@ pub struct DaySimulation {
     ats_hysteresis: Watts,
     sensor: IvSensor,
     solver_cache: bool,
+    telemetry: Telemetry,
 }
 
 /// Builder for [`DaySimulation`].
@@ -115,6 +120,7 @@ pub struct DaySimulationBuilder {
     ats_hysteresis: Watts,
     sensor: IvSensor,
     solver_cache: bool,
+    telemetry: Telemetry,
 }
 
 /// Reusable per-`(site, season, day, mix)` state of a day simulation: the
@@ -169,6 +175,7 @@ impl DaySimulation {
             ats_hysteresis: Watts::new(3.0),
             sensor: IvSensor::ideal(),
             solver_cache: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -240,8 +247,38 @@ impl DaySimulation {
             &self.array
         };
 
+        // When a telemetry stream is attached, observe the PV access path
+        // through a counting wrapper and tally operating-point solves. Both
+        // layers are bitwise transparent: the disabled path and the
+        // instrumented path compute identical results (asserted by the
+        // determinism harness).
+        let tel = &self.telemetry;
+        let instruments = DayInstruments::new();
+        let counting;
+        let array: &dyn PvGenerator = if tel.is_enabled() {
+            counting = CountingArray::new(array, &instruments);
+            &counting
+        } else {
+            array
+        };
+        let solve_stats = Rc::new(SolveStats::new());
+
         let mut controller =
             SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone())?;
+        if tel.is_enabled() {
+            controller.set_solve_stats(Rc::clone(&solve_stats));
+            tel.set_minute(setup.trace.samples().first().map_or(0, |s| s.minute_of_day));
+            tel.event(
+                schema::EVENT_DAY_START,
+                vec![
+                    field(schema::SITE, self.site.code()),
+                    field(schema::SEASON, self.season.to_string()),
+                    field(schema::DAY, self.day),
+                    field(schema::MIX, self.mix.name()),
+                    field(schema::POLICY, self.policy.label()),
+                ],
+            )?;
+        }
         let vdd = self.config.nominal_bus_voltage;
         let mut chip = MultiCoreChip::new(&self.mix); // utility boot: full speed
         let mut converter = self.converter.clone();
@@ -253,8 +290,12 @@ impl DaySimulation {
         let mut prev_source = PowerSource::Utility;
         let mut force_track = false;
 
+        let mut vf_residency = vec![[0u64; VfLevel::COUNT]; chip.core_count()];
+        let mut gated_minutes = vec![0u64; chip.core_count()];
+
         let mut records = Vec::with_capacity(trace.samples().len());
         for (t, sample) in trace.samples().iter().enumerate() {
+            tel.set_minute(sample.minute_of_day);
             let env = sample.cell_env();
             let budget = array.mpp(env).power;
             let source = ats.update(budget);
@@ -289,8 +330,18 @@ impl DaySimulation {
                 PowerSource::Solar => match self.policy {
                     Policy::FixedPower(budget_cap) => {
                         if force_track || t % self.config.tracking_interval_minutes as usize == 0 {
-                            allocate_budget(&mut chip, budget_cap)?;
+                            let moves = allocate_budget(&mut chip, budget_cap)?;
                             force_track = false;
+                            if tel.is_enabled() {
+                                instruments.tpr_moves.record(u64::from(moves));
+                                tel.event(
+                                    schema::EVENT_TPR_ALLOC,
+                                    vec![
+                                        field(schema::BUDGET_W, budget_cap.get()),
+                                        field(schema::MOVES, u64::from(moves)),
+                                    ],
+                                )?;
+                            }
                         }
                         (chip.total_power().min(budget_cap), vdd)
                     }
@@ -298,12 +349,13 @@ impl DaySimulation {
                     | Policy::MpptRr
                     | Policy::MpptOpt
                     | Policy::MpptChipWide => {
+                        let forced = force_track;
                         let op = controller.solve(array, env, &converter, &chip);
                         if force_track
                             || t % self.config.tracking_interval_minutes as usize == 0
                             || controller.needs_retrack(&op)
                         {
-                            controller.track(&mut TrackingRig {
+                            let report = controller.track(&mut TrackingRig {
                                 array,
                                 env,
                                 converter: &mut converter,
@@ -311,6 +363,25 @@ impl DaySimulation {
                                 tuner: &mut tuner,
                             })?;
                             force_track = false;
+                            if tel.is_enabled() {
+                                instruments.track_rounds.record(u64::from(report.rounds));
+                                instruments.track_actions.record(u64::from(report.actions));
+                                instruments
+                                    .track_reversals
+                                    .record(u64::from(report.reversals));
+                                tel.span(
+                                    schema::SPAN_TRACK,
+                                    sample.minute_of_day,
+                                    vec![
+                                        field(schema::ROUNDS, report.rounds),
+                                        field(schema::ACTIONS, report.actions),
+                                        field(schema::REVERSALS, report.reversals),
+                                        field(schema::FINAL_POWER_W, report.final_output_power),
+                                        field(schema::RATIO_K, report.final_ratio),
+                                        field(schema::FORCED, forced),
+                                    ],
+                                )?;
+                            }
                         }
                         if invariants::enabled() {
                             invariants::assert_bus_voltage(
@@ -336,6 +407,32 @@ impl DaySimulation {
                 invariants::assert_budget("engine minute", drawn, budget);
             }
 
+            if tel.is_enabled() {
+                instruments
+                    .ratio_k_centi
+                    .record(ratio_centisteps(converter.ratio()));
+                for (idx, core) in chip.cores().iter().enumerate() {
+                    if core.is_gated() {
+                        gated_minutes[idx] += 1;
+                    } else {
+                        vf_residency[idx][core.level().index()] += 1;
+                    }
+                }
+                tel.event(
+                    schema::EVENT_MINUTE,
+                    vec![
+                        field(schema::BUDGET_W, budget.get()),
+                        field(schema::DRAWN_W, drawn.get()),
+                        field(schema::BUS_V, bus_voltage.get()),
+                        field(schema::SOURCE, source_label(source)),
+                        field(schema::CHIP_POWER_W, chip_power.get()),
+                        field(schema::CHIP_CAPACITY_W, chip_capacity.get()),
+                        field(schema::RATIO_K, converter.ratio()),
+                        field(schema::INSTRUCTIONS, instructions),
+                    ],
+                )?;
+            }
+
             records.push(MinuteRecord {
                 minute: sample.minute_of_day,
                 budget,
@@ -349,14 +446,55 @@ impl DaySimulation {
             });
         }
 
-        Ok(DayResult {
+        let result = DayResult {
             site_code: self.site.code(),
             season: self.season,
             day: self.day,
             mix_name: self.mix.name(),
             policy: self.policy,
             records,
-        })
+        };
+
+        if tel.is_enabled() {
+            instruments.fold_zero_evals();
+            for (core, levels) in vf_residency.iter().enumerate() {
+                let mut fields = vec![
+                    field(schema::CORE, core),
+                    field(schema::GATED_MINUTES, gated_minutes[core]),
+                ];
+                for (level, minutes) in levels.iter().enumerate() {
+                    fields.push(field(schema::RESIDENCY_LEVELS[level], *minutes));
+                }
+                tel.event(schema::EVENT_VF_RESIDENCY, fields)?;
+            }
+            tel.histogram(&instruments.newton_iters)?;
+            tel.histogram(&instruments.track_rounds)?;
+            tel.histogram(&instruments.track_actions)?;
+            tel.histogram(&instruments.track_reversals)?;
+            tel.histogram(&instruments.tpr_moves)?;
+            tel.histogram(&instruments.ratio_k_centi)?;
+            tel.counter(&instruments.mpp_queries)?;
+            tel.counter(&instruments.pv_evals)?;
+            let cache = setup.cache_stats();
+            tel.event(
+                schema::EVENT_DAY_SUMMARY,
+                vec![
+                    field(schema::TRACKING_ERROR, result.mean_tracking_error()),
+                    field(schema::ENERGY_DRAWN_WH, result.energy_drawn().get()),
+                    field(schema::ENERGY_AVAILABLE_WH, result.energy_available().get()),
+                    field(schema::UTILIZATION, result.utilization()),
+                    field(schema::INSTRUCTIONS, result.total_instructions()),
+                    field(schema::CACHE_HITS, cache.hits),
+                    field(schema::CACHE_MISSES, cache.misses),
+                    field(schema::SOLVES, solve_stats.solves()),
+                    field(schema::PV_EVALS, solve_stats.pv_evals()),
+                    field(schema::NEWTON_ITERS_TOTAL, solve_stats.newton_iters()),
+                ],
+            )?;
+            tel.flush()?;
+        }
+
+        Ok(result)
     }
 }
 
@@ -432,6 +570,17 @@ impl DaySimulationBuilder {
         self
     }
 
+    /// Attaches a telemetry stream (default: disabled). An enabled handle
+    /// makes every run emit the records documented in
+    /// [`crate::telemetry::schema`]; instrumentation is bitwise transparent
+    /// — results are identical with the handle attached or not. In a
+    /// [`DayBatch`] the handle is shared by every policy's simulation, so
+    /// one sink receives the whole cell's stream in run order.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Builds one simulation per policy, all sharing a single prepared
     /// [`SimSetup`] (one trace decode, one solver memo), returned as a
     /// [`DayBatch`].
@@ -485,6 +634,7 @@ impl DaySimulationBuilder {
             ats_hysteresis: self.ats_hysteresis,
             sensor: self.sensor,
             solver_cache: self.solver_cache,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -533,11 +683,17 @@ impl DayBatch {
 /// what-if power stays under the budget. For this separable concave problem
 /// the greedy fill matches the paper's linear-programming optimum.
 ///
+/// Returns the number of reallocation moves applied — power-gatings plus
+/// granted V/F steps, excluding the uniform reset to the floor — which the
+/// telemetry stream records as [`schema::EVENT_TPR_ALLOC`] /
+/// [`schema::HIST_TPR_MOVES`].
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] if the chip rejects a core id or level transition —
 /// an internal inconsistency between the TPR table and the chip state.
-pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<(), CoreError> {
+pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<u32, CoreError> {
+    let mut moves: u32 = 0;
     for id in 0..chip.core_count() {
         chip.gate(CoreId(id), false)?;
     }
@@ -548,6 +704,7 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<(), Co
     while chip.total_power() > budget && victim > 0 {
         victim -= 1;
         chip.gate(CoreId(victim), true)?;
+        moves += 1;
     }
 
     let mut blocked = vec![false; chip.core_count()];
@@ -568,6 +725,7 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<(), Co
             })?;
         if chip.power_if(entry.core, next)? <= budget {
             chip.set_level(entry.core, next)?;
+            moves += 1;
         } else {
             blocked[entry.core.0] = true;
         }
@@ -576,7 +734,29 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<(), Co
         // The fill must respect the cap it was given.
         invariants::assert_budget("budget allocation", chip.total_power(), budget);
     }
-    Ok(())
+    Ok(moves)
+}
+
+/// The converter transfer ratio in centisteps (`round(k · 100)`) for the
+/// [`schema::HIST_RATIO_K_CENTI`] trajectory histogram.
+fn ratio_centisteps(ratio: f64) -> u64 {
+    if !ratio.is_finite() {
+        return 0;
+    }
+    // Ratios are physically bounded well under 10^4; the clamp only makes
+    // the cast provably lossless.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    {
+        (ratio * 100.0).round().clamp(0.0, 1_000_000.0) as u64
+    }
+}
+
+/// Schema label for the active power source.
+fn source_label(source: PowerSource) -> &'static str {
+    match source {
+        PowerSource::Solar => "solar",
+        PowerSource::Utility => "utility",
+    }
 }
 
 /// Aggregated outcome of one simulated day.
@@ -811,6 +991,63 @@ mod tests {
             opt.solar_instructions(),
             ic.solar_instructions()
         );
+    }
+
+    #[test]
+    fn telemetry_instrumentation_is_bit_transparent() {
+        use std::cell::RefCell;
+        use telemetry::JsonlSink;
+
+        let plain = quick(Policy::MpptOpt);
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        let traced = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .policy(Policy::MpptOpt)
+            .telemetry(Telemetry::attached(sink.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(plain, traced, "instrumentation changed the simulation");
+
+        let stream = sink.borrow().buffer().to_string();
+        assert!(stream.contains("\"day_start\""));
+        assert!(stream.contains("\"track\""));
+        assert!(stream.contains("\"vf_residency\""));
+        assert!(stream.contains("\"day_summary\""));
+        // day_start + one minute event per record + spans/snapshots.
+        assert!(stream.lines().count() > traced.records().len());
+    }
+
+    #[test]
+    fn fixed_power_telemetry_reports_tpr_moves() {
+        use std::cell::RefCell;
+        use telemetry::JsonlSink;
+
+        let sink = Rc::new(RefCell::new(JsonlSink::new()));
+        DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .policy(Policy::FixedPower(Watts::new(75.0)))
+            .telemetry(Telemetry::attached(sink.clone()))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let stream = sink.borrow().buffer().to_string();
+        assert!(stream.contains("\"tpr_alloc\""));
+        assert!(stream.contains("\"tpr_moves\""));
+    }
+
+    #[test]
+    fn ratio_centisteps_rounds_and_saturates() {
+        assert_eq!(ratio_centisteps(1.0), 100);
+        assert_eq!(ratio_centisteps(3.456), 346);
+        assert_eq!(ratio_centisteps(-1.0), 0);
+        assert_eq!(ratio_centisteps(f64::NAN), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::fmt;
 
 use archsim::ArchError;
 use powertrain::PowerError;
+use telemetry::SinkError;
 
 /// Errors produced by the SolarCore controller, tuner and engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,6 +26,9 @@ pub enum CoreError {
         /// Core whose level could not move.
         core: usize,
     },
+    /// The telemetry sink rejected a record. Instrumented runs propagate
+    /// this instead of silently dropping observability data.
+    Telemetry(SinkError),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +42,7 @@ impl fmt::Display for CoreError {
             CoreError::LevelExhausted { core } => {
                 write!(f, "core {core} has no V/F level in the requested direction")
             }
+            CoreError::Telemetry(e) => write!(f, "telemetry emission failed: {e}"),
         }
     }
 }
@@ -47,6 +52,7 @@ impl Error for CoreError {
         match self {
             CoreError::Arch(e) => Some(e),
             CoreError::Power(e) => Some(e),
+            CoreError::Telemetry(e) => Some(e),
             _ => None,
         }
     }
@@ -61,6 +67,12 @@ impl From<ArchError> for CoreError {
 impl From<PowerError> for CoreError {
     fn from(e: PowerError) -> Self {
         CoreError::Power(e)
+    }
+}
+
+impl From<SinkError> for CoreError {
+    fn from(e: SinkError) -> Self {
+        CoreError::Telemetry(e)
     }
 }
 

@@ -54,6 +54,7 @@ pub mod error;
 pub mod invariants;
 pub mod metrics;
 pub mod policy;
+pub mod telemetry;
 pub mod tpr;
 
 pub use adapter::LoadTuner;
@@ -63,4 +64,5 @@ pub use controller::{SolarCoreController, TrackingRig};
 pub use engine::{DayBatch, DayResult, DaySimulation, MinuteRecord, SimSetup};
 pub use error::CoreError;
 pub use policy::{LoadScheduler, Policy};
+pub use telemetry::{schema, CountingArray, DayInstruments};
 pub use tpr::{tpr_table, TprEntry};

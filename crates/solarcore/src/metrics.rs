@@ -1,4 +1,14 @@
-//! Aggregation helpers for the evaluation metrics.
+//! Aggregation helpers for the **end-of-run** evaluation metrics — the
+//! scalar summaries ([`crate::engine::DayResult`], the paper's tables) that
+//! exist only after a whole day has been simulated.
+//!
+//! This is distinct from the **streaming** observability data in
+//! [`crate::telemetry`]: telemetry records are emitted minute by minute
+//! while the run is still in flight and describe controller behaviour
+//! (tracking spans, solver-iteration histograms); the helpers here fold
+//! finished results into the numbers the figures report. The day-summary
+//! telemetry event mirrors these aggregates so a JSONL stream can be
+//! cross-checked against the tables without re-running anything.
 
 /// Geometric mean of positive values; zero/negative entries are clamped to
 /// a tiny epsilon so a single zero does not annihilate the mean.

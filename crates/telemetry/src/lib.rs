@@ -1,0 +1,76 @@
+//! Zero-dependency structured telemetry for the SolarCore control loop.
+//!
+//! The paper evaluates SolarCore by *introspecting* its MPPT control loop —
+//! per-period tracking error (Table 7), transfer-ratio/load trajectories
+//! (Figs. 13–14), per-core V/F allocation histories (Fig. 21) — and this
+//! crate is the substrate that makes those observations first-class instead
+//! of opaque end-of-run aggregates. It provides:
+//!
+//! * [`Record`]s — [`Event`]s and [`Span`]s with typed [`Field`]s, plus
+//!   snapshots of [`Counter`]s and fixed-bucket [`Histogram`]s;
+//! * a pluggable [`Sink`] trait with four implementations: [`NullSink`]
+//!   (benches), [`JsonlSink`] (runs, byte-deterministic JSON Lines),
+//!   [`RingSink`] (bounded in-memory collector keeping the most recent
+//!   records) and [`AggregatingSink`] (order-insensitive roll-ups for
+//!   `results/`);
+//! * a cheap, cloneable [`Telemetry`] handle that stamps every record with
+//!   the **simulation clock** (minute-of-day) and a monotonic sequence
+//!   number. There is no ambient time anywhere in this crate — no
+//!   `SystemTime`, no `Instant` — so instrumented simulations stay bitwise
+//!   deterministic (the PR-2 contract); `cargo xtask analyze` enforces this.
+//!
+//! The concrete schema emitted by the simulation engine (record names,
+//! field names, units) is documented in `solarcore::telemetry::schema` and
+//! DESIGN.md §14; this crate only fixes the *envelope* (record shapes and
+//! their JSON Lines encoding).
+//!
+//! # Quick start
+//!
+//! ```
+//! use telemetry::{field, JsonlSink, Telemetry};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//!
+//! let sink = Rc::new(RefCell::new(JsonlSink::new()));
+//! let tel = Telemetry::attached(sink.clone());
+//! tel.set_minute(450); // 07:30, sim clock — never wall clock
+//! tel.event("minute", vec![field("budget_w", 123.5), field("source", "solar")])?;
+//! tel.flush()?;
+//! let line = sink.borrow().buffer().to_owned();
+//! assert_eq!(
+//!     line,
+//!     "{\"t\":\"event\",\"name\":\"minute\",\"minute\":450,\"seq\":0,\
+//!      \"fields\":{\"budget_w\":123.5,\"source\":\"solar\"}}\n"
+//! );
+//!
+//! // A disabled handle is a no-op: same call sites, zero records.
+//! let off = Telemetry::disabled();
+//! off.event("minute", vec![field("budget_w", 0.0)])?;
+//! assert!(!off.is_enabled());
+//! # Ok::<(), telemetry::SinkError>(())
+//! ```
+//!
+//! ## Error policy
+//!
+//! Every emission path returns `Result<(), SinkError>` and call sites must
+//! propagate — `cargo xtask lint` refuses `unwrap`/`expect` waivers inside
+//! this crate, so there is no way to smuggle a panic into the telemetry
+//! path of a production run.
+#![warn(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+#![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
+
+pub mod handle;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod value;
+
+pub use handle::Telemetry;
+pub use metrics::{Counter, Histogram};
+pub use record::{CounterSnapshot, Event, HistogramSnapshot, Record, Span};
+pub use sink::{AggregatingSink, JsonlSink, NullSink, RingSink, Sink, SinkError};
+pub use value::{field, Field, Value};

@@ -1,0 +1,212 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! Both use interior mutability (`Cell<u64>`) so instrumented code can
+//! record through shared references — the PV generator trait, for example,
+//! only ever hands out `&self`. Both support `merge`, which is associative
+//! and commutative (property-tested in `tests/merge_props.rs`), so
+//! per-shard metrics can be combined in any order with a deterministic
+//! result — a prerequisite for the ROADMAP's sharded sweeps.
+
+use crate::record::{CounterSnapshot, HistogramSnapshot};
+use crate::sink::SinkError;
+use std::cell::Cell;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    name: &'static str,
+    value: Cell<u64>,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: Cell::new(0),
+        }
+    }
+
+    /// The counter's schema name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` to the counter (saturating; counters never wrap).
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get().saturating_add(n));
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current accumulated value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+
+    /// Folds `other` into `self`. Associative and commutative.
+    pub fn merge(&self, other: &Self) {
+        self.add(other.get());
+    }
+
+    /// Snapshots the counter into a stream record.
+    pub fn snapshot(&self, seq: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            name: self.name,
+            seq,
+            value: self.get(),
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// Bucket upper bounds are a `&'static [u64]` (sorted ascending, inclusive);
+/// an overflow bucket catches everything above the last bound. The fixed,
+/// compile-time bucket layout is what makes `merge` a plain element-wise
+/// add — and therefore associative and order-independent.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    bounds: &'static [u64],
+    counts: Box<[Cell<u64>]>,
+    count: Cell<u64>,
+    sum: Cell<u64>,
+    max: Cell<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds` (must be sorted ascending).
+    pub fn new(name: &'static str, bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            name,
+            bounds,
+            counts: (0..=bounds.len()).map(|_| Cell::new(0)).collect(),
+            count: Cell::new(0),
+            sum: Cell::new(0),
+            max: Cell::new(0),
+        }
+    }
+
+    /// The histogram's schema name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].set(self.counts[idx].get().saturating_add(1));
+        self.count.set(self.count.get().saturating_add(1));
+        self.sum.set(self.sum.get().saturating_add(v));
+        self.max.set(self.max.get().max(v));
+    }
+
+    /// Records `n` observations of value zero in one update — equivalent
+    /// to `n` calls of `record(0)`, but constant cost. Zero always lands
+    /// in the first bucket (no bound is below it) and leaves `sum` and
+    /// `max` untouched, so hot paths that mostly observe zero (memoized
+    /// solves with no Newton iterations) can tally into a plain counter
+    /// and fold it in here once.
+    pub fn record_zeros(&self, n: u64) {
+        self.counts[0].set(self.counts[0].get().saturating_add(n));
+        self.count.set(self.count.get().saturating_add(n));
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.get()
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.get()
+    }
+
+    /// Folds `other` into `self` element-wise. Associative and commutative;
+    /// fails (without mutating `self`) if the bucket layouts differ.
+    pub fn merge(&self, other: &Self) -> Result<(), SinkError> {
+        if self.bounds != other.bounds {
+            return Err(SinkError::SchemaMismatch { name: other.name });
+        }
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            mine.set(mine.get().saturating_add(theirs.get()));
+        }
+        self.count
+            .set(self.count.get().saturating_add(other.count.get()));
+        self.sum.set(self.sum.get().saturating_add(other.sum.get()));
+        self.max.set(self.max.get().max(other.max.get()));
+        Ok(())
+    }
+
+    /// Snapshots the histogram into a stream record.
+    pub fn snapshot(&self, seq: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name,
+            seq,
+            bounds: self.bounds,
+            counts: self.counts.iter().map(Cell::get).collect(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let a = Counter::new("a");
+        a.incr();
+        a.add(4);
+        assert_eq!(a.get(), 5);
+        let b = Counter::new("a");
+        b.add(7);
+        a.merge(&b);
+        assert_eq!(a.get(), 12);
+        assert_eq!(a.snapshot(9).value, 12);
+        assert_eq!(a.snapshot(9).seq, 9);
+    }
+
+    #[test]
+    fn histogram_buckets_inclusively_with_overflow() {
+        let h = Histogram::new("h", &[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.record(v);
+        }
+        let snap = h.snapshot(0);
+        // (..=1): 0,1  (..=2): 2  (..=4): 3,4  overflow: 5,100
+        assert_eq!(snap.counts, vec![2, 1, 2, 2]);
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 115);
+        assert_eq!(snap.max, 100);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = Histogram::new("a", &[1, 2]);
+        let b = Histogram::new("a", &[1, 3]);
+        assert!(a.merge(&b).is_err());
+        let c = Histogram::new("a", &[1, 2]);
+        c.record(2);
+        assert!(a.merge(&c).is_ok());
+        assert_eq!(a.count(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! The record envelope: events, spans and metric snapshots.
+//!
+//! A telemetry stream is a sequence of [`Record`]s, each stamped with a
+//! monotonic `seq` by the emitting [`Telemetry`](crate::Telemetry) handle.
+//! Timestamps are **simulation minutes** (minute-of-day, matching
+//! `solarenv::EnvSample::minute_of_day`), never wall-clock time.
+
+use crate::value::Field;
+
+/// A point-in-time observation (one minute of the control loop, a TPR
+/// reallocation, a day summary, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Schema-stable record name (see `solarcore::telemetry::schema`).
+    pub name: &'static str,
+    /// Simulation minute-of-day the event was observed at.
+    pub minute: u32,
+    /// Monotonic per-stream sequence number.
+    pub seq: u64,
+    /// Typed payload fields, in schema order.
+    pub fields: Vec<Field>,
+}
+
+/// An operation with extent on the simulation clock (an MPPT tracking
+/// period, a budget reallocation pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Schema-stable record name.
+    pub name: &'static str,
+    /// Simulation minute the operation started.
+    pub start_minute: u32,
+    /// Simulation minute the operation finished (`>= start_minute`).
+    pub end_minute: u32,
+    /// Monotonic per-stream sequence number (assigned at completion).
+    pub seq: u64,
+    /// Typed payload fields, in schema order.
+    pub fields: Vec<Field>,
+}
+
+/// Point-in-stream snapshot of a monotone [`Counter`](crate::Counter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: &'static str,
+    /// Monotonic per-stream sequence number.
+    pub seq: u64,
+    /// Accumulated value at snapshot time.
+    pub value: u64,
+}
+
+/// Point-in-stream snapshot of a fixed-bucket
+/// [`Histogram`](crate::Histogram).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: &'static str,
+    /// Monotonic per-stream sequence number.
+    pub seq: u64,
+    /// Upper bounds (inclusive) of the finite buckets; the final bucket in
+    /// `counts` is the overflow bucket `(bounds.last(), ∞)`.
+    pub bounds: &'static [u64],
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+/// One element of a telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A point-in-time observation.
+    Event(Event),
+    /// An operation with start/end minutes.
+    Span(Span),
+    /// A counter snapshot.
+    Counter(CounterSnapshot),
+    /// A histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+impl Record {
+    /// The record's schema name, independent of variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Event(e) => e.name,
+            Self::Span(s) => s.name,
+            Self::Counter(c) => c.name,
+            Self::Histogram(h) => h.name,
+        }
+    }
+
+    /// The record's sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Self::Event(e) => e.seq,
+            Self::Span(s) => s.seq,
+            Self::Counter(c) => c.seq,
+            Self::Histogram(h) => h.seq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::field;
+
+    #[test]
+    fn name_and_seq_cover_all_variants() {
+        let e = Record::Event(Event {
+            name: "minute",
+            minute: 450,
+            seq: 1,
+            fields: vec![field("budget_w", 10.0)],
+        });
+        let s = Record::Span(Span {
+            name: "track",
+            start_minute: 450,
+            end_minute: 450,
+            seq: 2,
+            fields: vec![],
+        });
+        let c = Record::Counter(CounterSnapshot {
+            name: "pv_solves",
+            seq: 3,
+            value: 7,
+        });
+        let h = Record::Histogram(HistogramSnapshot {
+            name: "newton_iters",
+            seq: 4,
+            bounds: &[1, 2],
+            counts: vec![0, 1, 0],
+            count: 1,
+            sum: 2,
+            max: 2,
+        });
+        assert_eq!(
+            [e.name(), s.name(), c.name(), h.name()],
+            ["minute", "track", "pv_solves", "newton_iters"]
+        );
+        assert_eq!([e.seq(), s.seq(), c.seq(), h.seq()], [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Typed field values carried by telemetry events and spans.
+//!
+//! Values are deliberately restricted to scalars plus strings: the schema
+//! contract (DESIGN.md §14) keeps every record flat so JSONL consumers can
+//! scan line-by-line without recursion. Physical quantities are carried as
+//! `f64` **with the unit encoded in the field name suffix** (`_w`, `_v`,
+//! `_a`, `_wh`, `_c`), mirroring the `pv::units` newtype the producer read
+//! the number from; see `solarcore::telemetry::schema`.
+
+/// A scalar telemetry value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sequence numbers, core ids).
+    U64(u64),
+    /// Signed integer (deltas, signed step counts).
+    I64(i64),
+    /// IEEE-754 double. Serialized with Rust's shortest round-trip
+    /// formatting so a JSONL reader recovers the exact bits; non-finite
+    /// values serialize as JSON `null`.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Static string — schema-stable labels (`"solar"`, `"utility"`).
+    Str(&'static str),
+    /// Owned string — free-form diagnostic text.
+    Text(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Self::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Self::Text(v)
+    }
+}
+
+/// One named field on an [`Event`](crate::Event) or [`Span`](crate::Span).
+///
+/// Field names are `&'static str` by design: the set of names is the
+/// schema, fixed at compile time and documented in
+/// `solarcore::telemetry::schema`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Schema-stable field name (snake_case, unit suffix where physical).
+    pub name: &'static str,
+    /// The value.
+    pub value: Value,
+}
+
+/// Builds a [`Field`] from anything convertible into a [`Value`].
+///
+/// ```
+/// use telemetry::{field, Value};
+/// let f = field("budget_w", 71.5);
+/// assert_eq!(f.name, "budget_w");
+/// assert_eq!(f.value, Value::F64(71.5));
+/// ```
+pub fn field(name: &'static str, value: impl Into<Value>) -> Field {
+    Field {
+        name,
+        value: value.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_pick_the_right_variant() {
+        assert_eq!(Value::from(3_u32), Value::U64(3));
+        assert_eq!(Value::from(3_usize), Value::U64(3));
+        assert_eq!(Value::from(-2_i32), Value::I64(-2));
+        assert_eq!(Value::from(1.5_f64), Value::F64(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("solar"), Value::Str("solar"));
+        assert_eq!(Value::from("x".to_owned()), Value::Text("x".to_owned()));
+    }
+}

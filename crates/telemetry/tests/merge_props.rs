@@ -1,0 +1,85 @@
+//! Property tests: counter/histogram merge is associative and
+//! order-independent (the contract that makes sharded-sweep metric
+//! aggregation deterministic regardless of shard completion order).
+
+use proptest::prelude::*;
+use telemetry::{Counter, Histogram};
+
+/// Bucket layout used throughout; mirrors the Newton-iteration buckets.
+const BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+fn hist_from(samples: &[u64]) -> Histogram {
+    let h = Histogram::new("h", BOUNDS);
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn assert_hist_eq(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.snapshot(0), b.snapshot(0));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counter_merge_is_associative_and_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        // ((c0 + c1) + c2) + ... == fold in reverse order
+        let fwd = Counter::new("c");
+        for &x in &xs {
+            let part = Counter::new("c");
+            part.add(x);
+            fwd.merge(&part);
+        }
+        let rev = Counter::new("c");
+        for &x in xs.iter().rev() {
+            let part = Counter::new("c");
+            part.add(x);
+            rev.merge(&part);
+        }
+        prop_assert_eq!(fwd.get(), rev.get());
+        prop_assert_eq!(fwd.get(), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(0u64..300, 0..20),
+        b in proptest::collection::vec(0u64..300, 0..20),
+        c in proptest::collection::vec(0u64..300, 0..20),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = hist_from(&a);
+        let hb = hist_from(&b);
+        left.merge(&hb).unwrap();
+        let hc = hist_from(&c);
+        left.merge(&hc).unwrap();
+
+        // a ⊕ (b ⊕ c)
+        let right = hist_from(&a);
+        let bc = hist_from(&b);
+        bc.merge(&hist_from(&c)).unwrap();
+        right.merge(&bc).unwrap();
+
+        assert_hist_eq(&left, &right);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent(
+        a in proptest::collection::vec(0u64..300, 0..20),
+        b in proptest::collection::vec(0u64..300, 0..20),
+    ) {
+        let ab = hist_from(&a);
+        ab.merge(&hist_from(&b)).unwrap();
+        let ba = hist_from(&b);
+        ba.merge(&hist_from(&a)).unwrap();
+        assert_hist_eq(&ab, &ba);
+
+        // merging shards == recording the concatenated samples directly
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        assert_hist_eq(&ab, &hist_from(&all));
+    }
+}

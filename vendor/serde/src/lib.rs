@@ -58,6 +58,23 @@ impl Value {
         }
     }
 
+    /// The unsigned integer, if this is a non-negative integer variant.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Looks up an object field by key (first match, like `serde_json`).
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {

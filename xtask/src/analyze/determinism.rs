@@ -11,8 +11,11 @@
 //!   serialized output must use `BTreeMap`/`BTreeSet` or sort before
 //!   emission;
 //! * **ambient nondeterminism** — `thread_rng`, `OsRng`, `from_entropy`,
-//!   `SystemTime`, `Instant` inside simulation logic make replays
-//!   impossible; all randomness must flow from explicit seeds;
+//!   `RandomState`, `SystemTime`, `UNIX_EPOCH`, `Instant` inside
+//!   simulation logic make replays impossible; all randomness must flow
+//!   from explicit seeds and all timestamps from simulated minutes (the
+//!   `crates/telemetry` stream is stamped exclusively with sim time, so
+//!   any ambient clock there is a contract break, not a convenience);
 //! * **completion-order reductions** — folding worker results in the order
 //!   they arrive (`recv`, `try_iter`, rayon `reduce`) reorders float
 //!   accumulation with thread scheduling; reductions must happen in input
@@ -47,8 +50,16 @@ const AMBIENT: &[(&str, &str)] = &[
         "`from_entropy()` seeds from ambient entropy; use `seed_from_u64`/explicit seeds",
     ),
     (
+        "RandomState",
+        "`RandomState` seeds hashing from ambient entropy; use an explicitly seeded hasher",
+    ),
+    (
         "SystemTime",
         "`SystemTime` makes output depend on the wall clock; pass timestamps in explicitly",
+    ),
+    (
+        "UNIX_EPOCH",
+        "`UNIX_EPOCH` arithmetic stamps output with the wall clock; use simulated minutes",
     ),
     (
         "Instant",
@@ -209,6 +220,25 @@ mod tests {
         assert!(applies_to("crates/bench/src/grid.rs"));
         assert!(applies_to("crates/bench/src/bin/expt_all.rs"));
         assert!(applies_to("crates/solarcore/src/engine.rs"));
+        // The telemetry crate stamps records with sim time only; ambient
+        // clocks/entropy there break the observability contract.
+        assert!(applies_to("crates/telemetry/src/record.rs"));
         assert!(!applies_to("xtask/src/main.rs"));
+    }
+
+    #[test]
+    fn ambient_clock_stamps_in_telemetry_are_flagged() {
+        let text = "fn stamp() -> u64 {\n    let now = std::time::SystemTime::now();\n    now.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()\n}\n";
+        let v = check(&SourceFile::parse("crates/telemetry/src/record.rs", text));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v[0].message.contains("wall clock"));
+        assert!(v[1].message.contains("simulated minutes"));
+    }
+
+    #[test]
+    fn ambient_hasher_seeding_is_flagged() {
+        let v = findings("use std::collections::hash_map::RandomState;\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("explicitly seeded hasher"));
     }
 }

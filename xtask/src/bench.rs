@@ -8,10 +8,12 @@
 //! cold-vs-warm day-simulation speedup) to the repository root.
 //!
 //! Failure modes — a panicking benchmark, no output, malformed lines,
-//! non-finite medians, or a missing cold/warm comparison pair — exit
-//! non-zero so CI can gate on `--smoke` runs. The measured speedup itself
-//! is *reported*, not gated: smoke runs on loaded CI machines are too noisy
-//! to assert a ratio.
+//! non-finite medians, or a missing cold/warm or telemetry comparison
+//! pair — exit non-zero so CI can gate on `--smoke` runs. The measured
+//! ratios themselves (cache speedup, telemetry overhead) are *reported*,
+//! not gated: smoke runs on loaded CI machines are too noisy to assert a
+//! ratio. The full-mode `BENCH_pr3.json` is where the <3% null-sink
+//! telemetry overhead acceptance figure is recorded.
 
 use std::path::Path;
 use std::process::{Command, ExitCode};
@@ -28,6 +30,13 @@ struct BenchRecord {
 /// The benchmark pair whose ratio seeds the perf trajectory.
 const RATIO_BASELINE: &str = "day_sim_cache/uncached";
 const RATIO_FAST: &str = "day_sim_cache/warm";
+
+/// The telemetry-overhead pair: the same day simulated with a disabled
+/// handle vs. fully instrumented into a `telemetry::NullSink`. Their ratio
+/// is the cost of the instrumentation itself (field assembly, dispatch)
+/// with encoding excluded — the figure the <3% acceptance bound is about.
+const TELEMETRY_BASELINE: &str = "day_sim_telemetry/disabled";
+const TELEMETRY_NULL: &str = "day_sim_telemetry/null_sink";
 
 /// Minimum number of named benchmarks a healthy run must emit.
 const MIN_BENCHMARKS: usize = 5;
@@ -86,12 +95,15 @@ pub fn run(root: &Path, smoke: bool) -> ExitCode {
         eprintln!("xtask bench: cannot write {out:?}: {err}");
         return ExitCode::FAILURE;
     }
-    let ratio = speedup(&records);
+    let fmt = |r: Option<f64>, suffix: &str| {
+        r.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}{suffix}"))
+    };
     println!(
-        "xtask bench: {} benchmarks -> {} (day-sim uncached/warm = {})",
+        "xtask bench: {} benchmarks -> {} (day-sim uncached/warm = {}, telemetry null/disabled = {})",
         records.len(),
         out.display(),
-        ratio.map_or_else(|| "n/a".to_owned(), |r| format!("{r:.2}x")),
+        fmt(speedup(&records), "x"),
+        fmt(telemetry_overhead(&records), "x"),
     );
     ExitCode::SUCCESS
 }
@@ -177,7 +189,7 @@ fn validate(records: &[BenchRecord]) -> Result<(), String> {
             return Err(format!("benchmark `{}` ran zero iterations", r.name));
         }
     }
-    for required in [RATIO_BASELINE, RATIO_FAST] {
+    for required in [RATIO_BASELINE, RATIO_FAST, TELEMETRY_BASELINE, TELEMETRY_NULL] {
         if !records.iter().any(|r| r.name == required) {
             return Err(format!("required benchmark `{required}` missing from output"));
         }
@@ -185,17 +197,24 @@ fn validate(records: &[BenchRecord]) -> Result<(), String> {
     Ok(())
 }
 
+/// Looks up one benchmark's median by exact name.
+fn median_of(records: &[BenchRecord], name: &str) -> Option<f64> {
+    records.iter().find(|r| r.name == name).map(|r| r.median_ns)
+}
+
 /// The headline cold-vs-warm full-day-sim speedup, when both ends ran.
 fn speedup(records: &[BenchRecord]) -> Option<f64> {
-    let median = |name: &str| {
-        records
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.median_ns)
-    };
-    let baseline = median(RATIO_BASELINE)?;
-    let fast = median(RATIO_FAST)?;
+    let baseline = median_of(records, RATIO_BASELINE)?;
+    let fast = median_of(records, RATIO_FAST)?;
     (fast > 0.0).then(|| baseline / fast)
+}
+
+/// Instrumented-over-disabled day-sim cost ratio (1.0 = free; the
+/// acceptance bound for the null sink is < 1.03).
+fn telemetry_overhead(records: &[BenchRecord]) -> Option<f64> {
+    let disabled = median_of(records, TELEMETRY_BASELINE)?;
+    let null = median_of(records, TELEMETRY_NULL)?;
+    (disabled > 0.0).then(|| null / disabled)
 }
 
 fn escape_json(s: &str) -> String {
@@ -222,11 +241,15 @@ fn render_report(records: &[BenchRecord], mode: &str) -> String {
         ));
     }
     out.push_str("  ],\n");
-    let ratio = speedup(records)
-        .map_or_else(|| "null".to_owned(), |r| format!("{r:.3}"));
+    let render = |r: Option<f64>| r.map_or_else(|| "null".to_owned(), |r| format!("{r:.3}"));
     out.push_str("  \"derived\": {\n");
     out.push_str(&format!(
-        "    \"day_sim_uncached_over_warm\": {ratio}\n"
+        "    \"day_sim_uncached_over_warm\": {},\n",
+        render(speedup(records))
+    ));
+    out.push_str(&format!(
+        "    \"day_sim_telemetry_null_over_disabled\": {}\n",
+        render(telemetry_overhead(records))
     ));
     out.push_str("  }\n}\n");
     out
@@ -268,23 +291,40 @@ mod tests {
         assert!(parse_records("{\"name\":\"x\"}\n").is_err());
     }
 
+    /// The four benchmarks validation insists on, with healthy medians.
+    fn required_records() -> Vec<BenchRecord> {
+        vec![
+            record(RATIO_BASELINE, 300.0),
+            record(RATIO_FAST, 100.0),
+            record(TELEMETRY_BASELINE, 200.0),
+            record(TELEMETRY_NULL, 204.0),
+        ]
+    }
+
     #[test]
-    fn validate_requires_count_and_ratio_pair() {
+    fn validate_requires_count_and_ratio_pairs() {
         let mut records: Vec<BenchRecord> =
             (0..5).map(|i| record(&format!("b{i}"), 10.0)).collect();
         assert!(validate(&records).unwrap_err().contains("required"));
-        records.push(record(RATIO_BASELINE, 300.0));
-        records.push(record(RATIO_FAST, 100.0));
+        records.extend(required_records());
         assert!(validate(&records).is_ok());
         assert!(validate(&records[..4]).unwrap_err().contains("expected at least"));
+
+        // Dropping either telemetry end breaks validation: the overhead
+        // figure must stay in every future BENCH report.
+        let missing: Vec<BenchRecord> = records
+            .iter()
+            .filter(|r| r.name != TELEMETRY_NULL)
+            .cloned()
+            .collect();
+        assert!(validate(&missing).unwrap_err().contains(TELEMETRY_NULL));
     }
 
     #[test]
     fn validate_rejects_bad_medians() {
         let mut records: Vec<BenchRecord> =
             (0..4).map(|i| record(&format!("b{i}"), 10.0)).collect();
-        records.push(record(RATIO_BASELINE, 300.0));
-        records.push(record(RATIO_FAST, 100.0));
+        records.extend(required_records());
         records.push(record("bad", f64::NAN));
         assert!(validate(&records).unwrap_err().contains("bad median"));
     }
@@ -296,17 +336,24 @@ mod tests {
     }
 
     #[test]
-    fn report_is_sorted_and_carries_ratio() {
+    fn telemetry_overhead_is_instrumented_over_disabled() {
         let records = vec![
-            record("z/last", 5.0),
-            record(RATIO_BASELINE, 300.0),
-            record(RATIO_FAST, 100.0),
+            record(TELEMETRY_BASELINE, 200.0),
+            record(TELEMETRY_NULL, 204.0),
         ];
+        assert!((telemetry_overhead(&records).unwrap() - 1.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_is_sorted_and_carries_ratios() {
+        let mut records = required_records();
+        records.push(record("z/last", 5.0));
         let report = render_report(&records, "smoke");
         let a = report.find(RATIO_BASELINE).unwrap();
         let z = report.find("z/last").unwrap();
         assert!(a < z, "benchmarks must be name-sorted");
         assert!(report.contains("\"day_sim_uncached_over_warm\": 3.000"));
+        assert!(report.contains("\"day_sim_telemetry_null_over_disabled\": 1.020"));
         assert!(report.contains("\"mode\": \"smoke\""));
     }
 }

@@ -15,8 +15,13 @@
 //! * `bench` — runs the criterion suite and collects median ns/iter per
 //!   benchmark into `BENCH_pr3.json`; `--smoke` shrinks sample counts so
 //!   CI can verify the harness without a full measurement run.
+//! * `trace` — runs the golden telemetry day (Golden CO / Jan / HM2 /
+//!   MPPT&Opt), writes its JSONL stream under `results/`, renders the
+//!   per-period tracking timeline and cross-checks the stream's
+//!   tracking-error aggregate against the committed Table 7 artifact.
 //! * `ci`   — the one-command verification gate, in dependency order:
-//!   lint → clippy → analyze → build → test → determinism → bench smoke.
+//!   lint → clippy → analyze → doc → build → test → determinism →
+//!   bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
             let smoke = args.iter().any(|a| a == "--smoke");
             bench::run(&workspace_root(), smoke)
         }
+        Some("trace") => run_trace(),
         Some("ci") => run_ci(),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -52,12 +58,13 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <lint | analyze | determinism | bench [--smoke] | ci>");
+    eprintln!("usage: cargo xtask <lint | analyze | determinism | bench [--smoke] | trace | ci>");
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
     eprintln!("  determinism  verify bit-identical day-sim output across thread counts");
     eprintln!("  bench        run the criterion suite and write BENCH_pr3.json");
-    eprintln!("  ci           lint, clippy, analyze, build, test, determinism, bench smoke");
+    eprintln!("  trace        run the golden telemetry day and render its timeline");
+    eprintln!("  ci           lint, clippy, analyze, doc, build, test, determinism, bench smoke");
 }
 
 /// Locates the workspace root (the directory holding the top Cargo.toml).
@@ -128,6 +135,28 @@ fn run_determinism() -> ExitCode {
     }
 }
 
+/// Runs the golden-day telemetry report (a bench binary, so xtask does not
+/// link the simulation crates).
+fn run_trace() -> ExitCode {
+    let root = workspace_root();
+    println!("xtask trace: running trace_report (release)");
+    let status = Command::new("cargo")
+        .args(["run", "--release", "-q", "-p", "bench", "--bin", "trace_report"])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask trace: golden-day cross-check failed (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask trace: could not spawn cargo: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_ci() -> ExitCode {
     let root = workspace_root();
 
@@ -146,6 +175,27 @@ fn run_ci() -> ExitCode {
     println!("xtask ci: running xtask analyze");
     if run_analyze() != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
+    }
+
+    // Rustdoc gate: crate-level docs and doc links must stay warning-free
+    // (the observability contract in `solarcore::telemetry` is rustdoc).
+    let doc: &[&str] = &["doc", "--no-deps", "--workspace"];
+    println!("xtask ci: running cargo {} (RUSTDOCFLAGS=-D warnings)", doc.join(" "));
+    let doc_status = Command::new("cargo")
+        .args(doc)
+        .env("RUSTDOCFLAGS", "-D warnings")
+        .current_dir(&root)
+        .status();
+    match doc_status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("xtask ci: step `doc` failed with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(err) => {
+            eprintln!("xtask ci: could not spawn cargo for `doc`: {err}");
+            return ExitCode::FAILURE;
+        }
     }
 
     let build_test: [(&str, &[&str]); 2] = [
