@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # Full local CI gate, in order: invariant lints (cargo xtask lint),
 # clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
-# determinism / exhaustiveness passes), rustdoc with RUSTDOCFLAGS="-D
-# warnings" (cargo doc --no-deps — the telemetry schema in
-# solarcore::schema is rustdoc, so doc rot fails CI), release build,
+# determinism / exhaustiveness passes), dataflow analysis (cargo xtask
+# flow: interval/range proofs over the sanitizer sites with a >= 70%
+# proven-checks gate, telemetry schema conformance + dead-schema audit,
+# and dropped-Result hygiene; writes results/flow_report.json), rustdoc
+# with RUSTDOCFLAGS="-D warnings" (cargo doc --no-deps — the telemetry
+# schema in solarcore::schema is rustdoc, so doc rot fails CI), release build,
 # workspace tests, the bitwise-reproducibility harness (cargo xtask
 # determinism — now also proves traced runs are bit-transparent and
 # their JSONL byte-identical), and a benchmark smoke run (cargo xtask
@@ -11,7 +14,8 @@
 # BENCH_pr3.json at the repo root.
 # Exits non-zero on the first failing gate. See DESIGN.md §11 for the
 # invariant catalog, §12 for the static analysis passes, §13 for the
-# caching/benchmark layer, and §14 for the observability contract.
+# caching/benchmark layer, §14 for the observability contract, and §15
+# for the dataflow passes and their proof/runtime split.
 #
 # Note on proptest regressions: the vendored proptest stub does not read
 # tests/tests/properties.proptest-regressions. The corpus is replayed as

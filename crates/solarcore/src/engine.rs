@@ -608,11 +608,23 @@ impl DaySimulationBuilder {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] if the controller configuration
-    /// fails [`ControllerConfig::validate`].
+    /// fails [`ControllerConfig::validate`], or if a
+    /// [`Policy::FixedPower`] budget is not a finite, non-negative power.
     pub fn build(self) -> Result<DaySimulation, CoreError> {
         self.config
             .validate()
             .map_err(|reason| CoreError::InvalidConfig { reason })?;
+        // Uphold the `Policy::FixedPower` payload contract here, at the
+        // single entry point every simulation passes through: downstream
+        // the budget feeds the TPR fill and the drawn-power accounting
+        // unchecked (and the `xtask flow` range pass seeds it as [0, ∞)).
+        if let Policy::FixedPower(budget) = self.policy {
+            if !budget.get().is_finite() || budget.get() < 0.0 {
+                return Err(CoreError::InvalidConfig {
+                    reason: "a Fixed-Power budget must be a finite, non-negative power",
+                });
+            }
+        }
         let ats_threshold = self.ats_threshold.unwrap_or(match self.policy {
             // Fixed-power systems transfer at their budget threshold
             // (Section 6.2).
@@ -895,6 +907,23 @@ mod tests {
         cfg.voltage_tolerance = -0.5;
         let err = DaySimulation::builder().config(cfg).build().unwrap_err();
         assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    /// The `Policy::FixedPower` payload contract: only finite, non-negative
+    /// budgets get past the builder.
+    #[test]
+    fn bad_fixed_power_budgets_fail_the_build() {
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            let err = DaySimulation::builder()
+                .policy(Policy::FixedPower(Watts::new(bad)))
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, CoreError::InvalidConfig { .. }), "{bad}");
+        }
+        DaySimulation::builder()
+            .policy(Policy::FixedPower(Watts::new(20.0)))
+            .build()
+            .unwrap();
     }
 
     #[test]

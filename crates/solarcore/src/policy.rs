@@ -12,6 +12,12 @@ use crate::tpr;
 pub enum Policy {
     /// Non-tracking scheme with a constant power budget; load allocation is
     /// the LP-equivalent greedy TPR fill.
+    ///
+    /// Contract: the budget is a finite, non-negative power.
+    /// [`DaySimulation::builder`](crate::DaySimulation::builder) rejects
+    /// anything else at `build()` time, which is what lets the
+    /// `cargo xtask flow` range pass seed this payload as `[0, ∞)` when it
+    /// proves the engine's budget-conservation checks.
     FixedPower(Watts),
     /// MPPT with individual-core scheduling: keep tuning one core until it
     /// saturates, then move on.

@@ -21,10 +21,10 @@
 //!   accumulation with thread scheduling; reductions must happen in input
 //!   order (as `bench::parallel_map` guarantees).
 
-use crate::lint::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
 
-use super::lexer::{self};
+use crate::syntax::lexer::{self};
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "determinism";

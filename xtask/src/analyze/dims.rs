@@ -23,10 +23,10 @@
 
 use std::collections::BTreeMap;
 
-use crate::lint::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
 
-use super::lexer::{self, Tok, Token};
+use crate::syntax::lexer::{self, Tok, Token};
 use super::units::{UnitAlgebra, SCALAR};
 
 /// Pass name used in waivers and reports.

@@ -19,10 +19,10 @@
 
 use std::path::Path;
 
-use crate::lint::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
 
-use super::lexer::{self, Tok, Token};
+use crate::syntax::lexer::{self, Tok, Token};
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "exhaustive";

@@ -21,14 +21,14 @@
 pub mod determinism;
 pub mod dims;
 pub mod exhaustive;
-pub mod lexer;
 pub mod units;
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use crate::lint::source::SourceFile;
 use crate::lint::{self, Report, Violation};
+use crate::syntax::files;
+use crate::syntax::source::SourceFile;
 
 /// The passes `cargo xtask analyze` runs; scopes unused-waiver accounting.
 pub const PASSES: &[&str] = &[dims::PASS, determinism::PASS, exhaustive::PASS];
@@ -45,7 +45,9 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let enums = exhaustive::Enums::learn(root)?;
     let mut report = Report::default();
 
-    let files = collect_sources(root)?;
+    // Unlike lint, the experiment binaries are included: their serialized
+    // output is exactly what the determinism pass protects.
+    let files = files::collect_crate_sources(root, true)?;
     report.files_scanned = files.len();
 
     // Two-stage run: per-file findings are buffered so the whole-workspace
@@ -55,11 +57,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let mut mentioned: Vec<(String, String)> = Vec::new();
 
     for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
+        let rel = files::relative(root, path);
         let text = fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let src = SourceFile::parse(&rel, &text);
@@ -103,37 +101,6 @@ pub fn run(root: &Path) -> Result<Report, String> {
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(report)
-}
-
-/// Collects every `.rs` under `crates/*/src` — unlike lint, the experiment
-/// binaries are included: their serialized output is exactly what the
-/// determinism pass protects.
-fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let crates_dir = root.join("crates");
-    let mut out = Vec::new();
-    let crates = fs::read_dir(&crates_dir)
-        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
-    for entry in crates.flatten() {
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            walk_rs(&src, &mut out)?;
-        }
-    }
-    out.sort();
-    Ok(out)
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            walk_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

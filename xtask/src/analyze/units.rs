@@ -13,9 +13,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
-use crate::lint::source::SourceFile;
+use crate::syntax::source::SourceFile;
 
-use super::lexer::{self, Token};
+use crate::syntax::lexer::{self, Token};
 
 /// The scalar pseudo-unit: plain `f64`.
 pub const SCALAR: &str = "f64";

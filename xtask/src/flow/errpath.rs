@@ -1,0 +1,467 @@
+//! The error-path hygiene (must-use) pass.
+//!
+//! A dropped `Result` silently swallows an error path — in this
+//! workspace that usually means a telemetry write or a powertrain
+//! actuation whose failure vanishes. The pass:
+//!
+//! * **Learns** which function names are fallible by scanning every
+//!   `fn` signature in the workspace for a `Result` return-type head.
+//!   A name is *unambiguously fallible* only if **every** definition of
+//!   it returns `Result` — `new`, `run` and friends exist in both
+//!   fallible and infallible forms, and a name-based analysis must not
+//!   guess (soundness direction: missed findings over false positives).
+//! * **Flags** three drop shapes in non-test code:
+//!   1. `let _ = fallible(..);` — explicit discard of a fallible call;
+//!   2. `.ok();` — converting to `Option` and immediately dropping it,
+//!      which silences the error without inspecting it;
+//!   3. a bare `fallible(..);` statement — the return value evaporates.
+//!
+//! Macros (`write!`, `assert!`, …) are naturally exempt: the token
+//! before their `(` is `!`, not an identifier.
+
+use std::collections::BTreeSet;
+
+use crate::lint::Violation;
+use crate::syntax::lexer::{lex, matching_close, Tok, Token};
+use crate::syntax::source::SourceFile;
+
+/// Pass identifier (diagnostics, waiver markers, allowlist entries).
+pub const PASS: &str = "must-use";
+
+/// Names for which every workspace definition returns `Result`.
+#[derive(Debug, Clone)]
+pub struct FallibleSet {
+    names: BTreeSet<String>,
+}
+
+impl FallibleSet {
+    /// Learns the unambiguously-fallible name set from `sources`.
+    pub fn learn_from(sources: &[SourceFile]) -> FallibleSet {
+        let mut fallible = BTreeSet::new();
+        let mut infallible = BTreeSet::new();
+        for src in sources {
+            collect_signatures(src, &mut fallible, &mut infallible);
+        }
+        // `main` returning Result is an exit-code idiom, not a droppable
+        // value; never treat the name as fallible.
+        infallible.insert("main".to_owned());
+        FallibleSet {
+            names: &fallible - &infallible,
+        }
+    }
+
+    /// A fixed set for unit and fixture tests.
+    pub fn for_tests() -> FallibleSet {
+        FallibleSet {
+            names: ["event", "span", "flush", "set_ratio", "save_trace"]
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        }
+    }
+
+    /// Number of unambiguously fallible names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no fallible names were learned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+}
+
+/// `true` for files the pass checks: every crate source, bins included.
+pub fn applies_to(path: &str) -> bool {
+    path.starts_with("crates/") && path.ends_with(".rs")
+}
+
+/// Flags dropped fallible results in the non-test code of `src`.
+pub fn check(src: &SourceFile, fallible: &FallibleSet) -> Vec<Violation> {
+    let tokens = lex(src);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Shape 2: `.ok();` — drop-after-conversion.
+        if tokens[i].is_op(".")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("ok"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_op("("))
+            && tokens.get(i + 3).is_some_and(|t| t.is_op(")"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_op(";"))
+        {
+            let line = tokens[i + 1].line;
+            if !src.is_test_line(line) {
+                out.push(Violation {
+                    pass: PASS,
+                    path: src.path.clone(),
+                    line,
+                    message: "error discarded via `.ok();` without inspection; handle the \
+                              `Err` or log it"
+                        .to_owned(),
+                });
+            }
+            i += 5;
+            continue;
+        }
+        // Shape 1: `let _ = <expr ending in a fallible call>;`
+        if tokens[i].is_ident("let")
+            && tokens.get(i + 1).is_some_and(|t| t.is_op("_"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_op("="))
+        {
+            let line = tokens[i].line;
+            if let Some(end) = stmt_end(&tokens, i + 3) {
+                if !src.is_test_line(line) {
+                    if let Some(name) = final_call_name(&tokens, i + 3, end) {
+                        if fallible.contains(name) {
+                            out.push(Violation {
+                                pass: PASS,
+                                path: src.path.clone(),
+                                line,
+                                message: format!(
+                                    "`let _ =` discards the `Result` of fallible `{name}(..)`; \
+                                     handle it or propagate with `?`"
+                                ),
+                            });
+                        }
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    // Shape 3: bare `fallible(..);` statements.
+    check_bare_statements(src, &tokens, fallible, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
+    out
+}
+
+/// Scans statement-shaped token runs for bare fallible calls whose value
+/// evaporates.
+fn check_bare_statements(
+    src: &SourceFile,
+    tokens: &[Token],
+    fallible: &FallibleSet,
+    out: &mut Vec<Violation>,
+) {
+    let mut start = 0;
+    let mut depth = 0i32;
+    for i in 0..tokens.len() {
+        match &tokens[i].tok {
+            Tok::Op("(" | "[") => depth += 1,
+            Tok::Op(")" | "]") => depth -= 1,
+            _ if depth > 0 => {}
+            Tok::Op("{" | "}") => start = i + 1,
+            Tok::Op(";") => {
+                inspect_statement(src, tokens, start, i, fallible, out);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Flags the statement `tokens[start..end]` (exclusive of its `;`) if it
+/// is a bare call to an unambiguously fallible function.
+fn inspect_statement(
+    src: &SourceFile,
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    fallible: &FallibleSet,
+    out: &mut Vec<Violation>,
+) {
+    if start >= end {
+        return;
+    }
+    // Keyword-led statements (let, return, use, …) and assignments keep
+    // their value; only pure expression statements drop it.
+    if let Some(first) = tokens[start].ident() {
+        const KEYWORDS: &[&str] = &[
+            "let", "return", "break", "continue", "use", "pub", "fn", "impl", "struct", "enum",
+            "mod", "const", "static", "type", "trait", "unsafe", "if", "match", "while", "for",
+            "loop", "else", "macro_rules", "extern", "where", "async",
+        ];
+        if KEYWORDS.contains(&first) {
+            return;
+        }
+    } else {
+        return; // attribute, block or operator-led: not a bare call
+    }
+    let mut depth = 0i32;
+    for t in &tokens[start..end] {
+        match &t.tok {
+            Tok::Op("(" | "[") => depth += 1,
+            Tok::Op(")" | "]") => depth -= 1,
+            Tok::Op("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=")
+                if depth == 0 =>
+            {
+                return; // assignment: value consumed
+            }
+            _ => {}
+        }
+    }
+    let Some(name) = final_call_name(tokens, start, end) else {
+        return;
+    };
+    let line = tokens[start].line;
+    if fallible.contains(name) && !src.is_test_line(line) {
+        out.push(Violation {
+            pass: PASS,
+            path: src.path.clone(),
+            line,
+            message: format!(
+                "`Result` of fallible `{name}(..)` is dropped by this bare call; handle it \
+                 or propagate with `?`"
+            ),
+        });
+    }
+}
+
+/// The index of the `;` terminating the statement starting at `from`
+/// (brackets of all kinds balanced).
+fn stmt_end(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        match &t.tok {
+            Tok::Op("(" | "[" | "{") => depth += 1,
+            Tok::Op(")" | "]" | "}") => depth -= 1,
+            Tok::Op(";") if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If the expression `tokens[start..end]` ends in a call `name(...)`,
+/// returns `name`. Macro invocations (`name!(..)`) yield `None` — the
+/// token before their `(` is `!`.
+fn final_call_name(tokens: &[Token], start: usize, end: usize) -> Option<&str> {
+    if end == start || !tokens[end - 1].is_op(")") {
+        return None;
+    }
+    // Walk back to the matching `(`.
+    let mut depth = 0i32;
+    let mut open = None;
+    for i in (start..end).rev() {
+        match &tokens[i].tok {
+            Tok::Op(")" | "]" | "}") => depth += 1,
+            Tok::Op("(" | "[" | "{") => {
+                depth -= 1;
+                if depth == 0 {
+                    open = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let open = open?;
+    if open == start {
+        return None; // parenthesised expression, not a call
+    }
+    tokens[open - 1].ident()
+}
+
+/// Collects fallible/infallible definitions of every `fn` in `src`.
+fn collect_signatures(
+    src: &SourceFile,
+    fallible: &mut BTreeSet<String>,
+    infallible: &mut BTreeSet<String>,
+) {
+    let tokens = lex(src);
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+            i += 1;
+            continue;
+        };
+        // Skip generics to the parameter list.
+        let mut j = i + 2;
+        if tokens.get(j).is_some_and(|t| t.is_op("<")) {
+            let mut angle = 0i32;
+            while j < tokens.len() {
+                if tokens[j].is_op("<") || tokens[j].is_op("<<") {
+                    angle += if tokens[j].is_op("<<") { 2 } else { 1 };
+                } else if tokens[j].is_op(">") || tokens[j].is_op(">>") {
+                    angle -= if tokens[j].is_op(">>") { 2 } else { 1 };
+                    if angle <= 0 {
+                        j += 1;
+                        break;
+                    }
+                } else if tokens[j].is_op("->") {
+                    angle -= 1; // `->` inside generics: an Fn bound's arrow
+                }
+                j += 1;
+            }
+        }
+        if !tokens.get(j).is_some_and(|t| t.is_op("(")) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching_close(&tokens, j) else {
+            i += 1;
+            continue;
+        };
+        let name = name.to_owned();
+        if tokens.get(close + 1).is_some_and(|t| t.is_op("->")) {
+            if return_head_is_result(&tokens, close + 2) {
+                fallible.insert(name);
+            } else {
+                infallible.insert(name);
+            }
+        } else {
+            infallible.insert(name);
+        }
+        i = close + 1;
+    }
+}
+
+/// `true` if the return type starting at `from` has `Result` as the last
+/// segment of its head path (`Result<..>`, `io::Result<..>`, …) — not
+/// merely nested somewhere inside (`Option<Result<..>>` is not fallible
+/// at the call site).
+fn return_head_is_result(tokens: &[Token], from: usize) -> bool {
+    let mut last_ident: Option<&str> = None;
+    let mut i = from;
+    while let Some(t) = tokens.get(i) {
+        if let Some(id) = t.ident() {
+            if id == "where" || id == "impl" || id == "dyn" {
+                return false;
+            }
+            last_ident = Some(id);
+            i += 1;
+            continue;
+        }
+        if t.is_op("::") {
+            i += 1;
+            continue;
+        }
+        break; // `<`, `{`, `;`, `(` … — head path ends here
+    }
+    last_ident == Some("Result")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(text: &str) -> Vec<Violation> {
+        let src = SourceFile::parse("crates/x/src/lib.rs", text);
+        check(&src, &FallibleSet::for_tests())
+    }
+
+    #[test]
+    fn learns_unambiguously_fallible_names() {
+        let srcs = [
+            SourceFile::parse(
+                "crates/a/src/lib.rs",
+                "fn event(&self) -> Result<(), Error> { Ok(()) }\n\
+                 fn new() -> Result<Self, Error> { todo!() }\n\
+                 fn flush(&mut self) -> io::Result<()> { Ok(()) }\n",
+            ),
+            SourceFile::parse(
+                "crates/b/src/lib.rs",
+                "fn new() -> Self { Self }\n\
+                 fn iter() -> impl Iterator<Item = Result<u8, E>> { std::iter::empty() }\n",
+            ),
+        ];
+        let set = FallibleSet::learn_from(&srcs);
+        // `new` is ambiguous (one infallible definition), `iter` returns
+        // impl Iterator, so only `event` and `flush` survive.
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("event"));
+        assert!(set.contains("flush"));
+        assert!(!set.contains("new"));
+        assert!(!set.contains("iter"));
+    }
+
+    #[test]
+    fn let_underscore_drop_is_flagged() {
+        let v = run_src("fn f(tel: &T) {\n    let _ = tel.event(NAME, vec![]);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`let _ =`"), "{}", v[0].message);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn question_mark_and_named_bindings_are_fine() {
+        let v = run_src(
+            "fn f(tel: &T) -> Result<(), E> {\n\
+             tel.event(NAME, vec![])?;\n\
+             let res = tel.span(NAME, 1, vec![]);\n\
+             res?;\n\
+             Ok(())\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ok_drop_is_flagged() {
+        let v = run_src("fn f(tel: &T) {\n    tel.flush().ok();\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains(".ok();"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn ok_with_inspection_is_fine() {
+        let v = run_src(
+            "fn f(tel: &T) -> Option<()> {\n    let got = tel.flush().ok()?;\n    Some(got)\n}\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn bare_fallible_call_is_flagged() {
+        let v = run_src("fn f(c: &mut Conv) {\n    c.set_ratio(2.0);\n}\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("bare call"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn bare_infallible_call_is_fine() {
+        let v = run_src("fn f(v: &mut Vec<u8>) {\n    v.push(1);\n    v.clear();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn macros_and_assignments_are_exempt() {
+        let v = run_src(
+            "fn f(s: &mut S) {\n\
+             assert_eq!(s.event(1), 2);\n\
+             s.x = helper(3);\n\
+             s.y += helper(4);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let v = run_src(
+            "#[cfg(test)]\nmod tests {\n\
+             fn t(tel: &T) { let _ = tel.event(N, vec![]); tel.flush().ok(); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn chained_final_call_decides() {
+        // The *final* call in the chain produces the dropped value.
+        let v = run_src("fn f(t: &T) {\n    let _ = t.handle().flush();\n}\n");
+        assert_eq!(v.len(), 1);
+        let v = run_src("fn f(t: &T) {\n    let _ = t.event(N, vec![]).unwrap_err();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,605 @@
+//! The interval abstract domain for physical quantities.
+//!
+//! An [`Interval`] abstracts a set of `f64` values. The concretization:
+//!
+//! * every *non-NaN* member `x` (±∞ included) satisfies the bounds:
+//!   `lo ≤ x ≤ hi`, with an open flag excluding the endpoint itself;
+//! * `±∞` membership is therefore part of the bounds: `hi = ∞` *closed*
+//!   admits `+∞`, while `hi = ∞` *open* means "unbounded above but
+//!   finite" (the shape `is_finite()` checks produce);
+//! * `nan` is `true` when NaN may be a member — bounds say nothing
+//!   about NaN, so it needs its own flag. `[-∞, ∞]` closed with
+//!   `nan = true` is ⊤ (any `f64`).
+//!
+//! The NaN flag is separate from the bounds because IEEE comparisons
+//! treat the two differently: `+∞ ≥ 0` is *true* (an unbounded power can
+//! still prove non-negativity) while `NaN ≥ 0` is *false* (a maybe-NaN
+//! value proves nothing). A sanitizer check `p.is_finite() && p ≥ 0.0`
+//! is dischargeable exactly when the abstract value excludes NaN,
+//! excludes ±∞, and has `lo ≥ 0`.
+//!
+//! All transfer functions are *sound over-approximations*: arithmetic on
+//! unbounded operands keeps infinite bounds closed (f64 overflow makes
+//! ±∞ genuinely reachable), and NaN-producing combinations (`∞ - ∞`,
+//! `0 · ∞`, division by a range containing zero, `min`/`max` of two
+//! maybe-NaN sides) set the NaN flag or widen to ⊤. Losing precision can
+//! only turn "proven" into "left to the runtime sanitizer", never the
+//! reverse.
+
+use std::fmt;
+
+/// An abstract set of `f64` values: bounds plus a NaN flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound for all non-NaN members (`-∞` closed admits `-∞`).
+    pub lo: f64,
+    /// Upper bound for all non-NaN members (`∞` closed admits `+∞`).
+    pub hi: f64,
+    /// `true` when `lo` itself is excluded (`lo < x`).
+    pub lo_open: bool,
+    /// `true` when `hi` itself is excluded (`x < hi`).
+    pub hi_open: bool,
+    /// `true` when NaN may be a member.
+    pub nan: bool,
+}
+
+/// Hull of two lower bounds: the smaller wins; a tie stays open only if
+/// both exclude the endpoint.
+fn hull_lo(a: (f64, bool), b: (f64, bool)) -> (f64, bool) {
+    match a.0.partial_cmp(&b.0) {
+        Some(std::cmp::Ordering::Less) => a,
+        Some(std::cmp::Ordering::Greater) => b,
+        _ => (a.0, a.1 && b.1),
+    }
+}
+
+/// Hull of two upper bounds: the larger wins.
+fn hull_hi(a: (f64, bool), b: (f64, bool)) -> (f64, bool) {
+    match a.0.partial_cmp(&b.0) {
+        Some(std::cmp::Ordering::Greater) => a,
+        Some(std::cmp::Ordering::Less) => b,
+        _ => (a.0, a.1 && b.1),
+    }
+}
+
+impl Interval {
+    /// ⊤: any `f64`, NaN included.
+    pub const TOP: Interval = Interval {
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+        lo_open: false,
+        hi_open: false,
+        nan: true,
+    };
+
+    /// The exact singleton `{v}` (`{NaN}` degrades to ⊤).
+    pub fn constant(v: f64) -> Interval {
+        if v.is_nan() {
+            return Interval::TOP;
+        }
+        Interval {
+            lo: v,
+            hi: v,
+            lo_open: false,
+            hi_open: false,
+            nan: false,
+        }
+    }
+
+    /// Closed NaN-free range `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            lo_open: false,
+            hi_open: false,
+            nan: false,
+        }
+    }
+
+    /// A finite number with no bound information (post-`is_finite()`):
+    /// `(-∞, ∞)` open at both ends, no NaN.
+    pub fn any_finite() -> Interval {
+        Interval {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            lo_open: true,
+            hi_open: true,
+            nan: false,
+        }
+    }
+
+    /// `true` when this is exactly ⊤.
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// `Some(c)` when the interval is exactly the finite singleton `{c}`.
+    pub fn as_const(&self) -> Option<f64> {
+        (!self.nan && self.lo == self.hi && !self.lo_open && !self.hi_open && self.lo.is_finite())
+            .then_some(self.lo)
+    }
+
+    /// `true` when `+∞` may be a member.
+    fn admits_pinf(&self) -> bool {
+        self.hi == f64::INFINITY && !self.hi_open
+    }
+
+    /// `true` when `-∞` may be a member.
+    fn admits_ninf(&self) -> bool {
+        self.lo == f64::NEG_INFINITY && !self.lo_open
+    }
+
+    /// `true` when `0` lies within the bounds.
+    fn admits_zero(&self) -> bool {
+        !(self.lo > 0.0
+            || (self.lo == 0.0 && self.lo_open)
+            || self.hi < 0.0
+            || (self.hi == 0.0 && self.hi_open))
+    }
+
+    /// Least upper bound (interval hull; NaN possibility survives from
+    /// either side).
+    pub fn join(&self, other: &Interval) -> Interval {
+        let (lo, lo_open) = hull_lo((self.lo, self.lo_open), (other.lo, other.lo_open));
+        let (hi, hi_open) = hull_hi((self.hi, self.hi_open), (other.hi, other.hi_open));
+        Interval {
+            lo,
+            hi,
+            lo_open,
+            hi_open,
+            nan: self.nan || other.nan,
+        }
+    }
+
+    /// Widening: bounds that grew since `old` jump straight to ±∞ so loop
+    /// fixpoints terminate. The widened bound is closed — a value growing
+    /// across iterations can genuinely overflow to ±∞.
+    pub fn widen(&self, old: &Interval) -> Interval {
+        let mut w = *self;
+        if self.lo < old.lo {
+            w.lo = f64::NEG_INFINITY;
+            w.lo_open = false;
+        }
+        if self.hi > old.hi {
+            w.hi = f64::INFINITY;
+            w.hi_open = false;
+        }
+        w.nan = self.nan || old.nan;
+        w
+    }
+
+    /// Abstract addition. Infinite result bounds are closed (finite
+    /// operands can overflow); `∞ + (-∞)` across the operands sets NaN.
+    pub fn add(&self, other: &Interval) -> Interval {
+        let nan = self.nan
+            || other.nan
+            || (self.admits_pinf() && other.admits_ninf())
+            || (self.admits_ninf() && other.admits_pinf());
+        let lo = self.lo + other.lo;
+        let hi = self.hi + other.hi;
+        // A NaN at the bound level (-∞ + ∞ between *bounds*) can only come
+        // from degenerate inputs; fall back to the unbounded side.
+        let lo = if lo.is_nan() { f64::NEG_INFINITY } else { lo };
+        let hi = if hi.is_nan() { f64::INFINITY } else { hi };
+        Interval {
+            lo,
+            hi,
+            lo_open: lo.is_finite() && (self.lo_open || other.lo_open),
+            hi_open: hi.is_finite() && (self.hi_open || other.hi_open),
+            nan,
+        }
+    }
+
+    /// Abstract subtraction.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// Abstract negation.
+    pub fn neg(&self) -> Interval {
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+            lo_open: self.hi_open,
+            hi_open: self.lo_open,
+            nan: self.nan,
+        }
+    }
+
+    /// Abstract multiplication. Openness is dropped (sound: open ⊂
+    /// closed); `0 · ∞` across the operands sets NaN.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let inf = |i: &Interval| i.admits_pinf() || i.admits_ninf();
+        let nan = self.nan
+            || other.nan
+            || (self.admits_zero() && inf(other))
+            || (inf(self) && other.admits_zero());
+        let cands = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        // NaN candidates (0 · ∞ at the bound level) are covered by the NaN
+        // flag above; the remaining candidates still bound all non-NaN
+        // products.
+        let numeric: Vec<f64> = cands.iter().copied().filter(|c| !c.is_nan()).collect();
+        if numeric.is_empty() {
+            return Interval::TOP;
+        }
+        let lo = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo,
+            hi,
+            lo_open: false,
+            hi_open: false,
+            nan,
+        }
+    }
+
+    /// Abstract division: precise only when the divisor provably excludes
+    /// zero; otherwise ⊤ (0/0 is NaN, x/0 is ±∞).
+    pub fn div(&self, other: &Interval) -> Interval {
+        if other.nan || other.admits_zero() {
+            return Interval::TOP;
+        }
+        let inf = |i: &Interval| i.admits_pinf() || i.admits_ninf();
+        let nan = self.nan || (inf(self) && inf(other));
+        let cands = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        let numeric: Vec<f64> = cands.iter().copied().filter(|c| !c.is_nan()).collect();
+        if numeric.is_empty() {
+            return Interval::TOP;
+        }
+        let lo = numeric.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = numeric.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval {
+            lo,
+            hi,
+            lo_open: false,
+            hi_open: false,
+            nan,
+        }
+    }
+
+    /// Abstract `f64::min(self, other)`. `f64::min` returns the *other*
+    /// operand when one side is NaN, so the result is NaN only when both
+    /// sides may be; a maybe-NaN side widens the upper bound to the other
+    /// side's alone-case.
+    pub fn min(&self, other: &Interval) -> Interval {
+        let (lo, lo_open) = hull_lo((self.lo, self.lo_open), (other.lo, other.lo_open));
+        // Both-numeric case: the smaller upper bound wins.
+        let mut hi = match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Less) => (self.hi, self.hi_open),
+            Some(std::cmp::Ordering::Greater) => (other.hi, other.hi_open),
+            _ => (self.hi, self.hi_open && other.hi_open),
+        };
+        // A maybe-NaN side drops out: the result can be the other operand
+        // alone, all the way up to its own upper bound.
+        if self.nan {
+            hi = hull_hi(hi, (other.hi, other.hi_open));
+        }
+        if other.nan {
+            hi = hull_hi(hi, (self.hi, self.hi_open));
+        }
+        Interval {
+            lo,
+            hi: hi.0,
+            lo_open,
+            hi_open: hi.1,
+            nan: self.nan && other.nan,
+        }
+    }
+
+    /// Abstract `f64::max(self, other)` (mirror of [`Self::min`]).
+    pub fn max(&self, other: &Interval) -> Interval {
+        let (hi, hi_open) = hull_hi((self.hi, self.hi_open), (other.hi, other.hi_open));
+        let mut lo = match self.lo.partial_cmp(&other.lo) {
+            Some(std::cmp::Ordering::Greater) => (self.lo, self.lo_open),
+            Some(std::cmp::Ordering::Less) => (other.lo, other.lo_open),
+            _ => (self.lo, self.lo_open && other.lo_open),
+        };
+        if self.nan {
+            lo = hull_lo(lo, (other.lo, other.lo_open));
+        }
+        if other.nan {
+            lo = hull_lo(lo, (self.lo, self.lo_open));
+        }
+        Interval {
+            lo: lo.0,
+            hi,
+            lo_open: lo.1,
+            hi_open,
+            nan: self.nan && other.nan,
+        }
+    }
+
+    /// Abstract `f64::clamp(self, lo, hi)` with constant clamp bounds.
+    /// Non-NaN members (±∞ included) land inside `[lo, hi]`; NaN passes
+    /// through `clamp` unchanged.
+    pub fn clamp_const(&self, lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo: self.lo.clamp(lo, hi),
+            hi: self.hi.clamp(lo, hi),
+            lo_open: false,
+            hi_open: false,
+            nan: self.nan,
+        }
+    }
+
+    /// Abstract `f64::abs`.
+    pub fn abs(&self) -> Interval {
+        if self.lo >= 0.0 {
+            return Interval {
+                lo_open: self.lo_open && self.lo > 0.0,
+                ..*self
+            };
+        }
+        if self.hi <= 0.0 {
+            return self.neg();
+        }
+        let (hi, hi_open) = hull_hi((self.hi, self.hi_open), (-self.lo, self.lo_open));
+        Interval {
+            lo: 0.0,
+            hi,
+            lo_open: false,
+            hi_open,
+            nan: self.nan,
+        }
+    }
+
+    /// Intersects with `x ≥ c` — bounds only. The caller decides whether
+    /// the observation also excludes NaN (a *true* comparison does; its
+    /// negation does not, since `!(x ≥ c)` admits NaN).
+    pub fn refine_ge(&self, c: f64) -> Interval {
+        let mut r = *self;
+        if c > r.lo || (c == r.lo && r.lo_open) {
+            r.lo = c;
+            r.lo_open = false;
+        }
+        r
+    }
+
+    /// Intersects with `x > c`.
+    pub fn refine_gt(&self, c: f64) -> Interval {
+        let mut r = *self;
+        if c >= r.lo {
+            r.lo = c;
+            r.lo_open = true;
+        }
+        r
+    }
+
+    /// Intersects with `x ≤ c`.
+    pub fn refine_le(&self, c: f64) -> Interval {
+        let mut r = *self;
+        if c < r.hi || (c == r.hi && r.hi_open) {
+            r.hi = c;
+            r.hi_open = false;
+        }
+        r
+    }
+
+    /// Intersects with `x < c`.
+    pub fn refine_lt(&self, c: f64) -> Interval {
+        let mut r = *self;
+        if c <= r.hi {
+            r.hi = c;
+            r.hi_open = true;
+        }
+        r
+    }
+
+    /// Intersects with `x.is_finite() == true`: excludes NaN and opens any
+    /// infinite bound.
+    pub fn refine_finite(&self) -> Interval {
+        let mut r = *self;
+        r.nan = false;
+        if r.lo == f64::NEG_INFINITY {
+            r.lo_open = true;
+        }
+        if r.hi == f64::INFINITY {
+            r.hi_open = true;
+        }
+        r
+    }
+
+    /// Excludes NaN without touching the bounds (an observed-true IEEE
+    /// comparison implies both operands are numeric).
+    pub fn refine_not_nan(&self) -> Interval {
+        Interval { nan: false, ..*self }
+    }
+
+    /// Proof predicate: the check `x ≥ c` always passes — no NaN, and
+    /// every numeric member (`+∞` included — `∞ ≥ c` holds) is `≥ c`.
+    pub fn proves_ge(&self, c: f64) -> bool {
+        !self.nan && self.lo >= c
+    }
+
+    /// Proof predicate: `x > c` always passes.
+    pub fn proves_gt(&self, c: f64) -> bool {
+        !self.nan && (self.lo > c || (self.lo == c && self.lo_open))
+    }
+
+    /// Proof predicate: `x ≤ c` always passes.
+    pub fn proves_le(&self, c: f64) -> bool {
+        !self.nan && self.hi <= c
+    }
+
+    /// Proof predicate: `x.is_finite()` always passes — no NaN and both
+    /// infinities excluded (an infinite bound must be open).
+    pub fn proves_finite(&self) -> bool {
+        !self.nan
+            && (self.lo.is_finite() || self.lo_open)
+            && (self.hi.is_finite() || self.hi_open)
+    }
+
+    /// Disproof predicate: the check `x ≥ c` always *fails*. Numeric
+    /// members all sit below `c`, and a NaN member fails any comparison —
+    /// so the NaN flag cannot rescue the check.
+    pub fn refutes_ge(&self, c: f64) -> bool {
+        self.hi < c || (self.hi == c && self.hi_open)
+    }
+
+    /// Disproof predicate: `x ≤ c` always fails.
+    pub fn refutes_le(&self, c: f64) -> bool {
+        self.lo > c || (self.lo == c && self.lo_open)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = if self.lo_open { '(' } else { '[' };
+        let r = if self.hi_open { ')' } else { ']' };
+        let tag = if self.nan { "?" } else { "" };
+        write!(f, "{l}{}, {}{r}{tag}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_hulls_and_keeps_nan_possibility() {
+        let a = Interval::closed(0.0, 2.0);
+        let b = Interval::closed(1.0, 5.0);
+        let j = a.join(&b);
+        assert_eq!((j.lo, j.hi), (0.0, 5.0));
+        assert!(!j.nan);
+        let j2 = a.join(&Interval::TOP);
+        assert!(j2.is_top());
+    }
+
+    #[test]
+    fn widen_blows_growing_bounds() {
+        let old = Interval::closed(0.0, 10.0);
+        let grown = Interval::closed(0.0, 11.0);
+        let w = grown.widen(&old);
+        assert_eq!(w.lo, 0.0);
+        assert_eq!(w.hi, f64::INFINITY);
+        assert!(!w.proves_le(1e9));
+        // Overflow to +∞ is reachable once the bound is gone.
+        assert!(!w.proves_finite());
+        // …but non-negativity survives widening: ∞ ≥ 0.
+        assert!(w.proves_ge(0.0));
+        // A stable bound is untouched.
+        let same = Interval::closed(0.0, 10.0).widen(&old);
+        assert_eq!(same, old);
+    }
+
+    #[test]
+    fn arithmetic_is_sound() {
+        let a = Interval::closed(1.0, 2.0);
+        let b = Interval::closed(-3.0, 4.0);
+        let s = a.add(&b);
+        assert_eq!((s.lo, s.hi), (-2.0, 6.0));
+        let m = a.mul(&b);
+        assert_eq!((m.lo, m.hi), (-6.0, 8.0));
+        let d = b.div(&a);
+        assert_eq!((d.lo, d.hi), (-3.0, 4.0));
+        // Division by a range containing zero is ⊤.
+        assert!(a.div(&b).is_top());
+        // Adding a maybe-NaN operand keeps the NaN flag set.
+        assert!(a.add(&Interval::TOP).nan);
+        // ∞ - ∞ across operands is NaN-possible.
+        let unbounded = Interval::closed(0.0, f64::INFINITY);
+        assert!(unbounded.sub(&unbounded).nan);
+        // …but unbounded + unbounded non-negatives still prove ≥ 0.
+        let s2 = unbounded.add(&unbounded);
+        assert!(!s2.nan);
+        assert!(s2.proves_ge(0.0));
+    }
+
+    #[test]
+    fn min_max_respect_ieee_nan_semantics() {
+        let a = Interval::closed(0.0, 5.0);
+        let b = Interval::closed(3.0, 10.0);
+        let m = a.min(&b);
+        assert_eq!((m.lo, m.hi), (0.0, 5.0));
+        assert!(m.proves_finite());
+        // f64::max(maybe-NaN, 0) is never NaN: the numeric side wins.
+        let m2 = Interval::TOP.max(&Interval::constant(0.0));
+        assert!(!m2.nan);
+        assert!(m2.proves_ge(0.0));
+        assert!(!m2.proves_finite()); // +∞ still possible
+        // f64::min(maybe-NaN, c) can be anything up to the *other* side's
+        // bound when the NaN side drops out.
+        let m3 = Interval::TOP.min(&Interval::constant(5.0));
+        assert!(!m3.nan);
+        assert_eq!(m3.hi, 5.0);
+        // Only two maybe-NaN sides can produce NaN.
+        assert!(Interval::TOP.min(&Interval::TOP).nan);
+    }
+
+    #[test]
+    fn refinement_and_proofs() {
+        let x = Interval::any_finite();
+        assert!(!x.proves_ge(0.0)); // finite but unbounded
+        assert!(x.proves_finite());
+        let r = x.refine_ge(0.0).refine_le(100.0);
+        assert!(r.proves_ge(0.0));
+        assert!(r.proves_le(100.0));
+        assert!(r.proves_finite());
+        // Bounds refinement of ⊤ narrows bounds but keeps NaN possible —
+        // clearing it is the (polarity-aware) interpreter's decision.
+        let t = Interval::TOP.refine_ge(0.0);
+        assert!(!t.proves_ge(0.0));
+        assert!(t.refine_not_nan().proves_ge(0.0));
+        // is_finite() excludes NaN and opens the infinite bounds.
+        let f = Interval::TOP.refine_finite();
+        assert!(f.proves_finite());
+        assert!(!f.proves_ge(0.0));
+    }
+
+    #[test]
+    fn open_bounds_prove_strict_comparisons() {
+        let x = Interval::any_finite().refine_gt(0.0).refine_le(1.0);
+        assert!(x.proves_gt(0.0));
+        assert!(!x.proves_gt(0.5));
+        assert!(x.proves_le(1.0));
+    }
+
+    #[test]
+    fn refutation_ignores_nan() {
+        let neg = Interval::closed(-5.0, -1.0);
+        assert!(neg.refutes_ge(0.0));
+        // NaN fails `x ≥ 0` too, so a maybe-NaN negative range still
+        // refutes the check as a whole.
+        let maybe = Interval {
+            nan: true,
+            ..Interval::closed(-5.0, -1.0)
+        };
+        assert!(maybe.refutes_ge(0.0));
+        // …but an unbounded range does not.
+        assert!(!Interval::TOP.refutes_ge(0.0));
+    }
+
+    #[test]
+    fn abs_and_clamp() {
+        let x = Interval::closed(-3.0, 2.0);
+        let a = x.abs();
+        assert_eq!((a.lo, a.hi), (0.0, 3.0));
+        let c = Interval::TOP.clamp_const(0.0, 1.0);
+        assert_eq!((c.lo, c.hi), (0.0, 1.0));
+        assert!(!c.proves_finite()); // NaN passes through clamp
+        assert!(c.refine_not_nan().proves_finite());
+    }
+
+    #[test]
+    fn constants_and_singletons() {
+        let c = Interval::constant(2.5);
+        assert_eq!(c.as_const(), Some(2.5));
+        assert!(Interval::constant(f64::NAN).is_top());
+        let inf = Interval::constant(f64::INFINITY);
+        assert_eq!(inf.as_const(), None);
+        assert!(!inf.proves_finite());
+        assert!(inf.proves_ge(0.0)); // ∞ ≥ 0 holds in IEEE
+    }
+}

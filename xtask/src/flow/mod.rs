@@ -1,0 +1,366 @@
+//! `cargo xtask flow`: dataflow analysis over per-function abstract
+//! interpretation (ISSUE 6).
+//!
+//! Where `lint` matches lines and `analyze` matches token shapes, `flow`
+//! evaluates *values*: it parses each function into a lightweight AST
+//! ([`ast`]), runs a big-step abstract interpreter over the interval
+//! domain ([`interval`], [`range`]) seeded with the workspace's physical
+//! contracts ([`seeds`]), and reports three kinds of findings:
+//!
+//! * [`range`] — interval/range analysis of physical quantities. Every
+//!   `invariants::assert_*` sanitizer call is decomposed into elementary
+//!   checks, each classified **proven** (the runtime check can never
+//!   fire), **runtime** (kept, it guards something real) or **violated**
+//!   (statically refuted — a diagnostic). Out-of-range flows into
+//!   `Converter::set_ratio` and `VfLevel::from_index` are flagged too.
+//! * [`schema`] — telemetry schema conformance: every emission site
+//!   names its stream via a declared `schema::` constant, and every
+//!   declared constant is referenced somewhere (dead-schema report).
+//! * [`errpath`] — error-path hygiene: dropped `Result`s from
+//!   unambiguously fallible calls (`let _ =`, `.ok();`, bare calls).
+//!
+//! All findings use the shared diagnostic format and waiver machinery of
+//! [`crate::lint`] (inline `// lint:allow(<pass>): <reason>` markers and
+//! `xtask/lint-allow.txt` prefixes, with unused waivers failing the run).
+//! `cargo xtask flow` additionally enforces a *proof-coverage gate*: at
+//! least [`PROVEN_RATIO_GATE`] of the sanitizer checks must be statically
+//! proven, so the pass keeps earning its place as the code evolves.
+//! [`write_report`] serialises the run into `results/flow_report.json`.
+
+pub mod ast;
+pub mod errpath;
+// The domain and interpreter compare exact f64 interval endpoints (bounds
+// are propagated bit-exactly, never computed approximately), so equality
+// on them is meaningful.
+#[allow(clippy::float_cmp)]
+pub mod interval;
+#[allow(clippy::float_cmp)]
+pub mod range;
+pub mod schema;
+pub mod seeds;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lint::{self, Report, Violation};
+use crate::syntax::files;
+use crate::syntax::source::SourceFile;
+
+/// The passes `cargo xtask flow` runs; scopes unused-waiver accounting.
+pub const PASSES: &[&str] = &[range::PASS, schema::PASS, errpath::PASS];
+
+/// Minimum fraction of elementary sanitizer checks that must be proven
+/// statically for the flow gate to pass.
+pub const PROVEN_RATIO_GATE: f64 = 0.70;
+
+/// Per-crate proven/unproven/violated check counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CrateStats {
+    /// Checks proven statically dischargeable.
+    pub proven: usize,
+    /// Checks left to the runtime sanitizer.
+    pub unproven: usize,
+    /// Checks statically refuted.
+    pub violated: usize,
+}
+
+/// Everything a `cargo xtask flow` run produced.
+#[derive(Debug)]
+pub struct FlowOutcome {
+    /// Violations (post-waiver) in the shared diagnostic format.
+    pub report: Report,
+    /// Every sanitizer site the range pass classified.
+    pub sites: Vec<range::SiteRecord>,
+    /// Range-check counts per crate.
+    pub per_crate: BTreeMap<String, CrateStats>,
+    /// Telemetry emission sites inspected by the schema pass.
+    pub emission_sites: usize,
+    /// Constants declared in the telemetry schema.
+    pub schema_constants: usize,
+    /// Declared schema constants never referenced in code.
+    pub dead_schema: usize,
+    /// Unambiguously fallible function names the must-use pass checks.
+    pub fallible_names: usize,
+    /// Fraction of elementary sanitizer checks proven statically.
+    pub proven_ratio: f64,
+    /// `proven_ratio >= PROVEN_RATIO_GATE`.
+    pub proof_gate_passed: bool,
+}
+
+impl FlowOutcome {
+    /// Total elementary checks across all sites.
+    pub fn checks(&self) -> usize {
+        self.sites.iter().map(|s| s.checks.len()).sum()
+    }
+
+    fn count(&self, status: range::CheckStatus) -> usize {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.checks)
+            .filter(|c| c.status == status)
+            .count()
+    }
+
+    /// Human-readable per-pass summary lines.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "xtask flow [range]: {} sanitizer sites, {} elementary checks — \
+             {} proven, {} runtime, {} violated ({:.1}% proven)",
+            self.sites.len(),
+            self.checks(),
+            self.count(range::CheckStatus::Proven),
+            self.count(range::CheckStatus::Runtime),
+            self.count(range::CheckStatus::Violated),
+            self.proven_ratio * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "xtask flow [schema]: {} emission sites against {} declared constants, \
+             {} dead",
+            self.emission_sites, self.schema_constants, self.dead_schema,
+        );
+        let _ = write!(
+            out,
+            "xtask flow [must-use]: {} unambiguously fallible names tracked",
+            self.fallible_names,
+        );
+        out
+    }
+}
+
+/// Runs the three dataflow passes over the workspace rooted at `root`.
+///
+/// Side-effect free: writing `results/flow_report.json` is a separate,
+/// explicit step ([`write_report`]) so tests can run the analysis without
+/// touching the filesystem.
+pub fn run(root: &Path) -> Result<FlowOutcome, String> {
+    let mut allow = lint::Allowlist::load(root)?;
+    let seeds = seeds::Seeds::learn(root)?;
+    let schema_decl = schema::Schema::learn(root)?;
+
+    // Experiment binaries are in scope: their telemetry streams and error
+    // paths are exactly what the schema and must-use passes protect.
+    let paths = files::collect_crate_sources(root, true)?;
+    let mut sources = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let rel = files::relative(root, path);
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        sources.push(SourceFile::parse(&rel, &text));
+    }
+    let fallible = errpath::FallibleSet::learn_from(&sources);
+
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+
+    // Two-stage run: per-file findings are buffered so the whole-workspace
+    // dead-schema results can be appended to the declaring file before
+    // waiver accounting (a waiver for a dead constant must count as used).
+    let mut buffered: Vec<(SourceFile, Vec<Violation>)> = Vec::new();
+    let mut used_schema = std::collections::BTreeSet::new();
+    let mut sites = Vec::new();
+    let mut emission_sites = 0;
+
+    for src in sources {
+        let mut findings = Vec::new();
+        if range::applies_to(&src.path) {
+            let (file_sites, file_violations) = range::check(&src, &seeds);
+            sites.extend(file_sites);
+            findings.extend(file_violations);
+        }
+        if schema::applies_to(&src.path) {
+            let (file_sites, file_violations) = schema::check(&src, &schema_decl);
+            emission_sites += file_sites;
+            findings.extend(file_violations);
+        }
+        used_schema.extend(schema::collect_uses(&src));
+        if errpath::applies_to(&src.path) {
+            findings.extend(errpath::check(&src, &fallible));
+        }
+        buffered.push((src, findings));
+    }
+
+    let dead = schema_decl.dead(&used_schema);
+    let dead_schema = dead.len();
+    match buffered
+        .iter_mut()
+        .find(|(src, _)| src.path == schema::DECL_PATH)
+    {
+        Some((_, findings)) => findings.extend(dead),
+        None => report.violations.extend(dead),
+    }
+
+    for (src, findings) in buffered {
+        lint::apply_file_waivers(&mut allow, &src, findings, PASSES, &mut report);
+    }
+    report.violations.extend(allow.unused(PASSES));
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+
+    let mut per_crate: BTreeMap<String, CrateStats> = BTreeMap::new();
+    for site in &sites {
+        let stats = per_crate.entry(crate_of(&site.path)).or_default();
+        for check in &site.checks {
+            match check.status {
+                range::CheckStatus::Proven => stats.proven += 1,
+                range::CheckStatus::Runtime => stats.unproven += 1,
+                range::CheckStatus::Violated => stats.violated += 1,
+            }
+        }
+    }
+
+    let checks: usize = sites.iter().map(|s| s.checks.len()).sum();
+    let proven = sites
+        .iter()
+        .flat_map(|s| &s.checks)
+        .filter(|c| c.status == range::CheckStatus::Proven)
+        .count();
+    // With no sanitizer sites there is nothing to prove; the gate is
+    // vacuously satisfied (the schema/must-use passes still ran).
+    #[allow(clippy::cast_precision_loss)] // check counts are tiny
+    let proven_ratio = if checks == 0 {
+        1.0
+    } else {
+        proven as f64 / checks as f64
+    };
+
+    Ok(FlowOutcome {
+        report,
+        sites,
+        per_crate,
+        emission_sites,
+        schema_constants: schema_decl.len(),
+        dead_schema,
+        fallible_names: fallible.len(),
+        proven_ratio,
+        proof_gate_passed: proven_ratio >= PROVEN_RATIO_GATE,
+    })
+}
+
+/// Serialises `outcome` to `results/flow_report.json` (hand-rolled JSON —
+/// xtask is dependency-free by design). Returns the path written.
+pub fn write_report(root: &Path, outcome: &FlowOutcome) -> Result<PathBuf, String> {
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let path = dir.join("flow_report.json");
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"cargo xtask flow\",");
+    let _ = writeln!(json, "  \"gate\": {PROVEN_RATIO_GATE},");
+    let _ = writeln!(json, "  \"proven_ratio\": {:.4},", outcome.proven_ratio);
+    let _ = writeln!(json, "  \"gate_passed\": {},", outcome.proof_gate_passed);
+    let _ = writeln!(
+        json,
+        "  \"totals\": {{\"sites\": {}, \"checks\": {}, \"proven\": {}, \
+         \"unproven\": {}, \"violated\": {}}},",
+        outcome.sites.len(),
+        outcome.checks(),
+        outcome.count(range::CheckStatus::Proven),
+        outcome.count(range::CheckStatus::Runtime),
+        outcome.count(range::CheckStatus::Violated),
+    );
+    let _ = writeln!(
+        json,
+        "  \"schema\": {{\"declared\": {}, \"emission_sites\": {}, \"dead\": {}}},",
+        outcome.schema_constants, outcome.emission_sites, outcome.dead_schema,
+    );
+    let _ = writeln!(
+        json,
+        "  \"must_use\": {{\"fallible_names\": {}}},",
+        outcome.fallible_names,
+    );
+    json.push_str("  \"per_crate\": {\n");
+    let entries: Vec<String> = outcome
+        .per_crate
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "    \"{name}\": {{\"proven\": {}, \"unproven\": {}, \"violated\": {}}}",
+                s.proven, s.unproven, s.violated
+            )
+        })
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  },\n");
+    json.push_str("  \"sites\": [\n");
+    let entries: Vec<String> = outcome
+        .sites
+        .iter()
+        .map(|site| {
+            let count = |st| {
+                site.checks
+                    .iter()
+                    .filter(|c| c.status == st)
+                    .count()
+            };
+            format!(
+                "    {{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \
+                 \"proven\": {}, \"unproven\": {}, \"violated\": {}}}",
+                site.path,
+                site.line,
+                site.kind,
+                count(range::CheckStatus::Proven),
+                count(range::CheckStatus::Runtime),
+                count(range::CheckStatus::Violated),
+            )
+        })
+        .collect();
+    json.push_str(&entries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// The crate name component of a `crates/<name>/…` path.
+fn crate_of(path: &str) -> String {
+    path.split('/').nth(1).unwrap_or("?").to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .expect("xtask has a parent")
+            .to_path_buf()
+    }
+
+    /// The flow gate over the real workspace: clean, and the proof ratio
+    /// meets the gate (acceptance: ≥ 70% of sanitizer checks proven).
+    #[test]
+    fn workspace_is_flow_clean_and_meets_the_proof_gate() {
+        let outcome = run(&workspace_root()).expect("flow runs");
+        assert!(
+            outcome.report.violations.is_empty(),
+            "workspace must be flow-clean:\n{}",
+            outcome
+                .report
+                .violations
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            !outcome.sites.is_empty(),
+            "the engine's sanitizer sites must be visible to the range pass"
+        );
+        assert!(
+            outcome.proof_gate_passed,
+            "proven ratio {:.3} below gate {PROVEN_RATIO_GATE} — sites: {:#?}",
+            outcome.proven_ratio,
+            outcome.sites
+        );
+        assert!(outcome.emission_sites > 0, "engine emissions must be seen");
+        assert_eq!(outcome.dead_schema, 0, "schema must have no dead constants");
+    }
+}

@@ -1,0 +1,382 @@
+//! The telemetry schema-conformance pass.
+//!
+//! The observability contract (DESIGN.md §14) requires every stream name
+//! the simulator emits to be declared once, as a constant in
+//! `solarcore::telemetry::schema`. This pass closes the loop statically:
+//!
+//! * **Learn**: the declared name set is read from the `pub mod schema`
+//!   block of `crates/solarcore/src/telemetry.rs` (token-level scan — the
+//!   constants' *names* are the schema; their string values are opaque to
+//!   masked source and irrelevant to conformance).
+//! * **Conform**: every emission site in the simulation crates —
+//!   `.event(`/`.span(` calls and `Histogram::new`/`Counter::new`
+//!   constructions — must name its stream via `schema::<CONST>`. A masked
+//!   string literal (which lexes to zero tokens) or any other expression
+//!   in name position is a violation, as is a `schema::` path whose
+//!   constant is not declared.
+//! * **Dead schema**: a declared constant never referenced anywhere in
+//!   the workspace code (doc comments do not count — they are masked) is
+//!   reported at its declaration line.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::lint::Violation;
+use crate::syntax::lexer::{lex, matching_close, Token};
+use crate::syntax::source::SourceFile;
+
+/// Pass identifier (diagnostics, waiver markers, allowlist entries).
+pub const PASS: &str = "schema";
+
+/// Repo-relative path of the schema declaration file.
+pub const DECL_PATH: &str = "crates/solarcore/src/telemetry.rs";
+
+/// The learned telemetry schema: declared constant names with their
+/// declaration lines.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    names: BTreeMap<String, usize>,
+}
+
+impl Schema {
+    /// Learns the schema from the workspace's declaration file.
+    pub fn learn(root: &Path) -> Result<Schema, String> {
+        let path = root.join(DECL_PATH);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("schema: cannot read {DECL_PATH}: {e}"))?;
+        let src = SourceFile::parse(DECL_PATH, &text);
+        let schema = Schema::from_source(&src)?;
+        if schema.names.is_empty() {
+            return Err(format!("schema: no constants found in {DECL_PATH}"));
+        }
+        Ok(schema)
+    }
+
+    /// Learns the schema from an already-parsed declaration source (the
+    /// entry point tests use).
+    pub fn from_source(src: &SourceFile) -> Result<Schema, String> {
+        let tokens = lex(src);
+        let Some(open) = find_schema_mod(&tokens) else {
+            return Err(format!("schema: no `mod schema` block in {}", src.path));
+        };
+        let close = matching_close(&tokens, open)
+            .ok_or_else(|| format!("schema: unbalanced `mod schema` in {}", src.path))?;
+        let mut names = BTreeMap::new();
+        let mut i = open + 1;
+        while i < close {
+            if tokens[i].is_ident("const") {
+                if let Some(name) = tokens.get(i + 1).and_then(Token::ident) {
+                    names.entry(name.to_owned()).or_insert(tokens[i + 1].line);
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Ok(Schema { names })
+    }
+
+    /// Number of declared constants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` when no constants were learned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// `true` if `name` is a declared schema constant.
+    pub fn declares(&self, name: &str) -> bool {
+        self.names.contains_key(name)
+    }
+
+    /// Declared constants absent from `used`, as dead-schema violations
+    /// anchored at their declaration lines.
+    pub fn dead(&self, used: &BTreeSet<String>) -> Vec<Violation> {
+        self.names
+            .iter()
+            .filter(|(name, _)| !used.contains(*name))
+            .map(|(name, line)| Violation {
+                pass: PASS,
+                path: DECL_PATH.to_owned(),
+                line: *line,
+                message: format!(
+                    "schema constant `{name}` is declared but never referenced (dead schema)"
+                ),
+            })
+            .collect()
+    }
+}
+
+/// `true` for files whose emission sites must conform: the simulation
+/// crates that write to the telemetry stream.
+pub fn applies_to(path: &str) -> bool {
+    (path.starts_with("crates/solarcore/src/")
+        || path.starts_with("crates/powertrain/src/")
+        || path.starts_with("crates/pv/src/"))
+        && path.ends_with(".rs")
+}
+
+/// Checks every emission site in `src` against the schema. Returns the
+/// number of sites inspected and the violations found. Test code is
+/// exempt (tests may emit ad-hoc streams to probe the telemetry layer).
+pub fn check(src: &SourceFile, schema: &Schema) -> (usize, Vec<Violation>) {
+    let tokens = lex(src);
+    let mut sites = 0;
+    let mut violations = Vec::new();
+    for i in 0..tokens.len() {
+        let site = emission_at(&tokens, i);
+        let Some((what, name_pos, line)) = site else {
+            continue;
+        };
+        if src.is_test_line(line) {
+            continue;
+        }
+        sites += 1;
+        match schema_const_at(&tokens, name_pos) {
+            NameArg::SchemaConst(name) => {
+                if !schema.declares(&name) {
+                    violations.push(Violation {
+                        pass: PASS,
+                        path: src.path.clone(),
+                        line,
+                        message: format!(
+                            "{what} names `schema::{name}`, which is not declared in the \
+                             telemetry schema"
+                        ),
+                    });
+                }
+            }
+            NameArg::Literal => violations.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line,
+                message: format!(
+                    "{what} names its stream with a string literal; declare the name in \
+                     `solarcore::telemetry::schema` and use the constant"
+                ),
+            }),
+            NameArg::Other => violations.push(Violation {
+                pass: PASS,
+                path: src.path.clone(),
+                line,
+                message: format!("{what} must name its stream via a `schema::` constant"),
+            }),
+        }
+    }
+    (sites, violations)
+}
+
+/// Collects every `schema::<CONST>` reference in `src` (test code
+/// included — a test exercising a stream keeps its name alive).
+pub fn collect_uses(src: &SourceFile) -> BTreeSet<String> {
+    let tokens = lex(src);
+    // Inside the declaration block itself nothing counts as a use.
+    let decl_range = if src.path == DECL_PATH {
+        find_schema_mod(&tokens)
+            .and_then(|open| matching_close(&tokens, open).map(|close| (open, close)))
+    } else {
+        None
+    };
+    let mut used = BTreeSet::new();
+    for i in 0..tokens.len() {
+        if let Some((open, close)) = decl_range {
+            if i >= open && i <= close {
+                continue;
+            }
+        }
+        if tokens[i].is_ident("schema")
+            && tokens.get(i + 1).is_some_and(|t| t.is_op("::"))
+        {
+            if let Some(name) = tokens.get(i + 2).and_then(Token::ident) {
+                used.insert(name.to_owned());
+            }
+        }
+    }
+    used
+}
+
+/// The index of the `{` opening the `mod schema` block, if any.
+fn find_schema_mod(tokens: &[Token]) -> Option<usize> {
+    (0..tokens.len()).find_map(|i| {
+        (tokens[i].is_ident("mod")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("schema"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_op("{")))
+        .then_some(i + 2)
+    })
+}
+
+/// If an emission site starts at token `i`, returns its description, the
+/// index of its first argument token, and its source line.
+fn emission_at(tokens: &[Token], i: usize) -> Option<(String, usize, usize)> {
+    // `.event(` / `.span(` — a stream emission through a handle.
+    if tokens[i].is_op(".") {
+        let name = tokens.get(i + 1).and_then(Token::ident)?;
+        if (name == "event" || name == "span") && tokens.get(i + 2).is_some_and(|t| t.is_op("(")) {
+            return Some((format!("`.{name}(..)` emission"), i + 3, tokens[i + 1].line));
+        }
+        return None;
+    }
+    // `Histogram::new(` / `Counter::new(` — a named metric construction.
+    let ty = tokens[i].ident()?;
+    if (ty == "Histogram" || ty == "Counter")
+        && tokens.get(i + 1).is_some_and(|t| t.is_op("::"))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("new"))
+        && tokens.get(i + 3).is_some_and(|t| t.is_op("("))
+    {
+        return Some((format!("`{ty}::new(..)`"), i + 4, tokens[i].line));
+    }
+    None
+}
+
+/// Shape of the token(s) in name-argument position.
+enum NameArg {
+    /// `schema::<CONST>` — the conforming shape.
+    SchemaConst(String),
+    /// Nothing before the delimiter: a masked string literal.
+    Literal,
+    /// Any other expression.
+    Other,
+}
+
+fn schema_const_at(tokens: &[Token], pos: usize) -> NameArg {
+    match tokens.get(pos) {
+        // A masked string lexes to zero tokens, so the delimiter shows
+        // up directly in argument position.
+        Some(t) if t.is_op(",") || t.is_op(")") => NameArg::Literal,
+        Some(t) if t.is_ident("schema") => {
+            if tokens.get(pos + 1).is_some_and(|t| t.is_op("::")) {
+                if let Some(name) = tokens.get(pos + 2).and_then(Token::ident) {
+                    return NameArg::SchemaConst(name.to_owned());
+                }
+            }
+            NameArg::Other
+        }
+        _ => NameArg::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DECL: &str = "pub mod schema {\n\
+                        pub const EVENT_MINUTE: &str = \"minute\";\n\
+                        pub const SPAN_TRACK: &str = \"track\";\n\
+                        pub const HIST_ROUNDS: &str = \"rounds\";\n\
+                        pub const UNUSED_ONE: &str = \"ghost\";\n\
+                        }\n";
+
+    fn schema() -> Schema {
+        Schema::from_source(&SourceFile::parse(DECL_PATH, DECL)).unwrap()
+    }
+
+    #[test]
+    fn learns_declared_constants() {
+        let s = schema();
+        assert_eq!(s.len(), 4);
+        assert!(s.declares("EVENT_MINUTE"));
+        assert!(s.declares("SPAN_TRACK"));
+        assert!(!s.declares("EVENT_NOPE"));
+    }
+
+    #[test]
+    fn conforming_emissions_are_quiet() {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(tel: &T) {\n\
+             tel.event(schema::EVENT_MINUTE, vec![])?;\n\
+             tel.span(schema::SPAN_TRACK, 1, vec![])?;\n\
+             let h = Histogram::new(schema::HIST_ROUNDS, B);\n\
+             }\n",
+        );
+        let (sites, v) = check(&src, &schema());
+        assert_eq!(sites, 3);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn string_literal_emission_is_flagged() {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(tel: &T) {\n    tel.event(\"minute\", vec![])?;\n}\n",
+        );
+        let (sites, v) = check(&src, &schema());
+        assert_eq!(sites, 1);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("string literal"), "{}", v[0].message);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn undeclared_constant_is_flagged() {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(tel: &T) {\n    tel.event(schema::EVENT_NOPE, vec![])?;\n}\n",
+        );
+        let (_, v) = check(&src, &schema());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("EVENT_NOPE"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn non_schema_expression_is_flagged() {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(tel: &T, name: &str) {\n    tel.event(name, vec![])?;\n}\n",
+        );
+        let (_, v) = check(&src, &schema());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("schema::"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn test_code_emissions_are_exempt() {
+        let src = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "#[cfg(test)]\nmod tests {\n\
+             fn t(tel: &T) { tel.event(\"adhoc\", vec![]).unwrap(); }\n\
+             }\n",
+        );
+        let (sites, v) = check(&src, &schema());
+        assert_eq!(sites, 0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn dead_schema_is_reported_at_declaration() {
+        let uses = collect_uses(&SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(tel: &T) {\n\
+             tel.event(schema::EVENT_MINUTE, vec![])?;\n\
+             tel.span(schema::SPAN_TRACK, 1, vec![])?;\n\
+             let h = Histogram::new(schema::HIST_ROUNDS, B);\n\
+             }\n",
+        ));
+        let dead = schema().dead(&uses);
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("UNUSED_ONE"), "{}", dead[0].message);
+        assert_eq!(dead[0].path, DECL_PATH);
+        assert_eq!(dead[0].line, 5);
+    }
+
+    #[test]
+    fn declaration_block_does_not_count_as_use() {
+        let uses = collect_uses(&SourceFile::parse(DECL_PATH, DECL));
+        assert!(uses.is_empty());
+        // …but code outside the block in the same file does.
+        let text = format!("{DECL}fn f() {{ let _n = schema::EVENT_MINUTE; }}\n");
+        let uses = collect_uses(&SourceFile::parse(DECL_PATH, &text));
+        assert_eq!(uses.into_iter().collect::<Vec<_>>(), ["EVENT_MINUTE"]);
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_uses() {
+        let uses = collect_uses(&SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "/// Records as [`schema::EVENT_MINUTE`].\nfn f() {}\n",
+        ));
+        assert!(uses.is_empty());
+    }
+}

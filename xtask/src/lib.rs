@@ -1,0 +1,26 @@
+//! Repo automation library for the SolarCore workspace.
+//!
+//! The `cargo xtask` binary is a thin dispatcher over this crate; the
+//! passes live here so the fixture-based ui tests under `xtask/tests/`
+//! can drive them directly against small seeded inputs.
+//!
+//! Module map:
+//!
+//! * [`syntax`] — the shared dependency-free source model: comment/string
+//!   masking, waiver markers, the token lexer and the workspace walker.
+//! * [`lint`] — line-level policy passes (panic-free library code, raw
+//!   `f64` discipline, unchecked casts) plus the waiver machinery every
+//!   other command reuses.
+//! * [`analyze`] — token-level passes: dimensional analysis, determinism
+//!   hazards, enum exhaustiveness/dead states.
+//! * [`flow`] — dataflow passes over a per-function CFG: interval/range
+//!   analysis of physical quantities, telemetry schema conformance, and
+//!   error-path hygiene.
+//! * [`bench`] — the criterion harness driver and `BENCH_pr3.json`
+//!   collector.
+
+pub mod analyze;
+pub mod bench;
+pub mod flow;
+pub mod lint;
+pub mod syntax;

@@ -8,7 +8,7 @@
 //! allowed; everything else must go through `TryFrom`/`try_into`, an
 //! explicit clamp, or carry a `// lint:allow(cast): <reason>` marker.
 
-use super::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use super::Violation;
 
 /// Pass name used in waivers and reports.

@@ -26,13 +26,13 @@
 pub mod casts;
 pub mod panics;
 pub mod rawf64;
-pub mod source;
 
 use std::fmt;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-use source::SourceFile;
+use crate::syntax::files;
+use crate::syntax::source::SourceFile;
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -285,15 +285,13 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let mut report = Report::default();
     report.violations.extend(allow.forbidden());
 
-    let files = collect_sources(root)?;
+    // Experiment binaries are top-level executables where fail-fast on
+    // I/O errors is the desired behaviour, so they are out of scope.
+    let files = files::collect_crate_sources(root, false)?;
     report.files_scanned = files.len();
 
     for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
+        let rel = files::relative(root, path);
         let text = fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let src = SourceFile::parse(&rel, &text);
@@ -317,44 +315,6 @@ pub fn run(root: &Path) -> Result<Report, String> {
         .violations
         .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
     Ok(report)
-}
-
-/// Collects the `.rs` files the lint passes cover: library sources under
-/// `crates/*/src` (excluding `bin/`), shared integration-test helpers are
-/// deliberately excluded, as is `vendor/` (stub code) and `target/`.
-fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
-    let crates_dir = root.join("crates");
-    let mut out = Vec::new();
-    let crates = fs::read_dir(&crates_dir)
-        .map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
-    for entry in crates.flatten() {
-        let src = entry.path().join("src");
-        if src.is_dir() {
-            walk_rs(&src, &mut out)?;
-        }
-    }
-    out.retain(|p| {
-        let rel = p.to_string_lossy().replace('\\', "/");
-        // Experiment binaries are top-level executables where fail-fast
-        // on I/O errors is the desired behaviour.
-        !rel.contains("/src/bin/")
-    });
-    out.sort();
-    Ok(out)
-}
-
-fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
-    let entries =
-        fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            walk_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! validation) carry a `// lint:allow(panic): <reason>` marker or an
 //! allowlist entry.
 
-use super::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use super::Violation;
 
 /// Pass name used in waivers and reports.

@@ -8,7 +8,7 @@
 //! `power`, `irradiance`, … Dimensionless quantities (ratios, fractions,
 //! efficiencies, seeds) stay raw `f64` by design and are never flagged.
 
-use super::source::SourceFile;
+use crate::syntax::source::SourceFile;
 use super::Violation;
 
 /// Pass name used in waivers and reports.

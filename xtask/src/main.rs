@@ -9,6 +9,11 @@
 //!   unit arithmetic, determinism hazards (hash ordering, ambient
 //!   time/randomness, completion-order folds), and exhaustiveness/dead
 //!   states of the controller and policy enums.
+//! * `flow` — dataflow analysis over a per-function CFG: interval/range
+//!   analysis of physical quantities (proving runtime sanitizer checks
+//!   statically dischargeable), telemetry schema conformance, and
+//!   error-path hygiene (dropped `Result`s). Writes
+//!   `results/flow_report.json`.
 //! * `determinism` — dynamic bitwise-reproducibility harness: runs the
 //!   policy-grid day simulations at 1 thread, N threads, and with shuffled
 //!   input order and compares canonical `f64::to_bits` hashes.
@@ -20,24 +25,26 @@
 //!   per-period tracking timeline and cross-checks the stream's
 //!   tracking-error aggregate against the committed Table 7 artifact.
 //! * `ci`   — the one-command verification gate, in dependency order:
-//!   lint → clippy → analyze → doc → build → test → determinism →
+//!   lint → clippy → analyze → flow → doc → build → test → determinism →
 //!   bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
-
-mod analyze;
-mod bench;
-mod lint;
+//!
+//! The passes themselves live in the `xtask` library crate (see
+//! `src/lib.rs`) so the fixture ui tests can drive them directly.
 
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
+
+use xtask::{analyze, bench, flow, lint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("analyze") => run_analyze(),
+        Some("flow") => run_flow(),
         Some("determinism") => run_determinism(),
         Some("bench") => {
             let smoke = args.iter().any(|a| a == "--smoke");
@@ -58,13 +65,16 @@ fn main() -> ExitCode {
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo xtask <lint | analyze | determinism | bench [--smoke] | trace | ci>");
+    eprintln!(
+        "usage: cargo xtask <lint | analyze | flow | determinism | bench [--smoke] | trace | ci>"
+    );
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
+    eprintln!("  flow         run interval, schema-conformance and error-path dataflow passes");
     eprintln!("  determinism  verify bit-identical day-sim output across thread counts");
     eprintln!("  bench        run the criterion suite and write BENCH_pr3.json");
     eprintln!("  trace        run the golden telemetry day and render its timeline");
-    eprintln!("  ci           lint, clippy, analyze, doc, build, test, determinism, bench smoke");
+    eprintln!("  ci           lint, clippy, analyze, flow, doc, build, test, determinism, bench smoke");
 }
 
 /// Locates the workspace root (the directory holding the top Cargo.toml).
@@ -75,7 +85,7 @@ fn workspace_root() -> PathBuf {
     dir.parent().map(PathBuf::from).unwrap_or(dir)
 }
 
-/// Prints a report and converts it to an exit code, shared by the two
+/// Prints a report and converts it to an exit code, shared by the
 /// static-analysis commands.
 fn finish(command: &str, result: Result<lint::Report, String>) -> ExitCode {
     match result {
@@ -111,6 +121,39 @@ fn run_lint() -> ExitCode {
 
 fn run_analyze() -> ExitCode {
     finish("analyze", analyze::run(&workspace_root()))
+}
+
+fn run_flow() -> ExitCode {
+    let root = workspace_root();
+    match flow::run(&root) {
+        Ok(outcome) => {
+            println!("{}", outcome.summary());
+            match flow::write_report(&root, &outcome) {
+                Ok(path) => println!("xtask flow: report written to {}", path.display()),
+                Err(err) => {
+                    eprintln!("xtask flow: error: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            let code = finish("flow", Ok(outcome.report));
+            if code != ExitCode::SUCCESS {
+                return code;
+            }
+            if !outcome.proof_gate_passed {
+                eprintln!(
+                    "xtask flow: proven-invariant ratio {:.1}% is below the {:.0}% gate",
+                    outcome.proven_ratio * 100.0,
+                    flow::PROVEN_RATIO_GATE * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("xtask flow: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Runs the dynamic reproducibility harness (a bench binary, so xtask does
@@ -174,6 +217,11 @@ fn run_ci() -> ExitCode {
 
     println!("xtask ci: running xtask analyze");
     if run_analyze() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    println!("xtask ci: running xtask flow");
+    if run_flow() != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 

@@ -8,7 +8,7 @@
 //! lifetimes and multi-character operators. Everything inside comments,
 //! strings and char literals was already blanked by the masker.
 
-use crate::lint::source::SourceFile;
+use crate::syntax::source::SourceFile;
 
 /// One lexed token.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,10 @@
+//@ pass: must-use
+
+// Three ways of dropping a fallible `Result` on the floor: `.ok();`
+// without inspection, `let _ =` over a fallible call, and a bare call
+// statement whose `Result` is discarded.
+fn drain(tel: &mut Telemetry, c: &mut Converter) {
+    tel.flush().ok();
+    let _ = c.set_ratio(1.2);
+    tel.flush();
+}

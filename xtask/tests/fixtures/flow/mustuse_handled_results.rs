@@ -1,0 +1,12 @@
+//@ pass: must-use
+
+// Properly handled fallible calls: propagation with `?`, an inspected
+// `if let Err`, and a binding that is actually consumed. No diagnostics.
+fn drain(tel: &mut Telemetry) -> Result<(), TelemetryError> {
+    tel.flush()?;
+    if let Err(e) = tel.flush() {
+        log_error(&e);
+    }
+    let status = tel.flush();
+    status
+}

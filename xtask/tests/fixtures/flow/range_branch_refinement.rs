@@ -1,0 +1,11 @@
+//@ pass: range
+//@ checks: 2 proven, 0 runtime, 0 violated
+
+// An explicit guard discharges both sanitizer checks: `is_finite()`
+// excludes NaN and the infinities, and the observed-true `x >= 0.0`
+// pins the lower bound.
+fn guarded(x: f64) {
+    if x.is_finite() && x >= 0.0 {
+        invariants::assert_power("guarded", Watts::new(x));
+    }
+}

@@ -1,0 +1,15 @@
+//@ pass: range
+//@ path: crates/solarcore/src/fixture.rs
+//@ checks: 5 proven, 3 runtime, 0 violated
+
+// Seeded contracts flowing through f64::max / f64::min: `max(unknown, 0)`
+// is provably non-NaN and non-negative but may still be +inf, so its
+// finiteness stays with the runtime sanitizer; the min-capped draw lands
+// in [0, 10] and discharges both of its checks. No diagnostics.
+fn conserve(chip: Chip, cap: Watts) {
+    let budget = cap.get().max(0.0);
+    let drawn = budget.min(10.0);
+    invariants::assert_budget("cap", Watts::new(drawn), Watts::new(budget));
+    let v = chip.output_voltage();
+    invariants::assert_bus_voltage("bus", Volts::new(v), Volts::new(2.0));
+}

@@ -1,0 +1,16 @@
+//@ pass: range
+//@ checks: 1 proven, 1 runtime, 0 violated
+
+// Unbounded growth under an opaque exit condition: widening sends the
+// upper bound to +inf (overflow is reachable), so finiteness correctly
+// stays a runtime check while non-negativity is still proven.
+fn grow(w: Workload) {
+    let mut p = 1.0;
+    loop {
+        p = p * 2.0;
+        invariants::assert_power("load", Watts::new(p));
+        if w.done() {
+            break;
+        }
+    }
+}

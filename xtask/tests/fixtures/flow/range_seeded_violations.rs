@@ -1,0 +1,12 @@
+//@ pass: range
+//@ path: crates/solarcore/src/fixture.rs
+//@ checks: 1 proven, 0 runtime, 1 violated
+
+// A constant negative wattage, a transfer ratio outside the reachable
+// DC/DC range, and a V/F ladder index past the last level: each must be
+// flagged as a definite (statically provable) violation.
+fn misbehave(c: Converter) {
+    invariants::assert_power("stage", Watts::new(-3.0));
+    c.set_ratio(12.5).expect("ratio");
+    let _level = VfLevel::from_index(9.0);
+}

@@ -1,0 +1,11 @@
+//@ pass: schema
+//@ path: crates/solarcore/src/fixture.rs
+
+// Every emission names its stream through a declared schema constant,
+// including a named-metric construction. No diagnostics.
+fn emit(tel: &Telemetry) {
+    tel.event(schema::EVENT_MINUTE, 1.0);
+    tel.span(schema::SPAN_TRACK, 2.0);
+    let h = Histogram::new(schema::HIST_ROUNDS, buckets());
+    h.record(3.0);
+}

@@ -1,0 +1,14 @@
+//@ pass: schema
+//@ path: crates/solarcore/src/telemetry.rs
+
+// This fixture stands in for the declaration file itself: one constant is
+// emitted, the other is never referenced anywhere and must be reported as
+// dead schema at its declaration line.
+pub mod schema {
+    pub const EVENT_MINUTE: &str = "minute";
+    pub const SPAN_GHOST: &str = "ghost";
+}
+
+fn emit(tel: &Telemetry) {
+    tel.event(schema::EVENT_MINUTE, 1.0);
+}

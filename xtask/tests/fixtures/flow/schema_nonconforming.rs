@@ -1,0 +1,12 @@
+//@ pass: schema
+//@ path: crates/solarcore/src/fixture.rs
+
+// Three nonconforming emission sites: a raw string literal, a constant
+// the schema does not declare, and a name computed at the call site.
+// The conforming `schema::SPAN_TRACK` emission must stay quiet.
+fn emit(tel: &Telemetry, name: &str) {
+    tel.event("ad-hoc-stream", 1.0);
+    tel.event(schema::EVENT_GHOST, 2.0);
+    tel.span(name, 3.0);
+    tel.span(schema::SPAN_TRACK, 4.0);
+}
