@@ -2,20 +2,34 @@
 # Full local CI gate, in order: invariant lints (cargo xtask lint),
 # clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
 # determinism / exhaustiveness passes), dataflow analysis (cargo xtask
-# flow: interval/range proofs over the sanitizer sites with a >= 70%
-# proven-checks gate, telemetry schema conformance + dead-schema audit,
-# and dropped-Result hygiene; writes results/flow_report.json), rustdoc
-# with RUSTDOCFLAGS="-D warnings" (cargo doc --no-deps — the telemetry
+# flow: interval/range proofs over the sanitizer sites — sharpened by the
+# interprocedural summaries from the call graph — with a *ratchet* on the
+# proven-checks ratio: it may never drop below the baseline recorded in
+# the committed results/flow_report.json, and `cargo xtask flow --bless`
+# is the only way to advance it; plus telemetry schema conformance +
+# dead-schema audit and dropped-Result hygiene), interprocedural
+# call-graph analysis (cargo xtask graph: derived function summaries
+# cross-checked against every hand-written seed contract, race-freedom
+# proofs for every parallel_map worker closure, reachability/dead-pub
+# audit; writes results/graph_report.json), rustdoc with
+# RUSTDOCFLAGS="-D warnings" (cargo doc --no-deps — the telemetry
 # schema in solarcore::schema is rustdoc, so doc rot fails CI), release build,
 # workspace tests, the bitwise-reproducibility harness (cargo xtask
 # determinism — now also proves traced runs are bit-transparent and
 # their JSONL byte-identical), and a benchmark smoke run (cargo xtask
 # bench --smoke) that validates every bench target and archives
 # BENCH_pr3.json at the repo root.
+#
+# The gate order is load-bearing: flow consumes the summaries graph
+# derives, so a summary regression surfaces in flow first (as a proven-
+# ratio drop against the ratchet); graph then re-checks the same
+# workspace independently so a seed/summary mismatch cannot hide behind
+# a flow waiver.
 # Exits non-zero on the first failing gate. See DESIGN.md §11 for the
 # invariant catalog, §12 for the static analysis passes, §13 for the
-# caching/benchmark layer, §14 for the observability contract, and §15
-# for the dataflow passes and their proof/runtime split.
+# caching/benchmark layer, §14 for the observability contract, §15
+# for the dataflow passes and their proof/runtime split, and §16 for the
+# call-graph analysis and the proven-ratio ratchet.
 #
 # Note on proptest regressions: the vendored proptest stub does not read
 # tests/tests/properties.proptest-regressions. The corpus is replayed as

@@ -978,6 +978,23 @@ mod tests {
     }
 
     #[test]
+    fn batch_exposes_its_simulations_and_matches_standalone_runs() {
+        let policies = [Policy::MpptOpt, Policy::MpptRr];
+        let batch = DaySimulation::builder()
+            .site(Site::phoenix_az())
+            .season(Season::Jan)
+            .mix(Mix::hm2())
+            .build_batch(&policies)
+            .unwrap();
+        assert_eq!(batch.simulations().len(), policies.len());
+        let results = batch.run_all().unwrap();
+        for (sim, batched) in batch.simulations().iter().zip(&results) {
+            let standalone = sim.run_prepared(batch.setup()).unwrap();
+            assert_eq!(standalone, *batched);
+        }
+    }
+
+    #[test]
     fn fixed_power_caps_draw_at_budget() {
         let budget = Watts::new(75.0);
         let r = quick(Policy::FixedPower(budget));

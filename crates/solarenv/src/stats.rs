@@ -34,7 +34,7 @@ mod tests {
     fn sites_land_in_their_table2_bands() {
         for site in Site::all() {
             let kwh = average_daily_insolation(&site, 5);
-            let measured = SolarPotential::classify(kwh);
+            let measured = measured_potential(&site, 5);
             assert_eq!(
                 measured,
                 site.potential(),

@@ -353,6 +353,17 @@ mod tests {
     }
 
     #[test]
+    fn into_string_hands_back_the_whole_stream() {
+        let mut sink = JsonlSink::new();
+        sink.record(&minute_event(0)).unwrap();
+        sink.record(&minute_event(1)).unwrap();
+        let expected = sink.buffer().to_owned();
+        let owned = sink.into_string();
+        assert_eq!(owned, expected);
+        assert_eq!(owned.lines().count(), 2);
+    }
+
+    #[test]
     fn jsonl_escapes_strings() {
         let mut sink = JsonlSink::new();
         sink.record(&Record::Event(Event {

@@ -9,12 +9,14 @@
 //! which the abstract interpreter treats as "could be anything" — so a
 //! parse shortfall can only ever lose precision, never soundness.
 //!
-//! Known approximations (all precision-only): closures, macro bodies,
-//! struct literals, indexing and casts evaluate to ⊤; `break`/`continue`/
-//! `return` are modelled as statements but not inside value-position
-//! expressions (an arm like `B => break` falls through as ⊤ instead of
-//! jumping, which can only widen downstream states).
+//! Known approximations (all precision-only): macro bodies, struct
+//! literals, indexing and casts evaluate to ⊤; closures keep their body
+//! (for the call-graph and sharing passes) but evaluate to ⊤ as values;
+//! `break`/`continue`/`return` are modelled as statements but not inside
+//! value-position expressions (an arm like `B => break` falls through as ⊤
+//! instead of jumping, which can only widen downstream states).
 
+use crate::flow::interval::Interval;
 use crate::syntax::lexer::{lex, matching_close, Tok, Token};
 use crate::syntax::source::SourceFile;
 
@@ -163,9 +165,77 @@ pub enum Expr {
         /// Referent.
         expr: Box<Expr>,
     },
-    /// Anything the grammar does not model (closures, macros, literals,
-    /// struct expressions, indexing, casts).
+    /// A closure `|params| body` (also `move` closures). The body is kept
+    /// so the call-graph and sharing passes can see through it; the
+    /// interpreter evaluates it for its effects and call sites only.
+    Closure {
+        /// Parameter patterns (type ascriptions stripped).
+        params: Vec<Pat>,
+        /// The closure body expression.
+        body: Box<Expr>,
+        /// 1-based line of the opening pipe.
+        line: usize,
+    },
+    /// An array literal `[a, b, c]`; `[e; n]` is kept as a single-element
+    /// array (every element has `e`'s abstract value).
+    Array(Vec<Expr>),
+    /// `expr as Type` — the value is ⊤ (casts truncate/saturate), but the
+    /// operand is kept for the call-graph and capture passes.
+    Cast(Box<Expr>),
+    /// Anything the grammar does not model (macros, literals,
+    /// struct expressions, indexing).
     Opaque,
+}
+
+impl Expr {
+    /// Pushes every direct child expression onto `out` (statements nested
+    /// in blocks/arms are not descended into — callers that need them
+    /// walk statements themselves).
+    pub fn children<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Neg(a) | Expr::Try(a) | Expr::Cast(a) | Expr::Ref { expr: a, .. } => {
+                out.push(a);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                out.push(lhs);
+                out.push(rhs);
+            }
+            Expr::Call { args, .. } => out.extend(args.iter()),
+            Expr::Method { recv, args, .. } => {
+                out.push(recv);
+                out.extend(args.iter());
+            }
+            Expr::Field { recv, .. } => out.push(recv),
+            Expr::Tuple(es) | Expr::Array(es) => out.extend(es.iter()),
+            Expr::If {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                out.push(cond);
+                out.push(then_e);
+                if let Some(e) = else_e {
+                    out.push(e);
+                }
+            }
+            Expr::Match { scrutinee, arms } => {
+                out.push(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        out.push(g);
+                    }
+                    out.push(&arm.body);
+                }
+            }
+            Expr::Block { value, .. } => {
+                if let Some(v) = value {
+                    out.push(v);
+                }
+            }
+            Expr::Closure { body, .. } => out.push(body),
+            Expr::Num(_) | Expr::Path(_) | Expr::Opaque => {}
+        }
+    }
 }
 
 /// One `match` arm.
@@ -231,10 +301,13 @@ pub enum Stmt {
         /// Body.
         body: Vec<Stmt>,
     },
-    /// `for pat in iter { … }` — the binder is havocked per iteration.
+    /// `for pat in iter { … }` — the binder is havocked per iteration,
+    /// except over a literal array whose element hull is used instead.
     For {
         /// Loop binder pattern.
         pat: Pat,
+        /// The iterated expression.
+        iter: Expr,
         /// Body.
         body: Vec<Stmt>,
     },
@@ -256,8 +329,25 @@ pub enum Stmt {
     },
 }
 
+/// One parsed value parameter of a function signature.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (`None` for patterns we do not model, e.g. tuples).
+    pub name: Option<String>,
+    /// Type tokens joined with spaces (empty for proptest-style binders).
+    pub ty: String,
+    /// `true` for a `&T` (shared reference) parameter.
+    pub by_ref: bool,
+    /// `true` for a `&mut T` parameter.
+    pub by_mut_ref: bool,
+    /// Value range of a proptest-style binder (`name in lo..hi`), when the
+    /// strategy bounds are numeric literals. Anything else stays `None`
+    /// (⊤): `any::<f64>()` style strategies can generate NaN.
+    pub range: Option<Interval>,
+}
+
 /// A parsed free or associated function.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FnDef {
     /// Function name.
     pub name: String,
@@ -267,6 +357,22 @@ pub struct FnDef {
     pub body: Vec<Stmt>,
     /// `true` when the `fn` line sits in a `#[cfg(test)]` region.
     pub in_test: bool,
+    /// Value parameters (the `self` receiver excluded).
+    pub params: Vec<Param>,
+    /// `true` when the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// `true` for a `&mut self` receiver.
+    pub self_mut: bool,
+    /// `true` when the item is `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// `true` when the signature has a `->` return type at all.
+    pub has_ret: bool,
+    /// `true` when the declared return type mentions `Result`.
+    pub fallible: bool,
+    /// `true` when the body's own tokens contain a panic source (unwrap/
+    /// expect/panic!/assert!/indexing); callee panics are propagated by
+    /// the summary pass, not here.
+    pub panicky: bool,
 }
 
 /// Parses every function with a body out of `src`.
@@ -337,11 +443,22 @@ pub fn parse_fns(src: &SourceFile) -> Vec<FnDef> {
         if let Some(e) = trailing {
             body.push(Stmt::Expr(e));
         }
+        let (params, has_self, self_mut) = parse_params(&tokens[j + 1..params_close]);
+        let ret_toks = &tokens[params_close + 1..open];
+        let has_ret = ret_toks.iter().any(|t| t.is_op("->"));
+        let fallible = has_ret && ret_toks.iter().any(|t| t.is_ident("Result"));
         out.push(FnDef {
             name: name.to_owned(),
             line,
             body,
             in_test: src.is_test_line(line),
+            params,
+            has_self,
+            self_mut,
+            is_pub: is_pub_fn(&tokens, i),
+            has_ret,
+            fallible,
+            panicky: body_panics(&tokens[open + 1..close]),
         });
         // Continue *inside* the body so nested fns are found too.
         i = open + 1;
@@ -349,9 +466,269 @@ pub fn parse_fns(src: &SourceFile) -> Vec<FnDef> {
     out
 }
 
+/// `true` when the `fn` keyword at `at` carries a `pub` qualifier, walking
+/// back over `const`/`unsafe`/`async`/`extern "…"` and `pub(crate)` groups.
+fn is_pub_fn(tokens: &[Token], at: usize) -> bool {
+    let mut k = at;
+    while k > 0 {
+        let prev = &tokens[k - 1];
+        match &prev.tok {
+            Tok::Ident(w) if w == "pub" => return true,
+            Tok::Ident(w)
+                if w == "const" || w == "unsafe" || w == "async" || w == "extern" =>
+            {
+                k -= 1;
+            }
+            // `pub(crate)`: step back over the `(…)` group to its `(`.
+            Tok::Op(")") => {
+                let mut depth = 1i32;
+                let mut b = k - 1;
+                while b > 0 && depth > 0 {
+                    b -= 1;
+                    match &tokens[b].tok {
+                        Tok::Op(")") => depth += 1,
+                        Tok::Op("(") => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if depth != 0 {
+                    return false;
+                }
+                k = b;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Panic-source idents the `panicky` flag looks for inside a body.
+const PANIC_IDENTS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+/// `true` when the body token slice contains an explicit panic source:
+/// a panic-family ident, or a postfix `[` index (out-of-bounds panics).
+fn body_panics(body: &[Token]) -> bool {
+    for (n, t) in body.iter().enumerate() {
+        if let Tok::Ident(w) = &t.tok {
+            if PANIC_IDENTS.contains(&w.as_str()) {
+                return true;
+            }
+        }
+        // `expr[` — an index position: the previous token ends an operand.
+        if t.is_op("[") && n > 0 {
+            match &body[n - 1].tok {
+                Tok::Ident(_) | Tok::Op(")") | Tok::Op("]") => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parses a parameter-list token slice into `(params, has_self, self_mut)`.
+fn parse_params(tokens: &[Token]) -> (Vec<Param>, bool, bool) {
+    let mut params = Vec::new();
+    let mut has_self = false;
+    let mut self_mut = false;
+    for (idx, part) in split_top_commas(tokens).into_iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if idx == 0 && is_self_param(part) {
+            has_self = true;
+            self_mut = part.iter().any(|t| t.is_op("&"))
+                && part.iter().any(|t| t.is_ident("mut"));
+            continue;
+        }
+        params.push(parse_param(part));
+    }
+    (params, has_self, self_mut)
+}
+
+/// `true` when the part is a `self` receiver (`self`, `mut self`,
+/// `&self`, `&mut self`, `&'a self`).
+fn is_self_param(part: &[Token]) -> bool {
+    part.iter()
+        .find(|t| {
+            !(t.is_op("&")
+                || t.is_ident("mut")
+                || matches!(&t.tok, Tok::Lifetime(_)))
+        })
+        .is_some_and(|t| t.is_ident("self"))
+}
+
+/// Parses one non-self parameter: `pat: Type` or a proptest-style binder
+/// `name in strategy`.
+fn parse_param(part: &[Token]) -> Param {
+    // Split at the first `:` at bracket depth 0.
+    let mut depth = 0i32;
+    let mut colon = None;
+    let mut in_kw = None;
+    for (n, t) in part.iter().enumerate() {
+        match &t.tok {
+            Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+            Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth -= 1,
+            Tok::Op(":") if depth == 0 && colon.is_none() => colon = Some(n),
+            Tok::Ident(w) if w == "in" && depth == 0 && in_kw.is_none() => in_kw = Some(n),
+            _ => {}
+        }
+    }
+    if let Some(c) = colon {
+        let name = match parse_pattern(&part[..c]) {
+            Pat::Bind(n) => Some(n),
+            _ => None,
+        };
+        let ty_toks = &part[c + 1..];
+        let ty = render_tokens(ty_toks);
+        let by_ref = ty_toks.first().is_some_and(|t| t.is_op("&"));
+        let by_mut_ref = by_ref
+            && ty_toks
+                .iter()
+                .skip(1)
+                .find(|t| !matches!(&t.tok, Tok::Lifetime(_)))
+                .is_some_and(|t| t.is_ident("mut"));
+        return Param {
+            name,
+            ty,
+            by_ref,
+            by_mut_ref,
+            range: None,
+        };
+    }
+    if let Some(k) = in_kw {
+        let name = match parse_pattern(&part[..k]) {
+            Pat::Bind(n) => Some(n),
+            _ => None,
+        };
+        return Param {
+            name,
+            ty: String::new(),
+            by_ref: false,
+            by_mut_ref: false,
+            range: parse_range_hint(&part[k + 1..]),
+        };
+    }
+    Param {
+        name: match parse_pattern(part) {
+            Pat::Bind(n) => Some(n),
+            _ => None,
+        },
+        ty: String::new(),
+        by_ref: false,
+        by_mut_ref: false,
+        range: None,
+    }
+}
+
+/// Renders tokens with single spaces (type text for reports/heuristics).
+fn render_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.tok {
+            Tok::Ident(w) | Tok::Num(w) => out.push_str(w),
+            Tok::Lifetime(w) => {
+                out.push('\'');
+                out.push_str(w);
+            }
+            Tok::Op(o) => out.push_str(o),
+        }
+    }
+    out
+}
+
+/// The interval of a proptest range strategy `lo..hi` / `lo..=hi` with
+/// numeric-literal bounds. An unparseable upper bound still yields
+/// `[lo, ∞)` open — `Range<f64>` strategies generate values strictly below
+/// their (finite) end. An unparseable lower bound yields `None` (⊤).
+fn parse_range_hint(tokens: &[Token]) -> Option<Interval> {
+    let mut depth = 0i32;
+    let mut dots = None;
+    for (n, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+            Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth -= 1,
+            Tok::Op("..") | Tok::Op("..=") if depth == 0 => {
+                dots = Some(n);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let dots = dots?;
+    let inclusive = tokens[dots].is_op("..=");
+    let lo = parse_num_slice(&tokens[..dots])?;
+    let (hi, hi_open) = match parse_num_slice(&tokens[dots + 1..]) {
+        Some(h) => (h, !inclusive),
+        None => (f64::INFINITY, true),
+    };
+    // NaN endpoints fail this comparison too, rejecting the range.
+    if matches!(lo.partial_cmp(&hi), None | Some(std::cmp::Ordering::Greater)) {
+        return None;
+    }
+    Some(Interval {
+        lo,
+        hi,
+        lo_open: false,
+        hi_open,
+        nan: false,
+    })
+}
+
+/// Parses a slice that is exactly a (possibly negated, possibly suffixed)
+/// numeric literal.
+fn parse_num_slice(tokens: &[Token]) -> Option<f64> {
+    match tokens {
+        [t] => match &t.tok {
+            Tok::Num(n) => num_value(n),
+            _ => None,
+        },
+        [m, t] if m.is_op("-") => match &t.tok {
+            Tok::Num(n) => num_value(n).map(|v| -v),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The numeric value of a literal token's text, stripping `_` separators
+/// and a trailing type suffix (`160.0_f64`, `0usize`).
+pub fn num_value(raw: &str) -> Option<f64> {
+    let t = raw.replace('_', "");
+    if let Ok(v) = t.parse::<f64>() {
+        return Some(v);
+    }
+    for suffix in [
+        "f64", "f32", "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16",
+        "i16", "u8", "i8",
+    ] {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            if !stripped.is_empty() {
+                return stripped.parse().ok();
+            }
+        }
+    }
+    None
+}
+
 /// Skips a `<…>` group starting at `open` (which must be `<`), counting
 /// `<<`/`>>` as two. Returns the index just past the matching `>`.
-fn skip_angles(tokens: &[Token], open: usize) -> usize {
+pub(crate) fn skip_angles(tokens: &[Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut i = open;
     while let Some(t) = tokens.get(i) {
@@ -743,9 +1120,9 @@ impl<'a> Parser<'a> {
         if self.at_ident("in") {
             self.pos += 1;
         }
-        let _iter = self.parse_expr(false);
+        let iter = self.parse_expr(false);
         let body = self.parse_braced_body();
-        Stmt::For { pat, body }
+        Stmt::For { pat, iter, body }
     }
 
     /// Parses one expression. `struct_ok` is false in condition/scrutinee
@@ -867,7 +1244,9 @@ impl<'a> Parser<'a> {
                 continue;
             }
             if self.at_ident("as") {
-                // Cast: consume the type path and give up on the value.
+                // Cast: consume the type path; the operand survives so the
+                // interprocedural passes can look inside it, but the value
+                // is lost (casts truncate/saturate).
                 self.pos += 1;
                 while self
                     .peek()
@@ -875,7 +1254,7 @@ impl<'a> Parser<'a> {
                 {
                     self.pos += 1;
                 }
-                e = Expr::Opaque;
+                e = Expr::Cast(Box::new(e));
                 continue;
             }
             break;
@@ -889,11 +1268,11 @@ impl<'a> Parser<'a> {
         };
         match &t.tok {
             Tok::Num(n) => {
-                let text = n.replace('_', "");
+                let v = num_value(n);
                 self.pos += 1;
-                match text.parse::<f64>() {
-                    Ok(v) => Expr::Num(v),
-                    Err(_) => Expr::Opaque,
+                match v {
+                    Some(v) => Expr::Num(v),
+                    None => Expr::Opaque,
                 }
             }
             Tok::Op("(") => {
@@ -945,19 +1324,54 @@ impl<'a> Parser<'a> {
                 }
             }
             Tok::Op("[") => {
-                self.skip_group();
-                Expr::Opaque
+                let Some(close) = matching_close(self.toks, self.pos) else {
+                    self.pos = self.toks.len();
+                    return Expr::Opaque;
+                };
+                let inner = &self.toks[self.pos + 1..close];
+                self.pos = close + 1;
+                // `[e; n]` repeat form: one representative element.
+                let mut depth = 0i32;
+                let mut semi = None;
+                for (n, t) in inner.iter().enumerate() {
+                    match &t.tok {
+                        Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+                        Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth -= 1,
+                        Tok::Op(";") if depth == 0 => {
+                            semi = Some(n);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = semi {
+                    let mut p = Parser {
+                        toks: &inner[..s],
+                        pos: 0,
+                    };
+                    return Expr::Array(vec![p.parse_expr(true)]);
+                }
+                Expr::Array(
+                    split_top_commas(inner)
+                        .into_iter()
+                        .filter(|part| !part.is_empty())
+                        .map(|part| {
+                            let mut p = Parser { toks: part, pos: 0 };
+                            p.parse_expr(true)
+                        })
+                        .collect(),
+                )
             }
             Tok::Op("|") | Tok::Op("||") => {
-                // Closure: skip `|params|` then parse (and discard) the
-                // body expression so we stop at the right place.
+                let line = t.line;
+                let mut params = Vec::new();
                 if self.at_op("||") {
                     self.pos += 1;
                 } else {
                     self.pos += 1;
+                    let p_start = self.pos;
                     while let Some(t) = self.peek() {
                         if t.is_op("|") {
-                            self.pos += 1;
                             break;
                         }
                         if t.is_op("(") || t.is_op("[") || t.is_op("{") {
@@ -966,9 +1380,45 @@ impl<'a> Parser<'a> {
                         }
                         self.pos += 1;
                     }
+                    let p_toks = &self.toks[p_start..self.pos.min(self.toks.len())];
+                    self.eat_op("|");
+                    for part in split_top_commas(p_toks) {
+                        // Strip a `: Type` ascription at depth 0.
+                        let mut depth = 0i32;
+                        let mut end = part.len();
+                        for (n, t) in part.iter().enumerate() {
+                            match &t.tok {
+                                Tok::Op("(") | Tok::Op("[") | Tok::Op("{") => depth += 1,
+                                Tok::Op(")") | Tok::Op("]") | Tok::Op("}") => depth -= 1,
+                                Tok::Op(":") if depth == 0 => {
+                                    end = n;
+                                    break;
+                                }
+                                _ => {}
+                            }
+                        }
+                        params.push(parse_pattern(&part[..end]));
+                    }
                 }
-                let _body = self.parse_expr(struct_ok);
-                Expr::Opaque
+                // Optional `-> Type` before a braced body.
+                if self.at_op("->") {
+                    while let Some(t) = self.peek() {
+                        if t.is_op("{") {
+                            break;
+                        }
+                        if t.is_op("<") {
+                            self.pos = skip_angles(self.toks, self.pos);
+                            continue;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                let body = self.parse_expr(struct_ok);
+                Expr::Closure {
+                    params,
+                    body: Box::new(body),
+                    line,
+                }
             }
             Tok::Ident(w) if w == "if" => {
                 self.pos += 1;
@@ -1489,5 +1939,82 @@ mod tests {
         assert_eq!(fns.len(), 2);
         assert!(!fns[0].in_test);
         assert!(fns[1].in_test);
+    }
+
+    #[test]
+    fn signature_capture() {
+        let text = "pub fn f(&mut self, x: f64, buf: &mut Vec<f64>) -> Result<f64, E> {\n    x + 1.0\n}\nfn g(n: usize) -> f64 { v[n] }\n";
+        let src = SourceFile::parse("t.rs", text);
+        let fns = parse_fns(&src);
+        assert_eq!(fns.len(), 2);
+        let f = &fns[0];
+        assert!(f.is_pub && f.has_self && f.self_mut && f.has_ret && f.fallible);
+        assert!(!f.panicky);
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name.as_deref(), Some("x"));
+        assert!(!f.params[0].by_ref);
+        assert_eq!(f.params[1].name.as_deref(), Some("buf"));
+        assert!(f.params[1].by_mut_ref);
+        let g = &fns[1];
+        assert!(!g.is_pub && !g.has_self && !g.fallible && g.has_ret);
+        assert!(g.panicky, "indexing is a panic source");
+    }
+
+    #[test]
+    fn proptest_range_binders_get_intervals() {
+        let text = "fn t(p in 10.0..160.0f64, q in any::<f64>()) {}\n";
+        let src = SourceFile::parse("t.rs", text);
+        let fns = parse_fns(&src);
+        let r = fns[0].params[0].range.expect("range hint");
+        assert_eq!((r.lo, r.hi), (10.0, 160.0));
+        assert!(!r.lo_open && r.hi_open && !r.nan);
+        assert!(fns[0].params[1].range.is_none());
+    }
+
+    #[test]
+    fn closures_keep_their_bodies() {
+        let b = body("let f = |a: f64, b| a + b;\nxs.map(|x| x * 2.0);");
+        let Stmt::Let {
+            init: Some(Expr::Closure { params, body, .. }),
+            ..
+        } = &b[0]
+        else {
+            panic!("{b:?}")
+        };
+        assert_eq!(params.len(), 2);
+        assert!(matches!(**body, Expr::Binary { op: BinOp::Add, .. }));
+        let Stmt::Expr(Expr::Method { args, .. }) = &b[1] else {
+            panic!("{b:?}")
+        };
+        assert!(matches!(&args[0], Expr::Closure { .. }));
+    }
+
+    #[test]
+    fn arrays_parse_to_elements() {
+        let b = body("let a = [1.0, 2.0, x];\nlet r = [0.0; 8];");
+        let Stmt::Let {
+            init: Some(Expr::Array(es)),
+            ..
+        } = &b[0]
+        else {
+            panic!("{b:?}")
+        };
+        assert_eq!(es.len(), 3);
+        let Stmt::Let {
+            init: Some(Expr::Array(rs)),
+            ..
+        } = &b[1]
+        else {
+            panic!("{b:?}")
+        };
+        assert_eq!(rs.len(), 1, "repeat form keeps one representative");
+    }
+
+    #[test]
+    fn suffixed_literals_parse() {
+        assert_eq!(num_value("160.0_f64"), Some(160.0));
+        assert_eq!(num_value("0usize"), Some(0.0));
+        assert_eq!(num_value("1_000"), Some(1000.0));
+        assert_eq!(num_value("0x10"), None);
     }
 }

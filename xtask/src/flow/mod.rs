@@ -22,10 +22,21 @@
 //! All findings use the shared diagnostic format and waiver machinery of
 //! [`crate::lint`] (inline `// lint:allow(<pass>): <reason>` markers and
 //! `xtask/lint-allow.txt` prefixes, with unused waivers failing the run).
-//! `cargo xtask flow` additionally enforces a *proof-coverage gate*: at
-//! least [`PROVEN_RATIO_GATE`] of the sanitizer checks must be statically
-//! proven, so the pass keeps earning its place as the code evolves.
-//! [`write_report`] serialises the run into `results/flow_report.json`.
+//!
+//! The range pass runs *interprocedurally*: [`run`] first builds the
+//! workspace call graph ([`crate::graph`]) and feeds its derived function
+//! summaries back as a [`range::CallOracle`], so call sites the hand-written
+//! seeds don't cover still get non-⊤ return intervals, and closed-world
+//! parameters get intervals joined over every call site.
+//!
+//! `cargo xtask flow` additionally enforces a *proof-coverage ratchet*:
+//! the proven fraction of sanitizer checks is compared against the
+//! baseline recorded in the committed `results/flow_report.json` — it may
+//! rise but never drop (`cargo xtask flow --bless` advances the baseline
+//! by rewriting the report). With no committed report the fixed floor
+//! [`PROVEN_RATIO_FLOOR`] applies. [`write_report`] serialises the run
+//! into `results/flow_report.json` in canonical sorted-key JSON
+//! ([`crate::jsonout`]), so the artifact is byte-diffable.
 
 pub mod ast;
 pub mod errpath;
@@ -44,6 +55,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::jsonout::Json;
 use crate::lint::{self, Report, Violation};
 use crate::syntax::files;
 use crate::syntax::source::SourceFile;
@@ -51,9 +63,33 @@ use crate::syntax::source::SourceFile;
 /// The passes `cargo xtask flow` runs; scopes unused-waiver accounting.
 pub const PASSES: &[&str] = &[range::PASS, schema::PASS, errpath::PASS];
 
-/// Minimum fraction of elementary sanitizer checks that must be proven
-/// statically for the flow gate to pass.
-pub const PROVEN_RATIO_GATE: f64 = 0.70;
+/// Fallback proof-coverage floor, used only when no committed
+/// `results/flow_report.json` exists to ratchet against.
+pub const PROVEN_RATIO_FLOOR: f64 = 0.70;
+
+/// The baseline proven ratio the current run must not drop below: the
+/// `proven_ratio` recorded in the committed `results/flow_report.json`,
+/// clamped to at least [`PROVEN_RATIO_FLOOR`] (the ratchet never winds
+/// backwards past the original gate).
+pub fn baseline_ratio(root: &Path) -> f64 {
+    let path = root.join("results").join("flow_report.json");
+    fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| parse_ratio(&text))
+        .map_or(PROVEN_RATIO_FLOOR, |r| r.max(PROVEN_RATIO_FLOOR))
+}
+
+/// Extracts the `"proven_ratio": <number>` field from a report without a
+/// JSON parser (xtask is dependency-free; the field is written by
+/// [`write_report`] in a known canonical shape).
+fn parse_ratio(text: &str) -> Option<f64> {
+    let key = "\"proven_ratio\":";
+    let rest = text[text.find(key)? + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
 
 /// Per-crate proven/unproven/violated check counts.
 #[derive(Debug, Default, Clone, Copy)]
@@ -85,7 +121,9 @@ pub struct FlowOutcome {
     pub fallible_names: usize,
     /// Fraction of elementary sanitizer checks proven statically.
     pub proven_ratio: f64,
-    /// `proven_ratio >= PROVEN_RATIO_GATE`.
+    /// The ratchet baseline this run was held to ([`baseline_ratio`]).
+    pub baseline: f64,
+    /// `proven_ratio >= baseline` (the ratchet: coverage never drops).
     pub proof_gate_passed: bool,
 }
 
@@ -109,13 +147,14 @@ impl FlowOutcome {
         let _ = writeln!(
             out,
             "xtask flow [range]: {} sanitizer sites, {} elementary checks — \
-             {} proven, {} runtime, {} violated ({:.1}% proven)",
+             {} proven, {} runtime, {} violated ({:.1}% proven, ratchet {:.1}%)",
             self.sites.len(),
             self.checks(),
             self.count(range::CheckStatus::Proven),
             self.count(range::CheckStatus::Runtime),
             self.count(range::CheckStatus::Violated),
             self.proven_ratio * 100.0,
+            self.baseline * 100.0,
         );
         let _ = writeln!(
             out,
@@ -141,6 +180,14 @@ pub fn run(root: &Path) -> Result<FlowOutcome, String> {
     let mut allow = lint::Allowlist::load(root)?;
     let seeds = seeds::Seeds::learn(root)?;
     let schema_decl = schema::Schema::learn(root)?;
+
+    // Interprocedural front end: derive function summaries and closed-world
+    // parameter intervals from the whole-workspace call graph, then hold the
+    // range pass to them through the `CallOracle` hook. Sites the seeds
+    // already cover are unaffected; everything else gets sharper than ⊤.
+    let graph_sources = crate::graph::load_sources(root)?;
+    let analysis = crate::graph::analyze(&graph_sources, &seeds);
+    let oracle = &analysis.summary.oracle;
 
     // Experiment binaries are in scope: their telemetry streams and error
     // paths are exactly what the schema and must-use passes protect.
@@ -170,7 +217,7 @@ pub fn run(root: &Path) -> Result<FlowOutcome, String> {
     for src in sources {
         let mut findings = Vec::new();
         if range::applies_to(&src.path) {
-            let (file_sites, file_violations) = range::check(&src, &seeds);
+            let (file_sites, file_violations) = range::check_with(&src, &seeds, Some(oracle));
             sites.extend(file_sites);
             findings.extend(file_violations);
         }
@@ -230,6 +277,7 @@ pub fn run(root: &Path) -> Result<FlowOutcome, String> {
     } else {
         proven as f64 / checks as f64
     };
+    let baseline = baseline_ratio(root);
 
     Ok(FlowOutcome {
         report,
@@ -240,81 +288,92 @@ pub fn run(root: &Path) -> Result<FlowOutcome, String> {
         dead_schema,
         fallible_names: fallible.len(),
         proven_ratio,
-        proof_gate_passed: proven_ratio >= PROVEN_RATIO_GATE,
+        baseline,
+        proof_gate_passed: proven_ratio >= baseline,
     })
 }
 
-/// Serialises `outcome` to `results/flow_report.json` (hand-rolled JSON —
-/// xtask is dependency-free by design). Returns the path written.
+/// The canonical report document: sorted keys, shortest-roundtrip floats
+/// ([`crate::jsonout`]), so two runs over the same tree render to
+/// identical bytes and the committed artifact diffs cleanly.
+pub fn report_json(outcome: &FlowOutcome) -> Json {
+    let per_crate = outcome
+        .per_crate
+        .iter()
+        .map(|(name, s)| {
+            (
+                name.as_str(),
+                Json::obj(vec![
+                    ("proven", Json::int(s.proven)),
+                    ("unproven", Json::int(s.unproven)),
+                    ("violated", Json::int(s.violated)),
+                ]),
+            )
+        })
+        .collect();
+    let sites = outcome
+        .sites
+        .iter()
+        .map(|site| {
+            let count =
+                |st| site.checks.iter().filter(|c| c.status == st).count();
+            Json::obj(vec![
+                ("kind", Json::str(site.kind.to_string())),
+                ("line", Json::int(site.line)),
+                ("path", Json::str(&site.path)),
+                ("proven", Json::int(count(range::CheckStatus::Proven))),
+                ("unproven", Json::int(count(range::CheckStatus::Runtime))),
+                ("violated", Json::int(count(range::CheckStatus::Violated))),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("baseline", Json::Num(outcome.baseline)),
+        ("gate_passed", Json::Bool(outcome.proof_gate_passed)),
+        ("generated_by", Json::str("cargo xtask flow")),
+        (
+            "must_use",
+            Json::obj(vec![("fallible_names", Json::int(outcome.fallible_names))]),
+        ),
+        ("per_crate", Json::obj(per_crate)),
+        ("proven_ratio", Json::Num(outcome.proven_ratio)),
+        (
+            "schema",
+            Json::obj(vec![
+                ("dead", Json::int(outcome.dead_schema)),
+                ("declared", Json::int(outcome.schema_constants)),
+                ("emission_sites", Json::int(outcome.emission_sites)),
+            ]),
+        ),
+        ("sites", Json::Arr(sites)),
+        (
+            "totals",
+            Json::obj(vec![
+                ("checks", Json::int(outcome.checks())),
+                ("proven", Json::int(outcome.count(range::CheckStatus::Proven))),
+                ("sites", Json::int(outcome.sites.len())),
+                (
+                    "unproven",
+                    Json::int(outcome.count(range::CheckStatus::Runtime)),
+                ),
+                (
+                    "violated",
+                    Json::int(outcome.count(range::CheckStatus::Violated)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Serialises `outcome` to `results/flow_report.json` (canonical sorted-
+/// key JSON — this is the artifact [`baseline_ratio`] ratchets against).
+/// Returns the path written.
 pub fn write_report(root: &Path, outcome: &FlowOutcome) -> Result<PathBuf, String> {
     let dir = root.join("results");
     fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let path = dir.join("flow_report.json");
-    let mut json = String::new();
-    json.push_str("{\n");
-    let _ = writeln!(json, "  \"generated_by\": \"cargo xtask flow\",");
-    let _ = writeln!(json, "  \"gate\": {PROVEN_RATIO_GATE},");
-    let _ = writeln!(json, "  \"proven_ratio\": {:.4},", outcome.proven_ratio);
-    let _ = writeln!(json, "  \"gate_passed\": {},", outcome.proof_gate_passed);
-    let _ = writeln!(
-        json,
-        "  \"totals\": {{\"sites\": {}, \"checks\": {}, \"proven\": {}, \
-         \"unproven\": {}, \"violated\": {}}},",
-        outcome.sites.len(),
-        outcome.checks(),
-        outcome.count(range::CheckStatus::Proven),
-        outcome.count(range::CheckStatus::Runtime),
-        outcome.count(range::CheckStatus::Violated),
-    );
-    let _ = writeln!(
-        json,
-        "  \"schema\": {{\"declared\": {}, \"emission_sites\": {}, \"dead\": {}}},",
-        outcome.schema_constants, outcome.emission_sites, outcome.dead_schema,
-    );
-    let _ = writeln!(
-        json,
-        "  \"must_use\": {{\"fallible_names\": {}}},",
-        outcome.fallible_names,
-    );
-    json.push_str("  \"per_crate\": {\n");
-    let entries: Vec<String> = outcome
-        .per_crate
-        .iter()
-        .map(|(name, s)| {
-            format!(
-                "    \"{name}\": {{\"proven\": {}, \"unproven\": {}, \"violated\": {}}}",
-                s.proven, s.unproven, s.violated
-            )
-        })
-        .collect();
-    json.push_str(&entries.join(",\n"));
-    json.push_str("\n  },\n");
-    json.push_str("  \"sites\": [\n");
-    let entries: Vec<String> = outcome
-        .sites
-        .iter()
-        .map(|site| {
-            let count = |st| {
-                site.checks
-                    .iter()
-                    .filter(|c| c.status == st)
-                    .count()
-            };
-            format!(
-                "    {{\"path\": \"{}\", \"line\": {}, \"kind\": \"{}\", \
-                 \"proven\": {}, \"unproven\": {}, \"violated\": {}}}",
-                site.path,
-                site.line,
-                site.kind,
-                count(range::CheckStatus::Proven),
-                count(range::CheckStatus::Runtime),
-                count(range::CheckStatus::Violated),
-            )
-        })
-        .collect();
-    json.push_str(&entries.join(",\n"));
-    json.push_str("\n  ]\n}\n");
-    fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    fs::write(&path, report_json(outcome).render())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     Ok(path)
 }
 
@@ -335,9 +394,9 @@ mod tests {
     }
 
     /// The flow gate over the real workspace: clean, and the proof ratio
-    /// meets the gate (acceptance: ≥ 70% of sanitizer checks proven).
+    /// meets the ratchet baseline read from the committed report.
     #[test]
-    fn workspace_is_flow_clean_and_meets_the_proof_gate() {
+    fn workspace_is_flow_clean_and_meets_the_proof_ratchet() {
         let outcome = run(&workspace_root()).expect("flow runs");
         assert!(
             outcome.report.violations.is_empty(),
@@ -356,11 +415,65 @@ mod tests {
         );
         assert!(
             outcome.proof_gate_passed,
-            "proven ratio {:.3} below gate {PROVEN_RATIO_GATE} — sites: {:#?}",
+            "proven ratio {:.4} below ratchet baseline {:.4} — sites: {:#?}",
             outcome.proven_ratio,
+            outcome.baseline,
             outcome.sites
+        );
+        // The interprocedural oracle must beat the best purely seed-driven
+        // run (20/27 ≈ 0.7407): derived summaries and closed-world params
+        // are load-bearing, not decorative.
+        assert!(
+            outcome.proven_ratio > 0.7407,
+            "oracle added no proofs: ratio {:.4}",
+            outcome.proven_ratio
         );
         assert!(outcome.emission_sites > 0, "engine emissions must be seen");
         assert_eq!(outcome.dead_schema, 0, "schema must have no dead constants");
+    }
+
+    /// Satellite (b): the report is canonical — two runs over the same
+    /// tree render byte-identical JSON.
+    #[test]
+    fn report_is_byte_stable_across_runs() {
+        let root = workspace_root();
+        let a = report_json(&run(&root).expect("first run")).render();
+        let b = report_json(&run(&root).expect("second run")).render();
+        assert_eq!(a, b, "flow report must be byte-stable");
+    }
+
+    #[test]
+    fn ratio_parses_out_of_a_committed_report() {
+        assert_eq!(parse_ratio("{\"proven_ratio\": 0.7407,"), Some(0.7407));
+        assert_eq!(parse_ratio("{\"proven_ratio\":0.8148}"), Some(0.8148));
+        assert_eq!(parse_ratio("{\"gate\": 0.7}"), None);
+        // A malformed value falls back rather than panicking.
+        assert_eq!(parse_ratio("{\"proven_ratio\": oops,"), None);
+    }
+
+    /// The ratchet clamps to the floor: a missing or low committed
+    /// baseline never relaxes the original 70% gate.
+    // The values round-trip through decimal text unchanged, so exact
+    // comparison is the point of the test.
+    #[allow(clippy::float_cmp)]
+    #[test]
+    fn baseline_never_drops_below_the_floor() {
+        let dir = std::env::temp_dir().join("xtask-flow-ratchet-test");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(baseline_ratio(&dir), PROVEN_RATIO_FLOOR);
+        fs::create_dir_all(dir.join("results")).expect("mkdir");
+        fs::write(
+            dir.join("results").join("flow_report.json"),
+            "{\"proven_ratio\": 0.5}\n",
+        )
+        .expect("write");
+        assert_eq!(baseline_ratio(&dir), PROVEN_RATIO_FLOOR);
+        fs::write(
+            dir.join("results").join("flow_report.json"),
+            "{\"proven_ratio\": 0.8}\n",
+        )
+        .expect("write");
+        assert_eq!(baseline_ratio(&dir), 0.8);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

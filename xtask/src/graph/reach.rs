@@ -1,0 +1,178 @@
+//! Reachability over the call graph and the dead-`pub` report.
+//!
+//! Roots are everything with an external entry point: `main` functions,
+//! `#[cfg(test)]` functions, and every function defined outside the
+//! library trees (integration tests, benches, examples, binaries). The
+//! traversal follows unique **and** candidate edges — an ambiguous call
+//! keeps all its possible targets alive, so unreachability is never an
+//! artifact of resolver imprecision.
+//!
+//! A `pub` library function that the traversal cannot reach is only
+//! reported when the textual closed-world check agrees: its name must
+//! occur *nowhere* in the workspace beyond its own definitions. Trait
+//! methods invoked generically, macro references and re-exports all leave
+//! extra mentions, so they can never be misreported.
+
+use crate::lint::Violation;
+
+use super::resolve::{Resolution, Workspace};
+
+/// The reachability report.
+#[derive(Debug)]
+pub struct ReachReport {
+    /// Number of root functions.
+    pub roots: usize,
+    /// Number of reachable functions (roots included).
+    pub reachable: usize,
+    /// `Type::name @ path:line` of unreachable pub library functions that
+    /// pass the textual closed-world check.
+    pub dead_pub: Vec<String>,
+}
+
+/// Runs the traversal. Dead-pub findings use pass `reach`.
+pub fn check(
+    ws: &Workspace,
+    resolutions: &[Vec<Resolution>],
+) -> (ReachReport, Vec<Violation>) {
+    let n = ws.fns.len();
+    let mut reachable = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut roots = 0usize;
+    for (i, f) in ws.fns.iter().enumerate() {
+        let is_root = !ws.files[f.file].in_crate_src || f.def.name == "main" || f.def.in_test;
+        if is_root {
+            roots += 1;
+            reachable[i] = true;
+            stack.push(i);
+        }
+    }
+    while let Some(i) = stack.pop() {
+        for r in &resolutions[i] {
+            let targets: &[usize] = match r {
+                Resolution::Unique(j) => std::slice::from_ref(j),
+                Resolution::Candidates(js) => js,
+                Resolution::External => &[],
+            };
+            for &j in targets {
+                if !reachable[j] {
+                    reachable[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+
+    let mut dead_pub = Vec::new();
+    let mut violations = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if reachable[i] || !f.def.is_pub || !ws.files[f.file].in_crate_src {
+            continue;
+        }
+        let name = &f.def.name;
+        let mentions = ws.mentions.get(name).copied().unwrap_or(0);
+        let defs = ws.def_counts.get(name).copied().unwrap_or(0);
+        if mentions != defs {
+            continue;
+        }
+        let path = &ws.files[f.file].path;
+        dead_pub.push(format!("{} @ {path}:{}", f.qname(), f.def.line));
+        violations.push(Violation {
+            pass: "reach",
+            path: path.clone(),
+            line: f.def.line,
+            message: format!(
+                "`{}` is pub but unreachable from any binary, test or bench root, and its name appears nowhere else in the workspace",
+                f.qname()
+            ),
+        });
+    }
+    dead_pub.sort();
+
+    (
+        ReachReport {
+            roots,
+            reachable: reachable.iter().filter(|r| **r).count(),
+            dead_pub,
+        },
+        violations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::range::interpret_fn;
+    use crate::flow::seeds::Seeds;
+    use crate::graph::resolve::local_type_hints;
+    use crate::syntax::source::SourceFile;
+
+    fn run(files: &[(&str, &str)]) -> (Workspace, ReachReport, Vec<Violation>) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let ws = Workspace::build(&sources);
+        let seeds = Seeds::for_tests();
+        let resolutions: Vec<Vec<Resolution>> = ws
+            .fns
+            .iter()
+            .map(|f| {
+                let path = &ws.files[f.file].path;
+                let hints = local_type_hints(f);
+                interpret_fn(path, &f.def, &seeds, None, None)
+                    .calls
+                    .iter()
+                    .map(|e| {
+                        let recv_ty =
+                            e.recv.as_ref().and_then(|r| hints.get(r)).map(String::as_str);
+                        ws.resolve(f.file, f.self_type.as_deref(), e, recv_ty)
+                    })
+                    .collect()
+            })
+            .collect();
+        let (report, violations) = check(&ws, &resolutions);
+        (ws, report, violations)
+    }
+
+    #[test]
+    fn test_roots_keep_their_callees_alive() {
+        let (_, report, violations) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn used() -> f64 { 1.0 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { used(); }\n}\n",
+        )]);
+        assert!(report.dead_pub.is_empty(), "{violations:?}");
+        assert_eq!(report.reachable, 2);
+    }
+
+    #[test]
+    fn unmentioned_pub_fn_is_dead() {
+        let (_, report, violations) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn orphan() -> f64 { 1.0 }\nfn main() {}\n",
+        )]);
+        assert_eq!(report.dead_pub.len(), 1);
+        assert!(report.dead_pub[0].contains("orphan"));
+        assert_eq!(violations.len(), 1);
+    }
+
+    #[test]
+    fn extra_textual_mentions_suppress_the_report() {
+        // `helper` is unreachable but re-exported; the mention count
+        // keeps it off the dead list.
+        let (_, report, _) = run(&[(
+            "crates/a/src/lib.rs",
+            "pub fn helper() -> f64 { 1.0 }\npub use helper as h;\nfn main() {}\n",
+        )]);
+        assert!(report.dead_pub.is_empty());
+    }
+
+    #[test]
+    fn bench_files_are_roots() {
+        let (_, report, _) = run(&[
+            ("crates/a/src/lib.rs", "pub fn hot() -> f64 { 1.0 }\n"),
+            ("crates/a/benches/b.rs", "fn main() { hot(); }\n"),
+        ]);
+        assert!(report.dead_pub.is_empty());
+        assert_eq!(report.reachable, 2);
+    }
+}

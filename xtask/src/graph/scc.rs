@@ -1,0 +1,120 @@
+//! Strongly connected components of the call graph, via an iterative
+//! Tarjan walk.
+//!
+//! Tarjan emits each component only after every component reachable from
+//! it has been emitted, so the output order is already **reverse
+//! topological** over the condensation — exactly the order the summary
+//! pass needs to compute callees before callers. The walk is iterative
+//! (explicit stack) so a pathological call chain cannot overflow the real
+//! stack.
+
+/// Computes the SCCs of a graph given as adjacency lists, returned in
+/// reverse topological order of the condensation (callees first). Every
+/// node appears in exactly one component.
+pub fn sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (node, next-child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                low[parent] = low[parent].min(low[v]);
+            }
+            if low[v] == index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                comp.sort_unstable();
+                out.push(comp);
+            }
+        }
+    }
+    out
+}
+
+/// `true` when component `comp` contains a cycle: more than one member,
+/// or a single member with a self-edge.
+pub fn is_cyclic(comp: &[usize], adj: &[Vec<usize>]) -> bool {
+    comp.len() > 1 || comp.first().is_some_and(|&v| adj[v].contains(&v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_emits_callees_first() {
+        // 0 → 1 → 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = sccs(&adj);
+        assert_eq!(comps, vec![vec![2], vec![1], vec![0]]);
+        assert!(!is_cyclic(&comps[0], &adj));
+    }
+
+    #[test]
+    fn cycles_collapse_into_one_component() {
+        // 0 → 1 → 2 → 1, 0 → 3
+        let adj = vec![vec![1, 3], vec![2], vec![1], vec![]];
+        let comps = sccs(&adj);
+        assert!(comps.contains(&vec![1, 2]));
+        assert!(is_cyclic(&[1, 2], &adj));
+        // The cyclic pair precedes its caller.
+        let pos = |c: &[usize]| comps.iter().position(|x| x == c).unwrap();
+        assert!(pos(&[1, 2]) < pos(&[0]));
+        assert!(pos(&[3]) < pos(&[0]));
+    }
+
+    #[test]
+    fn self_recursion_is_cyclic() {
+        let adj = vec![vec![0]];
+        assert_eq!(sccs(&adj), vec![vec![0]]);
+        assert!(is_cyclic(&[0], &adj));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 50_000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let comps = sccs(&adj);
+        assert_eq!(comps.len(), n);
+        assert_eq!(comps[0], vec![n - 1]);
+    }
+}

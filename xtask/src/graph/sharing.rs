@@ -1,0 +1,533 @@
+//! The parallel-closure sharing pass: a race-freedom verdict for every
+//! `parallel_map` call site.
+//!
+//! `parallel_map(inputs, threads, f)` runs `f` on worker threads; the
+//! type system already demands `F: Fn(&T) -> U + Sync`, so this pass is
+//! the *source-level* witness that complements the type-level one: it
+//! names the closure's captures and proves none of them is written to,
+//! `&mut`-borrowed, mutated through a `&mut self` workspace method, or an
+//! unsynchronized interior-mutability handle (`Rc`/`RefCell`/`Cell`).
+//! Each worker's only write is its own indexed output slot, which
+//! `parallel_map` itself owns — so a clean capture list is a sharing
+//! proof for the whole site.
+//!
+//! The capture walker is scope-accurate: a name `let`-bound inside the
+//! closure before an assignment shadows the capture, but an assignment
+//! *before* the shadowing `let` still hits the captured binding and is
+//! flagged.
+
+use std::collections::BTreeSet;
+
+use crate::flow::ast::{Arm, Expr, Pat, Stmt};
+use crate::lint::Violation;
+
+use super::resolve::{for_each_stmt, Resolution, Workspace, INTERIOR_MUT_TYPES};
+use super::resolve::local_type_hints;
+use crate::flow::range::CallEvent;
+
+/// Std methods that mutate their receiver through `&mut self`; calling
+/// one on a capture is a sharing violation even without workspace
+/// resolution.
+const STD_MUT_METHODS: &[&str] = &[
+    "borrow_mut", "clear", "dedup", "drain", "extend", "get_mut", "insert", "iter_mut",
+    "lock", "pop", "push", "push_str", "remove", "retain", "set", "sort", "sort_by",
+    "sort_unstable", "truncate", "write",
+];
+
+/// The verdict for one `parallel_map` call site.
+#[derive(Debug)]
+pub struct ShareVerdict {
+    /// File of the call site.
+    pub path: String,
+    /// 1-based line of the call site.
+    pub line: usize,
+    /// Names the worker closure captures from the enclosing function.
+    pub captures: Vec<String>,
+    /// `proven` or `violated`.
+    pub verdict: &'static str,
+    /// Why the verdict holds (one line per capture finding).
+    pub details: Vec<String>,
+}
+
+/// Finds every `parallel_map` call site in the workspace and judges its
+/// worker argument. Violations use pass `share`.
+pub fn check(ws: &Workspace) -> (Vec<ShareVerdict>, Vec<Violation>) {
+    let mut verdicts = Vec::new();
+    let mut violations = Vec::new();
+    for (i, info) in ws.fns.iter().enumerate() {
+        let path = ws.files[info.file].path.clone();
+        let mut sites: Vec<(usize, &Expr)> = Vec::new();
+        for_each_stmt(&info.def.body, &mut |stmt| {
+            collect_sites_stmt(stmt, &mut sites);
+        });
+        // `for_each_stmt` visits nested statements itself; collecting per
+        // statement would double-count, so dedup by line.
+        sites.sort_by_key(|(line, _)| *line);
+        sites.dedup_by_key(|(line, _)| *line);
+        for (line, worker) in sites {
+            let v = judge_site(ws, i, &path, line, worker);
+            if v.verdict == "violated" {
+                for d in &v.details {
+                    violations.push(Violation {
+                        pass: "share",
+                        path: path.clone(),
+                        line,
+                        message: format!("parallel_map worker is not proven race-free: {d}"),
+                    });
+                }
+            }
+            verdicts.push(v);
+        }
+    }
+    verdicts.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    (verdicts, violations)
+}
+
+/// Collects `parallel_map(…)` worker arguments out of one statement's
+/// immediate expressions (nested statements are visited by the caller).
+fn collect_sites_stmt<'a>(stmt: &'a Stmt, out: &mut Vec<(usize, &'a Expr)>) {
+    let mut exprs: Vec<&Expr> = Vec::new();
+    match stmt {
+        Stmt::Let { init: Some(e), .. }
+        | Stmt::LetElse { init: e, .. }
+        | Stmt::Assign { value: e, .. }
+        | Stmt::Expr(e)
+        | Stmt::Return(Some(e)) => exprs.push(e),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => exprs.push(cond),
+        Stmt::For { iter, .. } => exprs.push(iter),
+        _ => {}
+    }
+    while let Some(e) = exprs.pop() {
+        if let Expr::Call { path, args, line } = e {
+            if path.last().is_some_and(|s| s == "parallel_map") {
+                if let Some(worker) = args.get(2) {
+                    out.push((*line, worker));
+                }
+            }
+        }
+        e.children(&mut exprs);
+    }
+}
+
+/// Judges one worker argument.
+fn judge_site(
+    ws: &Workspace,
+    fn_ix: usize,
+    path: &str,
+    line: usize,
+    worker: &Expr,
+) -> ShareVerdict {
+    let Expr::Closure { params, body, .. } = worker else {
+        // A named function has no environment at all.
+        if matches!(worker, Expr::Path(_)) {
+            return ShareVerdict {
+                path: path.to_owned(),
+                line,
+                captures: Vec::new(),
+                verdict: "proven",
+                details: vec!["worker is a named function; nothing is captured".to_owned()],
+            };
+        }
+        return ShareVerdict {
+            path: path.to_owned(),
+            line,
+            captures: Vec::new(),
+            verdict: "violated",
+            details: vec![
+                "worker expression is not a closure or named function; captures cannot be analyzed"
+                    .to_owned(),
+            ],
+        };
+    };
+
+    // Names bound anywhere in the enclosing function (params, self, lets,
+    // loop binders); a free name of the closure is a capture iff it is
+    // one of these — everything else is a static, const, or item path.
+    let enclosing = enclosing_bindings(ws, fn_ix);
+    let hints = local_type_hints(&ws.fns[fn_ix]);
+
+    let mut walker = CapWalker::default();
+    walker.push_frame();
+    for p in params {
+        walker.bind_pat(p);
+    }
+    walker.walk_expr(body);
+    walker.pop_frame();
+
+    let captures: Vec<String> = walker
+        .free_reads
+        .iter()
+        .filter(|n| enclosing.contains(*n))
+        .cloned()
+        .collect();
+
+    let mut details = Vec::new();
+    for name in walker.assigned.iter().filter(|n| enclosing.contains(*n)) {
+        details.push(format!("captured `{name}` is assigned to inside the worker"));
+    }
+    for name in walker.mut_refs.iter().filter(|n| enclosing.contains(*n)) {
+        details.push(format!("captured `{name}` is borrowed `&mut` inside the worker"));
+    }
+    for name in &captures {
+        if let Some(ty) = hints.get(name) {
+            if INTERIOR_MUT_TYPES.contains(&ty.as_str()) {
+                details.push(format!(
+                    "captured `{name}` is a `{ty}`, whose shared mutation is unsynchronized"
+                ));
+            }
+        }
+    }
+    for (recv, method, mline) in &walker.method_calls {
+        if !enclosing.contains(recv) {
+            continue;
+        }
+        if STD_MUT_METHODS.contains(&method.as_str()) {
+            details.push(format!(
+                "captured `{recv}` receives mutating method `.{method}()` (line {mline})"
+            ));
+            continue;
+        }
+        // Resolve against the workspace: a `&mut self` method on a
+        // capture is a write to shared state.
+        let event = CallEvent {
+            line: *mline,
+            path: vec![method.clone()],
+            is_method: true,
+            recv: Some(recv.clone()),
+            args: Vec::new(),
+        };
+        let recv_ty = hints.get(recv).map(String::as_str);
+        let info = &ws.fns[fn_ix];
+        let hits: Vec<usize> = match ws.resolve(info.file, info.self_type.as_deref(), &event, recv_ty)
+        {
+            Resolution::Unique(j) => vec![j],
+            Resolution::Candidates(js) => js,
+            Resolution::External => Vec::new(),
+        };
+        if hits.iter().any(|&j| ws.fns[j].def.self_mut) {
+            details.push(format!(
+                "captured `{recv}` receives workspace `&mut self` method `.{method}()` (line {mline})"
+            ));
+        }
+    }
+
+    if details.is_empty() {
+        details.push(match captures.len() {
+            0 => "no captures".to_owned(),
+            n => format!("{n} capture(s), all read-only and synchronization-free"),
+        });
+        ShareVerdict {
+            path: path.to_owned(),
+            line,
+            captures,
+            verdict: "proven",
+            details,
+        }
+    } else {
+        ShareVerdict {
+            path: path.to_owned(),
+            line,
+            captures,
+            verdict: "violated",
+            details,
+        }
+    }
+}
+
+/// Every name the enclosing function binds, flat: parameters, `self`,
+/// and all `let`/`for`/match binders anywhere in the body.
+fn enclosing_bindings(ws: &Workspace, fn_ix: usize) -> BTreeSet<String> {
+    let info = &ws.fns[fn_ix];
+    let mut names = BTreeSet::new();
+    if info.def.has_self {
+        names.insert("self".to_owned());
+    }
+    for p in &info.def.params {
+        if let Some(n) = &p.name {
+            names.insert(n.clone());
+        }
+    }
+    for_each_stmt(&info.def.body, &mut |stmt| {
+        let mut buf = Vec::new();
+        match stmt {
+            Stmt::Let { pat, .. }
+            | Stmt::LetElse { pat, .. }
+            | Stmt::For { pat, .. }
+            | Stmt::Havoc(pat) => pat.bound_names(&mut buf),
+            _ => {}
+        }
+        names.extend(buf);
+    });
+    names
+}
+
+/// Scope-accurate free-variable walker over a closure body.
+#[derive(Default)]
+struct CapWalker {
+    scopes: Vec<Vec<String>>,
+    free_reads: BTreeSet<String>,
+    assigned: BTreeSet<String>,
+    mut_refs: BTreeSet<String>,
+    /// `(receiver, method, line)` for method calls on free receivers.
+    method_calls: Vec<(String, String, usize)>,
+}
+
+impl CapWalker {
+    fn push_frame(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn pop_frame(&mut self) {
+        self.scopes.pop();
+    }
+
+    fn bind_pat(&mut self, pat: &Pat) {
+        let mut names = Vec::new();
+        pat.bound_names(&mut names);
+        if let Some(frame) = self.scopes.last_mut() {
+            frame.extend(names);
+        }
+    }
+
+    fn is_bound(&self, name: &str) -> bool {
+        self.scopes.iter().any(|f| f.iter().any(|n| n == name))
+    }
+
+    fn walk_stmts(&mut self, stmts: &[Stmt]) {
+        self.push_frame();
+        for s in stmts {
+            self.walk_stmt(s);
+        }
+        self.pop_frame();
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { pat, init } => {
+                if let Some(e) = init {
+                    self.walk_expr(e);
+                }
+                self.bind_pat(pat);
+            }
+            Stmt::LetElse {
+                pat,
+                init,
+                else_body,
+            } => {
+                self.walk_expr(init);
+                self.walk_stmts(else_body);
+                self.bind_pat(pat);
+            }
+            Stmt::Assign { name, value, .. } => {
+                self.walk_expr(value);
+                if !self.is_bound(name) {
+                    self.assigned.insert(name.clone());
+                }
+            }
+            Stmt::Expr(e) => self.walk_expr(e),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.walk_expr(cond);
+                self.walk_stmts(then_body);
+                self.walk_stmts(else_body);
+            }
+            Stmt::While { cond, body } => {
+                self.walk_expr(cond);
+                self.walk_stmts(body);
+            }
+            Stmt::Loop { body } | Stmt::Block(body) => self.walk_stmts(body),
+            Stmt::For { pat, iter, body } => {
+                self.walk_expr(iter);
+                self.push_frame();
+                self.bind_pat(pat);
+                for s in body {
+                    self.walk_stmt(s);
+                }
+                self.pop_frame();
+            }
+            Stmt::Return(Some(e)) => self.walk_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::Havoc(pat) => self.bind_pat(pat),
+            Stmt::Opaque { kills } => {
+                // `kills` are names passed by `&mut` to something the
+                // grammar does not model — treat free ones as mutable
+                // borrows.
+                for k in kills {
+                    if !self.is_bound(k) {
+                        self.mut_refs.insert(k.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Path(segs) => {
+                if segs.len() == 1 && !starts_upper(&segs[0]) && !self.is_bound(&segs[0]) {
+                    self.free_reads.insert(segs[0].clone());
+                }
+            }
+            Expr::Ref { mutable, expr } => {
+                if *mutable {
+                    if let Expr::Path(segs) = expr.as_ref() {
+                        if segs.len() == 1 && !self.is_bound(&segs[0]) {
+                            self.mut_refs.insert(segs[0].clone());
+                        }
+                    }
+                }
+                self.walk_expr(expr);
+            }
+            Expr::Method {
+                recv,
+                name,
+                args,
+                line,
+            } => {
+                if let Expr::Path(segs) = recv.as_ref() {
+                    if segs.len() == 1 && !self.is_bound(&segs[0]) {
+                        self.method_calls.push((segs[0].clone(), name.clone(), *line));
+                    }
+                }
+                self.walk_expr(recv);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::Block { stmts, value } => {
+                self.push_frame();
+                for s in stmts {
+                    self.walk_stmt(s);
+                }
+                if let Some(v) = value {
+                    self.walk_expr(v);
+                }
+                self.pop_frame();
+            }
+            Expr::Closure { params, body, .. } => {
+                self.push_frame();
+                for p in params {
+                    self.bind_pat(p);
+                }
+                self.walk_expr(body);
+                self.pop_frame();
+            }
+            Expr::Match { scrutinee, arms } => {
+                self.walk_expr(scrutinee);
+                for Arm { pat, guard, body } in arms {
+                    self.push_frame();
+                    self.bind_pat(pat);
+                    if let Some(g) = guard {
+                        self.walk_expr(g);
+                    }
+                    self.walk_expr(body);
+                    self.pop_frame();
+                }
+            }
+            _ => {
+                let mut kids = Vec::new();
+                e.children(&mut kids);
+                for k in kids {
+                    self.walk_expr(k);
+                }
+            }
+        }
+    }
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::source::SourceFile;
+
+    fn verdicts(text: &str) -> Vec<ShareVerdict> {
+        let sources = vec![SourceFile::parse("crates/a/src/lib.rs", text)];
+        let ws = Workspace::build(&sources);
+        check(&ws).0
+    }
+
+    #[test]
+    fn read_only_captures_are_proven() {
+        let v = verdicts(
+            "fn go(mixes: &[Mix]) {\n    let out = parallel_map(items, 4, |x| x + mixes.len() as f64);\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict, "proven");
+        assert_eq!(v[0].captures, vec!["mixes".to_owned()]);
+    }
+
+    #[test]
+    fn assignment_to_capture_is_violated() {
+        let v = verdicts(
+            "fn go() {\n    let mut total = 0.0;\n    parallel_map(items, 4, |x| { total += x; x });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "violated");
+        assert!(v[0].details[0].contains("total"));
+    }
+
+    #[test]
+    fn shadowed_locals_are_not_captures() {
+        // `acc` inside the closure is its own let-binding.
+        let v = verdicts(
+            "fn go() {\n    let acc = 1.0;\n    parallel_map(items, 4, |x| { let acc = x; acc += 1.0; acc });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "proven");
+    }
+
+    #[test]
+    fn assignment_before_shadowing_let_still_counts() {
+        let v = verdicts(
+            "fn go() {\n    let mut acc = 1.0;\n    parallel_map(items, 4, |x| { acc += x; let acc = 0.0; acc });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "violated");
+    }
+
+    #[test]
+    fn interior_mutability_capture_is_violated() {
+        let v = verdicts(
+            "fn go() {\n    let shared = Rc::new(0.0);\n    parallel_map(items, 4, |x| { shared.clone(); x });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "violated");
+        assert!(v[0].details[0].contains("Rc"));
+    }
+
+    #[test]
+    fn closure_local_refcell_is_fine() {
+        let v = verdicts(
+            "fn go() {\n    parallel_map(items, 4, |x| { let sink = RefCell::new(0.0); x });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "proven");
+    }
+
+    #[test]
+    fn mutating_std_method_on_capture_is_violated() {
+        let v = verdicts(
+            "fn go(log: Vec<f64>) {\n    parallel_map(items, 4, |x| { log.push(x); x });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "violated");
+        assert!(v[0].details[0].contains("push"));
+    }
+
+    #[test]
+    fn mut_self_workspace_method_on_capture_is_violated() {
+        let v = verdicts(
+            "struct Acc;\nimpl Acc {\n    fn absorb(&mut self, x: f64) {}\n}\nfn go(acc: Acc) {\n    parallel_map(items, 4, |x| { acc.absorb(x); x });\n}\n",
+        );
+        assert_eq!(v[0].verdict, "violated");
+        assert!(v[0].details[0].contains("absorb"));
+    }
+
+    #[test]
+    fn named_function_worker_is_proven() {
+        let v = verdicts("fn work(x: &f64) -> f64 { *x }\nfn go() {\n    parallel_map(items, 4, work);\n}\n");
+        assert_eq!(v[0].verdict, "proven");
+        assert!(v[0].captures.is_empty());
+    }
+}

@@ -1,0 +1,692 @@
+//! Bottom-up interprocedural function summaries and the seeds
+//! cross-check.
+//!
+//! Every function is interpreted once intra-procedurally to collect its
+//! call events, the events are resolved into edges, and the condensation
+//! is walked in reverse topological order re-interpreting each function
+//! with the facts of its (already summarized) callees. Cyclic components
+//! start their members at ⊤ and iterate downward to a fixpoint — each
+//! iterate over-approximates the least fixpoint, so stopping early at the
+//! iteration cap is sound, only imprecise.
+//!
+//! The derived summaries then face the hand-written contracts in
+//! `flow/seeds.rs`: every seed must be **checked, not trusted**. A seed
+//! whose derived return interval is provably disjoint from it is a
+//! mismatch (CI failure); one the derivation confirms is `confirmed`;
+//! the rest stay `trusted` (consistent but not independently provable).
+
+use std::collections::BTreeMap;
+
+use crate::flow::ast::FnDef;
+use crate::flow::interval::Interval;
+use crate::flow::range::{interpret_fn, CallEvent, CallFacts, CallOracle};
+use crate::flow::seeds::Seeds;
+use crate::lint::Violation;
+use crate::syntax::source::SourceFile;
+
+use super::resolve::{local_type_hints, Resolution, Workspace};
+use super::scc;
+
+/// Iteration cap for cyclic components (descending from ⊤, every iterate
+/// is sound; the cap only bounds precision).
+const SCC_ITERATION_CAP: usize = 8;
+
+/// The derived interprocedural summary of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnSummary {
+    /// Join of all non-`Err` returned values; `None` means ⊤ / no
+    /// observable return value.
+    pub ret: Option<Interval>,
+    /// Body contains a panic source, or some workspace callee does
+    /// (transitively). External calls are out of scope by choice: std is
+    /// assumed panic-free here, so this tracks *workspace* panic paths.
+    pub may_panic: bool,
+    /// Takes `&mut self` or a `&mut` parameter.
+    pub mutates: bool,
+    /// Mutates, or transitively calls a workspace function that does.
+    /// "Pure" in reports means the negation; external I/O is out of scope.
+    pub impure: bool,
+    /// Declared return type mentions `Result`.
+    pub fallible: bool,
+}
+
+/// The interprocedural knowledge handed to the interval interpreter:
+/// per-call-site facts and per-function derived parameter intervals.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    /// `(caller path, call line, callee name)` → facts about the call.
+    pub facts: BTreeMap<(String, usize, String), CallFacts>,
+    /// `(fn path, fn line)` → derived parameter intervals.
+    pub params: BTreeMap<(String, usize), BTreeMap<String, Interval>>,
+}
+
+impl CallOracle for Oracle {
+    fn call_return(&self, path: &str, line: usize, callee: &str) -> Option<CallFacts> {
+        self.facts
+            .get(&(path.to_owned(), line, callee.to_owned()))
+            .copied()
+    }
+
+    fn params_for(&self, path: &str, fn_line: usize) -> Option<&BTreeMap<String, Interval>> {
+        self.params.get(&(path.to_owned(), fn_line))
+    }
+}
+
+/// One seed-contract cross-check result.
+#[derive(Debug)]
+pub struct SeedCheck {
+    /// The seed contract being checked (method name or `Type::new`).
+    pub contract: String,
+    /// Subject implementation, `Type::name` form.
+    pub subject: String,
+    /// File of the implementation.
+    pub path: String,
+    /// Line of the implementation.
+    pub line: usize,
+    /// `confirmed` (derived ⊆ seed), `trusted` (consistent, not
+    /// independently provable), or `mismatch` (derived disjoint from
+    /// seed — also a violation).
+    pub verdict: &'static str,
+    /// The derived return interval, when one exists.
+    pub derived: Option<Interval>,
+    /// The seed interval, for contracts that carry one.
+    pub seed: Option<Interval>,
+}
+
+/// Everything the summary pass computes.
+#[derive(Debug)]
+pub struct SummaryResult {
+    /// Per-function summaries, parallel to `Workspace::fns`.
+    pub summaries: Vec<FnSummary>,
+    /// Final call events per function.
+    pub events: Vec<Vec<CallEvent>>,
+    /// Resolutions parallel to `events`.
+    pub resolutions: Vec<Vec<Resolution>>,
+    /// The facts + derived-params oracle for downstream passes.
+    pub oracle: Oracle,
+    /// Seed cross-check results, one per (contract, implementation).
+    pub seed_checks: Vec<SeedCheck>,
+    /// Mismatches and drift findings (pass `summary`).
+    pub violations: Vec<Violation>,
+    /// Strongly connected components, reverse topological order.
+    pub sccs: Vec<Vec<usize>>,
+}
+
+/// Runs the whole summary pass over a parsed workspace.
+pub fn compute(ws: &Workspace, seeds: &Seeds, sources: &[SourceFile]) -> SummaryResult {
+    let hints: Vec<BTreeMap<String, String>> =
+        ws.fns.iter().map(local_type_hints).collect();
+    let paths: Vec<&str> = ws.fns.iter().map(|f| ws.files[f.file].path.as_str()).collect();
+
+    // Phase 1: intra-procedural event collection (no oracle).
+    let mut events: Vec<Vec<CallEvent>> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(i, f)| interpret_fn(paths[i], &f.def, seeds, None, None).calls)
+        .collect();
+    let mut resolutions: Vec<Vec<Resolution>> = resolve_all(ws, &hints, &events);
+
+    // Edges over unique resolutions.
+    let adj: Vec<Vec<usize>> = resolutions
+        .iter()
+        .map(|rs| {
+            let mut targets: Vec<usize> = rs
+                .iter()
+                .filter_map(|r| match r {
+                    Resolution::Unique(j) => Some(*j),
+                    _ => None,
+                })
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets
+        })
+        .collect();
+
+    let comps = scc::sccs(&adj);
+
+    // Each call site's (path, line, name) key maps to every target it can
+    // uniquely resolve to; the oracle serves the join over that set, so a
+    // key shared by two same-named sites on one line stays sound.
+    let mut site_targets: BTreeMap<(String, usize, String), Vec<usize>> = BTreeMap::new();
+    for (i, evs) in events.iter().enumerate() {
+        for (k, e) in evs.iter().enumerate() {
+            if let Resolution::Unique(j) = resolutions[i][k] {
+                let key = (paths[i].to_owned(), e.line, event_name(e).to_owned());
+                let targets = site_targets.entry(key).or_default();
+                if !targets.contains(&j) {
+                    targets.push(j);
+                }
+            }
+        }
+    }
+
+    // Phase 2: bottom-up summaries with an SCC fixpoint. Facts refresh
+    // after every round, so a cyclic component iterates Jacobi-style:
+    // round k's summaries see round k-1's facts, descending from ⊤.
+    let mut oracle = Oracle::default();
+    let mut summaries: Vec<Option<FnSummary>> = vec![None; ws.fns.len()];
+    for comp in &comps {
+        let rounds = if scc::is_cyclic(comp, &adj) {
+            SCC_ITERATION_CAP
+        } else {
+            1
+        };
+        for _ in 0..rounds {
+            let mut changed = false;
+            for &m in comp {
+                let flow = interpret_fn(paths[m], &ws.fns[m].def, seeds, Some(&oracle), None);
+                let calls = flow.calls;
+                let res = resolve_fn(ws, &hints[m], m, &calls);
+                let own_mut = fn_mutates(&ws.fns[m].def);
+                let mut may_panic = ws.fns[m].def.panicky;
+                let mut impure = own_mut;
+                for r in &res {
+                    if let Resolution::Unique(j) = r {
+                        if let Some(s) = summaries[*j].as_ref() {
+                            may_panic |= s.may_panic;
+                            impure |= s.impure;
+                        }
+                    }
+                }
+                let next = FnSummary {
+                    ret: flow.ret,
+                    may_panic,
+                    mutates: own_mut,
+                    impure,
+                    fallible: ws.fns[m].def.fallible,
+                };
+                if summaries[m].as_ref() != Some(&next) {
+                    changed = true;
+                }
+                summaries[m] = Some(next);
+                events[m] = calls;
+                resolutions[m] = res;
+            }
+            refresh_facts(ws, &site_targets, &summaries, &mut oracle);
+            if !changed {
+                break;
+            }
+        }
+    }
+    let summaries: Vec<FnSummary> = summaries.into_iter().map(Option::unwrap).collect();
+
+    // Phase 3: a final forward pass under the complete facts map, so the
+    // recorded argument intervals are the sharpest available before
+    // deriving parameter envelopes from them.
+    for (i, f) in ws.fns.iter().enumerate() {
+        let flow = interpret_fn(paths[i], &f.def, seeds, Some(&oracle), None);
+        events[i] = flow.calls;
+        resolutions[i] = resolve_fn(ws, &hints[i], i, &events[i]);
+    }
+
+    derive_params(ws, &events, &resolutions, &mut oracle);
+
+    let mut violations = Vec::new();
+    let seed_checks = cross_check_seeds(ws, seeds, &summaries, sources, &mut violations);
+
+    SummaryResult {
+        summaries,
+        events,
+        resolutions,
+        oracle,
+        seed_checks,
+        violations,
+        sccs: comps,
+    }
+}
+
+fn fn_mutates(def: &FnDef) -> bool {
+    def.self_mut || def.params.iter().any(|p| p.by_mut_ref)
+}
+
+fn resolve_all(
+    ws: &Workspace,
+    hints: &[BTreeMap<String, String>],
+    events: &[Vec<CallEvent>],
+) -> Vec<Vec<Resolution>> {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, evs)| resolve_fn(ws, &hints[i], i, evs))
+        .collect()
+}
+
+fn resolve_fn(
+    ws: &Workspace,
+    hints: &BTreeMap<String, String>,
+    i: usize,
+    events: &[CallEvent],
+) -> Vec<Resolution> {
+    let info = &ws.fns[i];
+    events
+        .iter()
+        .map(|e| {
+            let recv_ty = e
+                .recv
+                .as_ref()
+                .and_then(|r| hints.get(r))
+                .map(String::as_str);
+            ws.resolve(info.file, info.self_type.as_deref(), e, recv_ty)
+        })
+        .collect()
+}
+
+/// Rebuilds the facts map from the current summaries: each site key gets
+/// the join over its possible targets, with ⊤ for targets not yet
+/// summarized (sound start for in-progress components).
+fn refresh_facts(
+    ws: &Workspace,
+    site_targets: &BTreeMap<(String, usize, String), Vec<usize>>,
+    summaries: &[Option<FnSummary>],
+    oracle: &mut Oracle,
+) {
+    oracle.facts.clear();
+    for (key, targets) in site_targets {
+        let mut ret: Option<Interval> = None;
+        let mut mutates = false;
+        for &t in targets {
+            let r = summaries[t]
+                .as_ref()
+                .and_then(|s| s.ret)
+                .unwrap_or(Interval::TOP);
+            ret = Some(match ret {
+                Some(a) => a.join(&r),
+                None => r,
+            });
+            mutates |= ws.fns[t].def.self_mut;
+        }
+        oracle.facts.insert(
+            key.clone(),
+            CallFacts {
+                ret: ret.unwrap_or(Interval::TOP),
+                mutates_receiver: mutates,
+            },
+        );
+    }
+}
+
+/// Derives parameter envelopes under closed-world accounting: a function's
+/// parameter interval is the join of the corresponding argument intervals
+/// over **all** call sites, which is only sound when every textual mention
+/// of the name is accounted for as its definition, a `use` import, or a
+/// uniquely resolved call event.
+fn derive_params(
+    ws: &Workspace,
+    events: &[Vec<CallEvent>],
+    resolutions: &[Vec<Resolution>],
+    oracle: &mut Oracle,
+) {
+    for (name, defs) in &ws.by_name {
+        if defs.len() != 1 {
+            continue;
+        }
+        let t = defs[0];
+        let def = &ws.fns[t].def;
+        if def.params.is_empty() {
+            continue;
+        }
+        let mut sites: Vec<(&CallEvent, &Resolution)> = Vec::new();
+        for (i, evs) in events.iter().enumerate() {
+            for (k, e) in evs.iter().enumerate() {
+                if event_name(e) == name {
+                    sites.push((e, &resolutions[i][k]));
+                }
+            }
+        }
+        if sites.is_empty() {
+            continue;
+        }
+        let accounted = ws.def_counts.get(name).copied().unwrap_or(0)
+            + ws.use_mentions.get(name).copied().unwrap_or(0)
+            + sites.len();
+        if ws.mentions.get(name).copied().unwrap_or(0) != accounted {
+            continue;
+        }
+        let aligned = sites.iter().all(|(e, r)| {
+            matches!(r, Resolution::Unique(j) if *j == t)
+                && e.is_method == def.has_self
+                && e.args.len() == def.params.len()
+        });
+        if !aligned {
+            continue;
+        }
+        let mut env = BTreeMap::new();
+        for (k, p) in def.params.iter().enumerate() {
+            let Some(pname) = &p.name else { continue };
+            let joined = sites
+                .iter()
+                .map(|(e, _)| e.args[k])
+                .reduce(|a, b| a.join(&b))
+                .unwrap_or(Interval::TOP);
+            if !joined.is_top() {
+                env.insert(pname.clone(), joined);
+            }
+        }
+        if !env.is_empty() {
+            let path = ws.files[ws.fns[t].file].path.clone();
+            oracle.params.insert((path, def.line), env);
+        }
+    }
+}
+
+/// The callee name of an event (last path segment; the single segment for
+/// methods).
+pub fn event_name(e: &CallEvent) -> &str {
+    e.path.last().map_or("", String::as_str)
+}
+
+/// `a ⊆ b` over the interval lattice (NaN is a member iff the flag is
+/// set; an open infinite bound means "unbounded but finite").
+#[allow(clippy::float_cmp)]
+pub fn subset(a: &Interval, b: &Interval) -> bool {
+    if a.nan && !b.nan {
+        return false;
+    }
+    let lo_ok = b.lo < a.lo || (b.lo == a.lo && (!b.lo_open || a.lo_open));
+    let hi_ok = b.hi > a.hi || (b.hi == a.hi && (!b.hi_open || a.hi_open));
+    lo_ok && hi_ok
+}
+
+/// `a ∩ b = ∅` — no concrete value lies in both.
+#[allow(clippy::float_cmp)]
+pub fn disjoint(a: &Interval, b: &Interval) -> bool {
+    if a.nan && b.nan {
+        return false;
+    }
+    let a_below = a.hi < b.lo || (a.hi == b.lo && (a.hi_open || b.lo_open));
+    let b_below = b.hi < a.lo || (b.hi == a.lo && (b.hi_open || a.lo_open));
+    a_below || b_below
+}
+
+/// Cross-checks every hand-written seed contract against the derived
+/// summaries. Seeds are *checked, not trusted*: a contract that no longer
+/// matches any implementation is drift, and a derived summary provably
+/// disjoint from its seed is a mismatch — both are violations.
+fn cross_check_seeds(
+    ws: &Workspace,
+    seeds: &Seeds,
+    summaries: &[FnSummary],
+    sources: &[SourceFile],
+    violations: &mut Vec<Violation>,
+) -> Vec<SeedCheck> {
+    let mut checks = Vec::new();
+    for &contract in Seeds::contract_method_names() {
+        let seed = seeds.method_summary(contract);
+        let impls: Vec<usize> = ws
+            .by_name
+            .get(contract)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| ws.fns[i].def.has_self)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if impls.is_empty() {
+            violations.push(Violation {
+                pass: "summary",
+                path: "crates/solarcore/src/invariants.rs".to_owned(),
+                line: 1,
+                message: format!(
+                    "seed contract `{contract}` matches no workspace method — the seed has drifted from the code"
+                ),
+            });
+            continue;
+        }
+        for i in impls {
+            let derived = summaries[i].ret;
+            let verdict = match (&derived, &seed) {
+                (Some(d), Some(s)) if disjoint(d, s) => "mismatch",
+                (Some(d), Some(s)) if subset(d, s) => "confirmed",
+                _ => "trusted",
+            };
+            let path = ws.files[ws.fns[i].file].path.clone();
+            let line = ws.fns[i].def.line;
+            if verdict == "mismatch" {
+                violations.push(Violation {
+                    pass: "summary",
+                    path: path.clone(),
+                    line,
+                    message: format!(
+                        "derived return interval {} of `{}` is disjoint from seed contract `{contract}` {} — seed or code is wrong",
+                        derived.expect("mismatch requires derived"),
+                        ws.fns[i].qname(),
+                        seed.expect("mismatch requires seed"),
+                    ),
+                });
+            }
+            checks.push(SeedCheck {
+                contract: contract.to_owned(),
+                subject: ws.fns[i].qname(),
+                path,
+                line,
+                verdict,
+                derived,
+                seed,
+            });
+        }
+    }
+    checks.extend(check_unit_constructors(ws, sources, violations));
+    checks.sort_by(|a, b| {
+        (&a.contract, &a.path, a.line).cmp(&(&b.contract, &b.path, b.line))
+    });
+    checks
+}
+
+/// Verifies the `transparent_constructor` seed: each unit type must be
+/// declared in a file whose `fn new` is literally `Self(value)` — the
+/// shape the macro-generated newtype constructors share. A unit type with
+/// no such backing file means the seed wrongly treats an arbitrary
+/// constructor as the identity.
+fn check_unit_constructors(
+    ws: &Workspace,
+    sources: &[SourceFile],
+    violations: &mut Vec<Violation>,
+) -> Vec<SeedCheck> {
+    use crate::flow::ast::{Expr, Stmt};
+    // Files containing a transparent `new`.
+    let mut transparent_files: Vec<usize> = ws
+        .fns
+        .iter()
+        .filter(|f| {
+            if f.def.name != "new" || f.def.params.len() != 1 {
+                return false;
+            }
+            let Some(p) = f.def.params[0].name.as_deref() else {
+                return false;
+            };
+            matches!(
+                f.def.body.as_slice(),
+                [Stmt::Expr(Expr::Call { path, args, .. })]
+                    if path.last().is_some_and(|s| s == "Self")
+                        && matches!(args.as_slice(),
+                            [Expr::Path(segs)] if segs.len() == 1 && segs[0] == p)
+            )
+        })
+        .map(|f| f.file)
+        .collect();
+    transparent_files.dedup();
+
+    let mut checks = Vec::new();
+    for &ty in Seeds::unit_type_names() {
+        let backing = transparent_files.iter().copied().find(|&fi| {
+            sources
+                .iter()
+                .find(|s| s.path == ws.files[fi].path)
+                .is_some_and(|s| s.code.iter().any(|l| l.contains(ty)))
+        });
+        let (verdict, path, line) = match backing {
+            Some(fi) => ("confirmed", ws.files[fi].path.clone(), 1),
+            None => ("mismatch", "crates/pv/src/units.rs".to_owned(), 1),
+        };
+        if verdict == "mismatch" {
+            violations.push(Violation {
+                pass: "summary",
+                path: path.clone(),
+                line,
+                message: format!(
+                    "unit type `{ty}` has no transparent `new` (`Self(value)`) backing the transparent-constructor seed"
+                ),
+            });
+        }
+        checks.push(SeedCheck {
+            contract: format!("{ty}::new"),
+            subject: format!("{ty}::new"),
+            path,
+            line,
+            verdict,
+            derived: None,
+            seed: None,
+        });
+    }
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(files: &[(&str, &str)]) -> (Workspace, SummaryResult) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, t)| SourceFile::parse(p, t))
+            .collect();
+        let ws = Workspace::build(&sources);
+        let seeds = Seeds::for_tests();
+        let result = compute(&ws, &seeds, &sources);
+        (ws, result)
+    }
+
+    #[test]
+    fn return_intervals_flow_through_calls() {
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn base() -> f64 { 2.0 }\nfn wrap() -> f64 { base() + 1.0 }\n",
+        )]);
+        let base = ws.by_name["base"][0];
+        let wrap = ws.by_name["wrap"][0];
+        assert_eq!(r.summaries[base].ret.unwrap().as_const(), Some(2.0));
+        assert_eq!(r.summaries[wrap].ret.unwrap().as_const(), Some(3.0));
+    }
+
+    #[test]
+    fn recursion_reaches_a_sound_fixpoint() {
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn tick(n: f64) -> f64 { if n > 0.0 { tick(n - 1.0) } else { 0.0 } }\n",
+        )]);
+        let t = ws.by_name["tick"][0];
+        // One cyclic SCC; the derived return must contain the actual 0.0.
+        assert!(r.sccs.iter().any(|c| c == &vec![t]));
+        let ret = r.summaries[t].ret.unwrap();
+        assert!(ret.lo <= 0.0 && 0.0 <= ret.hi);
+    }
+
+    #[test]
+    fn panic_propagates_transitively() {
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn boom() { panic!(\"no\"); }\nfn mid() { boom(); }\nfn top() { mid(); }\nfn clean() -> f64 { 1.0 }\n",
+        )]);
+        assert!(r.summaries[ws.by_name["top"][0]].may_panic);
+        assert!(r.summaries[ws.by_name["mid"][0]].may_panic);
+        assert!(!r.summaries[ws.by_name["clean"][0]].may_panic);
+    }
+
+    #[test]
+    fn mutation_makes_callers_impure() {
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn bump(x: &mut f64) { }\nfn driver() { bump(v); }\nfn calm() -> f64 { 0.0 }\n",
+        )]);
+        let bump = ws.by_name["bump"][0];
+        let driver = ws.by_name["driver"][0];
+        assert!(r.summaries[bump].mutates);
+        assert!(r.summaries[driver].impure);
+        assert!(!r.summaries[driver].mutates);
+        assert!(!r.summaries[ws.by_name["calm"][0]].impure);
+    }
+
+    #[test]
+    fn closed_world_params_derive_from_all_sites() {
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn sink(w: f64) -> f64 { w }\nfn a() { sink(10.0); }\nfn b() { sink(60.0); }\n",
+        )]);
+        let t = ws.by_name["sink"][0];
+        let env = &r.oracle.params[&("crates/a/src/lib.rs".to_owned(), ws.fns[t].def.line)];
+        let w = env["w"];
+        assert!((w.lo, w.hi) == (10.0, 60.0));
+    }
+
+    #[test]
+    fn unaccounted_mentions_block_param_derivation() {
+        // `sink` is also mentioned as a value (function pointer), so the
+        // closed-world count cannot balance and no envelope is derived.
+        let (ws, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "fn sink(w: f64) -> f64 { w }\nfn a() { sink(10.0); }\nfn b() { let f = sink; }\n",
+        )]);
+        let t = ws.by_name["sink"][0];
+        assert!(!r
+            .oracle
+            .params
+            .contains_key(&("crates/a/src/lib.rs".to_owned(), ws.fns[t].def.line)));
+    }
+
+    #[test]
+    fn seed_mismatch_is_a_violation() {
+        // `efficiency` must be in (0, 1]; a method returning a plain -5
+        // derives a disjoint interval.
+        let (_, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "struct P;\nimpl P {\n    fn efficiency(&self) -> f64 { -5.0 }\n}\n",
+        )]);
+        assert!(r
+            .seed_checks
+            .iter()
+            .any(|c| c.contract == "efficiency" && c.verdict == "mismatch"));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| v.pass == "summary" && v.message.contains("efficiency")));
+    }
+
+    #[test]
+    fn seed_within_contract_is_confirmed() {
+        let (_, r) = analyze(&[(
+            "crates/a/src/lib.rs",
+            "struct P;\nimpl P {\n    fn efficiency(&self) -> f64 { 0.5 }\n}\n",
+        )]);
+        assert!(r
+            .seed_checks
+            .iter()
+            .any(|c| c.contract == "efficiency" && c.verdict == "confirmed"));
+    }
+
+    #[test]
+    fn interval_subset_and_disjoint_respect_open_bounds() {
+        let closed = Interval::closed(0.0, 1.0);
+        let open_hi = Interval {
+            lo: 0.0,
+            hi: 1.0,
+            lo_open: false,
+            hi_open: true,
+            nan: false,
+        };
+        assert!(subset(&open_hi, &closed));
+        assert!(!subset(&closed, &open_hi));
+        let above = Interval {
+            lo: 1.0,
+            hi: 2.0,
+            lo_open: false,
+            hi_open: false,
+            nan: false,
+        };
+        // [0,1) and [1,2] share no point; [0,1] and [1,2] share 1.
+        assert!(disjoint(&open_hi, &above));
+        assert!(!disjoint(&closed, &above));
+    }
+}

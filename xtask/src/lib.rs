@@ -16,11 +16,18 @@
 //! * [`flow`] — dataflow passes over a per-function CFG: interval/range
 //!   analysis of physical quantities, telemetry schema conformance, and
 //!   error-path hygiene.
-//! * [`bench`] — the criterion harness driver and `BENCH_pr3.json`
-//!   collector.
+//! * [`graph`] — interprocedural passes over the workspace call graph:
+//!   bottom-up function summaries (SCC fixpoint), the seeds cross-check,
+//!   `parallel_map` closure-sharing proofs and the reachability report.
+//! * [`jsonout`] — the canonical sorted-key JSON renderer every committed
+//!   report artifact serializes through.
+//! * [`bench`](mod@bench) — the criterion harness driver and
+//!   `BENCH_pr3.json` collector.
 
 pub mod analyze;
 pub mod bench;
 pub mod flow;
+pub mod graph;
+pub mod jsonout;
 pub mod lint;
 pub mod syntax;

@@ -11,9 +11,18 @@
 //!   states of the controller and policy enums.
 //! * `flow` — dataflow analysis over a per-function CFG: interval/range
 //!   analysis of physical quantities (proving runtime sanitizer checks
-//!   statically dischargeable), telemetry schema conformance, and
-//!   error-path hygiene (dropped `Result`s). Writes
-//!   `results/flow_report.json`.
+//!   statically dischargeable, sharpened by the interprocedural summaries
+//!   from `graph`), telemetry schema conformance, and error-path hygiene
+//!   (dropped `Result`s). The proven fraction is held to a ratchet: it may
+//!   never drop below the baseline in the committed
+//!   `results/flow_report.json`; `--bless` rewrites the report to advance
+//!   the baseline.
+//! * `graph` — interprocedural call-graph analysis: workspace call graph
+//!   with SCC condensation, bottom-up derived function summaries
+//!   cross-checked against every hand-trusted seed contract, a
+//!   parallel-closure sharing pass proving `parallel_map` workers
+//!   race-free at the source level, and a reachability/dead-`pub` report.
+//!   Writes `results/graph_report.json`.
 //! * `determinism` — dynamic bitwise-reproducibility harness: runs the
 //!   policy-grid day simulations at 1 thread, N threads, and with shuffled
 //!   input order and compares canonical `f64::to_bits` hashes.
@@ -25,8 +34,8 @@
 //!   per-period tracking timeline and cross-checks the stream's
 //!   tracking-error aggregate against the committed Table 7 artifact.
 //! * `ci`   — the one-command verification gate, in dependency order:
-//!   lint → clippy → analyze → flow → doc → build → test → determinism →
-//!   bench smoke.
+//!   lint → clippy → analyze → flow → graph → doc → build → test →
+//!   determinism → bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
@@ -37,14 +46,15 @@
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-use xtask::{analyze, bench, flow, lint};
+use xtask::{analyze, bench, flow, graph, lint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("analyze") => run_analyze(),
-        Some("flow") => run_flow(),
+        Some("flow") => run_flow(args.iter().any(|a| a == "--bless")),
+        Some("graph") => run_graph(),
         Some("determinism") => run_determinism(),
         Some("bench") => {
             let smoke = args.iter().any(|a| a == "--smoke");
@@ -66,15 +76,21 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <lint | analyze | flow | determinism | bench [--smoke] | trace | ci>"
+        "usage: cargo xtask <lint | analyze | flow [--bless] | graph | determinism | \
+         bench [--smoke] | trace | ci>"
     );
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
     eprintln!("  flow         run interval, schema-conformance and error-path dataflow passes");
+    eprintln!("               (--bless rewrites results/flow_report.json, advancing the ratchet)");
+    eprintln!("  graph        run call-graph summary, parallel-sharing and reachability passes");
     eprintln!("  determinism  verify bit-identical day-sim output across thread counts");
     eprintln!("  bench        run the criterion suite and write BENCH_pr3.json");
     eprintln!("  trace        run the golden telemetry day and render its timeline");
-    eprintln!("  ci           lint, clippy, analyze, flow, doc, build, test, determinism, bench smoke");
+    eprintln!(
+        "  ci           lint, clippy, analyze, flow, graph, doc, build, test, determinism, \
+         bench smoke"
+    );
 }
 
 /// Locates the workspace root (the directory holding the top Cargo.toml).
@@ -123,27 +139,48 @@ fn run_analyze() -> ExitCode {
     finish("analyze", analyze::run(&workspace_root()))
 }
 
-fn run_flow() -> ExitCode {
+fn run_flow(bless: bool) -> ExitCode {
     let root = workspace_root();
     match flow::run(&root) {
         Ok(outcome) => {
             println!("{}", outcome.summary());
-            match flow::write_report(&root, &outcome) {
-                Ok(path) => println!("xtask flow: report written to {}", path.display()),
-                Err(err) => {
-                    eprintln!("xtask flow: error: {err}");
-                    return ExitCode::FAILURE;
-                }
-            }
+            // Gate order: findings, then the ratchet, then artifact
+            // freshness — so the most actionable failure prints first.
+            let proven_ratio = outcome.proven_ratio;
+            let baseline = outcome.baseline;
+            let gate_passed = outcome.proof_gate_passed;
+            let rendered = flow::report_json(&outcome).render();
             let code = finish("flow", Ok(outcome.report));
             if code != ExitCode::SUCCESS {
                 return code;
             }
-            if !outcome.proof_gate_passed {
+            if !gate_passed {
                 eprintln!(
-                    "xtask flow: proven-invariant ratio {:.1}% is below the {:.0}% gate",
-                    outcome.proven_ratio * 100.0,
-                    flow::PROVEN_RATIO_GATE * 100.0
+                    "xtask flow: proven-invariant ratio {:.2}% dropped below the ratchet \
+                     baseline {:.2}% (results/flow_report.json); prove more, don't regress",
+                    proven_ratio * 100.0,
+                    baseline * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            let report_path = root.join("results").join("flow_report.json");
+            if bless {
+                let write = std::fs::create_dir_all(root.join("results"))
+                    .and_then(|()| std::fs::write(&report_path, &rendered));
+                if let Err(err) = write {
+                    eprintln!("xtask flow: cannot write {}: {err}", report_path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!(
+                    "xtask flow: report blessed at {} (ratchet now {:.2}%)",
+                    report_path.display(),
+                    proven_ratio * 100.0
+                );
+            } else if std::fs::read_to_string(&report_path).ok().as_deref() != Some(&rendered) {
+                eprintln!(
+                    "xtask flow: {} is stale (the analysis moved); run `cargo xtask flow \
+                     --bless` and commit the report",
+                    report_path.display()
                 );
                 return ExitCode::FAILURE;
             }
@@ -151,6 +188,27 @@ fn run_flow() -> ExitCode {
         }
         Err(err) => {
             eprintln!("xtask flow: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_graph() -> ExitCode {
+    let root = workspace_root();
+    match graph::run(&root) {
+        Ok(outcome) => {
+            println!("{}", outcome.summary());
+            match graph::write_report(&root, &outcome) {
+                Ok(path) => println!("xtask graph: report written to {}", path.display()),
+                Err(err) => {
+                    eprintln!("xtask graph: error: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            finish("graph", Ok(outcome.report))
+        }
+        Err(err) => {
+            eprintln!("xtask graph: error: {err}");
             ExitCode::FAILURE
         }
     }
@@ -221,7 +279,12 @@ fn run_ci() -> ExitCode {
     }
 
     println!("xtask ci: running xtask flow");
-    if run_flow() != ExitCode::SUCCESS {
+    if run_flow(false) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    println!("xtask ci: running xtask graph");
+    if run_graph() != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 

@@ -1,0 +1,16 @@
+//@ pass: reach
+
+//! The same shape kept alive the usual way: a test exercises the API,
+//! tests are roots, so nothing is dead.
+
+pub fn doubled(x: f64) -> f64 {
+    x * 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert!(super::doubled(2.0) > 3.9);
+    }
+}

@@ -1,0 +1,9 @@
+//@ pass: reach
+
+//! A `pub fn` in crate sources that nothing calls and nothing even
+//! mentions: unreachable from every root and textually unaccounted, so
+//! the dead-pub report must flag it.
+
+pub fn orphaned_helper() -> f64 {
+    42.0
+}

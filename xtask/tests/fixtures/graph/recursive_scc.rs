@@ -1,0 +1,31 @@
+//@ pass: summary
+//@ largest-scc: 2
+
+//! A mutually recursive pair plus a self-recursive function: Tarjan
+//! condensation must collapse each cycle into one component and the
+//! SCC fixpoint must still land on a sound (possibly ⊤) summary
+//! without diverging or reporting anything.
+
+pub fn even_steps(n: f64) -> f64 {
+    if n <= 0.0 {
+        0.0
+    } else {
+        odd_steps(n - 1.0)
+    }
+}
+
+pub fn odd_steps(n: f64) -> f64 {
+    if n <= 0.0 {
+        1.0
+    } else {
+        even_steps(n - 1.0)
+    }
+}
+
+pub fn countdown(n: f64) -> f64 {
+    if n <= 0.0 {
+        0.0
+    } else {
+        countdown(n - 1.0)
+    }
+}

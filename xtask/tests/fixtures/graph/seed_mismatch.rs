@@ -1,0 +1,13 @@
+//@ pass: summary
+
+//! A method matching the seed contract name `efficiency` whose derived
+//! return interval is disjoint from the contract [0, 1): the cross-check
+//! must flag the drift instead of trusting the hand-written seed.
+
+pub struct Panel;
+
+impl Panel {
+    pub fn efficiency(&self) -> f64 {
+        -5.0
+    }
+}

@@ -1,0 +1,12 @@
+//@ pass: share
+
+//! A read-only worker: captures are only read, state stays inside the
+//! closure, so the site is proven race-free.
+
+pub fn scaled(xs: Vec<f64>, k: f64) -> Vec<f64> {
+    let offset = 1.0;
+    parallel_map(xs, 4, |x| {
+        let local = x * k;
+        local + offset
+    })
+}

@@ -1,0 +1,13 @@
+//@ pass: share
+
+//! A `parallel_map` worker assigning to a captured local: every thread
+//! would race on `total`, so the sharing pass must refuse the proof.
+
+pub fn tally(xs: Vec<f64>) -> f64 {
+    let mut total = 0.0;
+    let doubled = parallel_map(xs, 4, |x| {
+        total = total + 1.0;
+        x + x
+    });
+    total + doubled.len() as f64
+}
