@@ -1,0 +1,175 @@
+//! Core-availability constraints: the chip-side fault-injection seam.
+//!
+//! Chaos scenarios can throttle a core (thermal emergency: it may not run
+//! faster than a given V/F level) or lose it outright (a dead or fenced-off
+//! core). This module carries those constraints as an [`AvailabilityMask`]
+//! the simulation engine re-applies each minute *after* the power manager
+//! allocates — enforcement only ever slows or gates cores, so it can only
+//! reduce chip power and never violates a budget the allocator proved.
+//!
+//! `archsim` deliberately knows nothing about fault *plans* (the `faults`
+//! crate is not a dependency); the engine translates a plan's per-minute
+//! core constraints into a mask.
+
+use crate::chip::MultiCoreChip;
+use crate::core::CoreId;
+use crate::dvfs::VfLevel;
+use crate::error::ArchError;
+
+/// Per-core availability constraints for one enforcement instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityMask {
+    /// Per-core speed ceiling: the core may not run at a ladder index
+    /// smaller (= faster) than this level's.
+    caps: Vec<Option<VfLevel>>,
+    /// Per-core force-gate flags.
+    lost: Vec<bool>,
+}
+
+impl AvailabilityMask {
+    /// An unconstrained mask for a chip with `core_count` cores.
+    pub fn none(core_count: usize) -> Self {
+        Self {
+            caps: vec![None; core_count],
+            lost: vec![false; core_count],
+        }
+    }
+
+    /// `true` when no core is constrained (enforcement is a no-op).
+    pub fn is_unconstrained(&self) -> bool {
+        self.caps.iter().all(Option::is_none) && !self.lost.iter().any(|&l| l)
+    }
+
+    /// Throttles `core` to ladder indices at or above `max_level_index`
+    /// (`0` = fastest; indices beyond the ladder clamp to the slowest
+    /// level). Constraints naming a core beyond the mask are ignored, so a
+    /// scenario written for a larger chip degrades gracefully.
+    pub fn throttle(&mut self, core: usize, max_level_index: usize) {
+        if let Some(slot) = self.caps.get_mut(core) {
+            let cap = VfLevel::all()
+                .nth(max_level_index.min(VfLevel::COUNT - 1))
+                .unwrap_or_else(VfLevel::lowest);
+            // Keep the tightest (slowest) cap when several overlap.
+            *slot = Some(match *slot {
+                Some(existing) if existing.index() > cap.index() => existing,
+                _ => cap,
+            });
+        }
+    }
+
+    /// Marks `core` as lost (force-gated). Out-of-range cores are ignored,
+    /// matching [`throttle`](Self::throttle).
+    pub fn lose(&mut self, core: usize) {
+        if let Some(slot) = self.lost.get_mut(core) {
+            *slot = true;
+        }
+    }
+
+    /// Applies the mask to `chip`: lost cores are gated, throttled cores
+    /// running above their cap are clamped down to it. Returns how many
+    /// cores were actually modified.
+    ///
+    /// Enforcement is monotone — it only gates or slows — so calling it
+    /// after a budget allocation cannot raise chip power above the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidCore`] only if the mask is wider than
+    /// the chip (the engine builds masks with the chip's core count).
+    pub fn enforce(&self, chip: &mut MultiCoreChip) -> Result<u32, ArchError> {
+        let mut changed = 0;
+        let n = self.caps.len().min(self.lost.len());
+        for core in 0..n {
+            let id = CoreId(core);
+            if self.lost[core] {
+                if !chip.core(id)?.is_gated() {
+                    chip.gate(id, true)?;
+                    changed += 1;
+                }
+                continue;
+            }
+            if let Some(cap) = self.caps[core] {
+                let current = chip.core(id)?.level();
+                if current.index() < cap.index() {
+                    chip.set_level(id, cap)?;
+                    changed += 1;
+                }
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::Mix;
+
+    #[test]
+    fn unconstrained_mask_is_a_no_op() {
+        let mask = AvailabilityMask::none(8);
+        assert!(mask.is_unconstrained());
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        chip.set_all_levels(VfLevel::highest());
+        let before = chip.vf_digest();
+        assert_eq!(mask.enforce(&mut chip).unwrap(), 0);
+        assert_eq!(chip.vf_digest(), before);
+    }
+
+    #[test]
+    fn lost_cores_are_gated_once() {
+        let mut mask = AvailabilityMask::none(8);
+        mask.lose(2);
+        assert!(!mask.is_unconstrained());
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        assert_eq!(mask.enforce(&mut chip).unwrap(), 1);
+        assert!(chip.core(CoreId(2)).unwrap().is_gated());
+        // Idempotent: already-gated core is not re-counted.
+        assert_eq!(mask.enforce(&mut chip).unwrap(), 0);
+    }
+
+    #[test]
+    fn throttle_clamps_only_cores_above_the_cap() {
+        let mut mask = AvailabilityMask::none(8);
+        mask.throttle(0, 3);
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        chip.set_all_levels(VfLevel::highest());
+        assert_eq!(mask.enforce(&mut chip).unwrap(), 1);
+        assert_eq!(chip.core(CoreId(0)).unwrap().level().index(), 3);
+        // A core already slower than the cap is untouched.
+        chip.set_level(CoreId(0), VfLevel::lowest()).unwrap();
+        assert_eq!(mask.enforce(&mut chip).unwrap(), 0);
+        assert_eq!(chip.core(CoreId(0)).unwrap().level(), VfLevel::lowest());
+    }
+
+    #[test]
+    fn deep_indices_clamp_to_slowest_and_overlaps_keep_tightest() {
+        let mut mask = AvailabilityMask::none(4);
+        mask.throttle(1, 999);
+        mask.throttle(1, 2); // looser than the existing cap: keeps slowest
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        chip.set_all_levels(VfLevel::highest());
+        mask.enforce(&mut chip).unwrap();
+        assert_eq!(chip.core(CoreId(1)).unwrap().level(), VfLevel::lowest());
+    }
+
+    #[test]
+    fn out_of_range_cores_are_ignored() {
+        let mut mask = AvailabilityMask::none(4);
+        mask.lose(17);
+        mask.throttle(99, 1);
+        assert!(mask.is_unconstrained());
+    }
+
+    #[test]
+    fn enforcement_never_raises_power() {
+        let mut mask = AvailabilityMask::none(8);
+        mask.lose(0);
+        mask.throttle(5, 4);
+        let mut chip = MultiCoreChip::new(&Mix::hm2());
+        chip.set_all_levels(VfLevel::highest());
+        let before = chip.total_power();
+        mask.enforce(&mut chip).unwrap();
+        assert!(chip.total_power() <= before);
+    }
+}

@@ -40,6 +40,7 @@
 )]
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
+pub mod availability;
 pub mod chip;
 pub mod core;
 pub mod dvfs;
@@ -47,6 +48,7 @@ pub mod error;
 pub mod power;
 
 pub use crate::core::{Core, CoreId, CoreTelemetry};
+pub use availability::AvailabilityMask;
 pub use chip::MultiCoreChip;
 pub use dvfs::VfLevel;
 pub use error::ArchError;

@@ -1,0 +1,145 @@
+//! Chaos campaign runner (`cargo xtask chaos`).
+//!
+//! Sweeps every scenario under `scenarios/` across the campaign's
+//! `site × policy` grid, printing a retention/latency table and enforcing
+//! the campaign's soundness gates:
+//!
+//! 1. the clean-control rows (armed-but-empty plan) must retain ≥ 99.9 %
+//!    of the clean day's PTP — in practice exactly 100 %, since a plan
+//!    with nothing scheduled is bit-transparent;
+//! 2. no row anywhere may false-trip the degradation FSM before its
+//!    scenario's first fault onset;
+//! 3. every retention ratio must be finite and non-negative.
+//!
+//! The full campaign also rewrites `results/chaos_report.json` (canonical
+//! row order + digest), the artifact `bench/tests/chaos_golden.rs` pins.
+//! `--smoke` runs a two-scenario, one-site, one-policy subset with the
+//! same gates and writes nothing — the CI-sized variant.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use bench::chaos::{
+    load_scenarios, report_digest, run_campaign, run_cell, scenarios_dir, sites_for, ChaosCell,
+    CAMPAIGN_POLICIES,
+};
+use bench::{write_json, TextTable};
+
+/// Minimum PTP retention for the clean-control rows.
+const CONTROL_RETENTION_FLOOR: f64 = 0.999;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    match run(smoke) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("chaos: error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(smoke: bool) -> Result<bool, Box<dyn std::error::Error>> {
+    let scenarios = load_scenarios(&scenarios_dir())?;
+    if scenarios.is_empty() {
+        return Err("no scenarios found under scenarios/".into());
+    }
+
+    let rows = if smoke {
+        // CI-sized subset: the control plus the first faulted scenario,
+        // each at its first applicable site, MPPT&Opt only.
+        let mut rows = Vec::new();
+        for scenario in scenarios.iter().take(2) {
+            let site = sites_for(scenario)[0];
+            rows.push(run_cell(scenario, site, CAMPAIGN_POLICIES[0])?);
+        }
+        rows
+    } else {
+        let report = run_campaign(&scenarios)?;
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let path = write_json(&dir, "chaos_report", &report)?;
+        println!("chaos: wrote {}", path.display());
+        report.rows
+    };
+
+    let mut table = TextTable::new([
+        "scenario",
+        "site",
+        "policy",
+        "retention",
+        "latency",
+        "enters",
+        "rejects",
+        "false",
+    ]);
+    for r in &rows {
+        table.row([
+            r.scenario.clone(),
+            r.site.clone(),
+            r.policy.clone(),
+            format!("{:.4}", r.ptp_retention),
+            r.detection_latency_minutes
+                .map_or_else(|| "-".to_owned(), |m| format!("{m}m")),
+            r.degrade_enters.to_string(),
+            r.fault_rejects.to_string(),
+            r.false_trips.to_string(),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "chaos: digest {:016x} ({} cells)",
+        report_digest(&rows),
+        rows.len()
+    );
+
+    Ok(gates_hold(&rows))
+}
+
+/// Applies the campaign soundness gates; prints every violation.
+fn gates_hold(rows: &[ChaosCell]) -> bool {
+    let mut ok = true;
+    let mut control_rows = 0;
+    for r in rows {
+        let cell = format!("{}/{}/{}", r.scenario, r.site, r.policy);
+        if !(r.ptp_retention.is_finite() && r.ptp_retention >= 0.0) {
+            eprintln!(
+                "chaos: FAIL — {cell}: retention {} is not sane",
+                r.ptp_retention
+            );
+            ok = false;
+        }
+        if r.false_trips > 0 {
+            eprintln!(
+                "chaos: FAIL — {cell}: {} false degradation trip(s)",
+                r.false_trips
+            );
+            ok = false;
+        }
+        if r.scenario == "clean_control" {
+            control_rows += 1;
+            if r.ptp_retention < CONTROL_RETENTION_FLOOR {
+                eprintln!(
+                    "chaos: FAIL — {cell}: control retention {:.6} below {CONTROL_RETENTION_FLOOR}",
+                    r.ptp_retention
+                );
+                ok = false;
+            }
+            if r.degrade_enters > 0 {
+                eprintln!("chaos: FAIL — {cell}: control run tripped degradation");
+                ok = false;
+            }
+        }
+    }
+    if control_rows == 0 {
+        eprintln!("chaos: FAIL — no clean_control rows in the campaign");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "chaos: OK — control transparent, zero false trips across {} cells",
+            rows.len()
+        );
+    }
+    ok
+}

@@ -10,7 +10,11 @@
 //! 3. the same sweep with the input cell order shuffled;
 //! 4. the telemetry stream — instrumentation must be bitwise transparent
 //!    (a traced day hashes identically to an untraced one) and two traced
-//!    runs must emit **byte-identical** JSONL.
+//!    runs must emit **byte-identical** JSONL;
+//! 5. the fault-injection seams — a run armed with an **empty**
+//!    [`FaultPlan`] must hash identically to a fully disarmed run *and*
+//!    to the pinned pre-fault-subsystem baseline, proving the injection
+//!    plumbing costs exactly zero bits when nothing is scheduled.
 //!
 //! Exit status is non-zero on any divergence, so CI can gate on it.
 
@@ -21,10 +25,16 @@ use std::rc::Rc;
 use bench::determinism::{day_hash, grid_hash};
 use bench::grid::{GridConfig, PolicyGrid};
 use bench::parallel::default_threads;
+use faults::FaultPlan;
 use solarcore::{DaySimulation, Policy};
 use solarenv::{Season, Site};
 use telemetry::{JsonlSink, Telemetry};
 use workloads::Mix;
+
+/// Day hash of the canonical AZ/Jul/HM2/MPPT&Opt run as of the PR that
+/// introduced the fault subsystem — the bit-transparency anchor. Any
+/// engine change that moves this moved *every* disarmed simulation.
+const BASELINE_DAY_HASH: u64 = 0x1fa5_23b6_19a8_188b;
 
 fn main() -> ExitCode {
     let mut ok = true;
@@ -45,7 +55,8 @@ fn main() -> ExitCode {
         println!("determinism: day-sim {label:<8} hash {h:016x}");
         Some(h)
     };
-    match (day("run #1"), day("run #2")) {
+    let baseline = day("run #1");
+    match (baseline, day("run #2")) {
         (Some(a), Some(b)) if a == b => {}
         (Some(_), Some(_)) => {
             eprintln!("determinism: FAIL — repeated day simulations diverge");
@@ -132,6 +143,41 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!("determinism: FAIL — traced day simulation did not run");
+            ok = false;
+        }
+    }
+
+    // 5. Fault-seam transparency: arming an empty plan (which also arms
+    //    detection and the degradation FSM) must not move a single bit,
+    //    and the disarmed hash must still match the pinned baseline.
+    let armed_empty = DaySimulation::builder()
+        .site(Site::phoenix_az())
+        .season(Season::Jul)
+        .day(0)
+        .mix(Mix::hm2())
+        .policy(Policy::MpptOpt)
+        .fault_plan(FaultPlan::empty("control"))
+        .build()
+        .ok()
+        .and_then(|sim| sim.run().ok())
+        .map(|result| day_hash(&result));
+    match (baseline, armed_empty) {
+        (Some(plain), Some(armed)) => {
+            println!("determinism: armed-empty plan   hash {armed:016x}");
+            if armed != plain {
+                eprintln!("determinism: FAIL — empty fault plan perturbed the simulation");
+                ok = false;
+            }
+            if plain != BASELINE_DAY_HASH {
+                eprintln!(
+                    "determinism: FAIL — day hash {plain:016x} drifted from the \
+                     pinned baseline {BASELINE_DAY_HASH:016x}"
+                );
+                ok = false;
+            }
+        }
+        _ => {
+            eprintln!("determinism: FAIL — armed-empty day simulation did not run");
             ok = false;
         }
     }

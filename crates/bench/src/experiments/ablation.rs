@@ -96,7 +96,11 @@ fn run_with(config: ControllerConfig, policy: Policy, sensor: Option<IvSensor>) 
             if let Some(s) = &sensor {
                 builder = builder.sensor(s.clone());
             }
-            builder.build().expect("valid config").run().expect("day runs")
+            builder
+                .build()
+                .expect("valid config")
+                .run()
+                .expect("day runs")
         })
         .collect()
 }

@@ -81,10 +81,7 @@ fn solver_cache_does_not_change_day_hash() {
             .policy(Policy::MpptOpt)
     };
     let cached = builder().build().expect("valid config");
-    let uncached = builder()
-        .solver_cache(false)
-        .build()
-        .expect("valid config");
+    let uncached = builder().solver_cache(false).build().expect("valid config");
 
     let reference = day_hash(&uncached.run().expect("day runs"));
     assert_eq!(

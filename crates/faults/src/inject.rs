@@ -1,0 +1,173 @@
+//! Stateful sensor injection: turns a [`FaultPlan`]'s sensing faults into a
+//! per-run corruptor for I/V readings.
+//!
+//! The injector is the only stateful piece of the subsystem — it latches the
+//! stuck value and advances the seeded noise stream. Everything it does is a
+//! deterministic function of `(plan, sequence of set_minute/inject calls)`,
+//! so two runs feeding it the same readings observe the same corruption.
+
+use crate::kind::SensorChannel;
+use crate::plan::{FaultPlan, SensorDisturbance};
+use crate::rng::SplitMix64;
+
+/// Corrupts `(voltage, current)` sensor readings according to a plan.
+#[derive(Debug, Clone)]
+pub struct SensorInjector {
+    plan: FaultPlan,
+    minute: u32,
+    /// Latched `(v, i)` for an in-progress stuck window; cleared when the
+    /// window ends so a later stuck window latches afresh.
+    stuck: Option<(f64, f64)>,
+    noise: SplitMix64,
+}
+
+impl SensorInjector {
+    /// Builds an injector for `plan`, with the noise stream seeded from the
+    /// plan's seed (offset so it never collides with other plan-derived
+    /// streams).
+    pub fn new(plan: &FaultPlan) -> Self {
+        let seed = plan.seed() ^ 0x5e40_12fa_11c7_0a3d;
+        Self {
+            plan: plan.clone(),
+            minute: 0,
+            stuck: None,
+            noise: SplitMix64::new(seed),
+        }
+    }
+
+    /// Advances sim time; queries after this apply the faults active at
+    /// `minute`.
+    pub fn set_minute(&mut self, minute: u32) {
+        self.minute = minute;
+        if !matches!(
+            self.plan.sensor_disturbance_at(minute),
+            Some(SensorDisturbance::Stuck(_))
+        ) {
+            self.stuck = None;
+        }
+    }
+
+    /// `true` when any sensing fault is active right now.
+    pub fn active(&self) -> bool {
+        self.plan.sensor_disturbance_at(self.minute).is_some()
+    }
+
+    /// Corrupts one `(voltage, current)` reading pair.
+    ///
+    /// With no active sensing fault this is the identity — callers on the
+    /// hot path should additionally skip the call entirely when no plan is
+    /// armed, so the disarmed stack stays bit-identical.
+    pub fn inject(&mut self, voltage: f64, current: f64) -> (f64, f64) {
+        match self.plan.sensor_disturbance_at(self.minute) {
+            None => (voltage, current),
+            Some(SensorDisturbance::Stuck(channel)) => {
+                let (sv, si) = *self.stuck.get_or_insert((voltage, current));
+                match channel {
+                    SensorChannel::Voltage => (sv, current),
+                    SensorChannel::Current => (voltage, si),
+                    SensorChannel::Both => (sv, si),
+                }
+            }
+            Some(SensorDisturbance::Dropout) => (f64::NAN, f64::NAN),
+            Some(SensorDisturbance::Bias(factor)) => (voltage * factor, current * factor),
+            Some(SensorDisturbance::Noise(sigma)) => {
+                let nv = 1.0 + sigma * self.noise.normal();
+                let ni = 1.0 + sigma * self.noise.normal();
+                ((voltage * nv).max(0.0), (current * ni).max(0.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::FaultKind;
+    use crate::plan::ScheduledFault;
+
+    fn plan_with(kind: FaultKind, start: u32, end: u32) -> FaultPlan {
+        let mut plan = FaultPlan::new("t", 77);
+        plan.schedule(ScheduledFault {
+            start_minute: start,
+            end_minute: end,
+            kind,
+        })
+        .unwrap();
+        plan
+    }
+
+    #[test]
+    fn identity_outside_windows() {
+        let plan = plan_with(FaultKind::SensorDropout, 100, 110);
+        let mut inj = SensorInjector::new(&plan);
+        inj.set_minute(50);
+        assert!(!inj.active());
+        assert_eq!(inj.inject(24.0, 3.0), (24.0, 3.0));
+    }
+
+    #[test]
+    fn stuck_latches_first_post_onset_reading() {
+        let plan = plan_with(
+            FaultKind::SensorStuck {
+                channel: SensorChannel::Both,
+            },
+            100,
+            110,
+        );
+        let mut inj = SensorInjector::new(&plan);
+        inj.set_minute(100);
+        assert_eq!(inj.inject(24.0, 3.0), (24.0, 3.0));
+        inj.set_minute(105);
+        assert_eq!(inj.inject(30.0, 4.0), (24.0, 3.0));
+        // Window ends: latch clears and readings flow again.
+        inj.set_minute(111);
+        assert_eq!(inj.inject(30.0, 4.0), (30.0, 4.0));
+    }
+
+    #[test]
+    fn stuck_single_channel_passes_the_other() {
+        let plan = plan_with(
+            FaultKind::SensorStuck {
+                channel: SensorChannel::Voltage,
+            },
+            0,
+            10,
+        );
+        let mut inj = SensorInjector::new(&plan);
+        inj.set_minute(0);
+        assert_eq!(inj.inject(24.0, 3.0), (24.0, 3.0));
+        assert_eq!(inj.inject(26.0, 3.5), (24.0, 3.5));
+    }
+
+    #[test]
+    fn dropout_yields_nan() {
+        let plan = plan_with(FaultKind::SensorDropout, 0, 10);
+        let mut inj = SensorInjector::new(&plan);
+        inj.set_minute(5);
+        let (v, i) = inj.inject(24.0, 3.0);
+        assert!(v.is_nan() && i.is_nan());
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_plan_seed() {
+        let plan = plan_with(FaultKind::SensorNoiseBurst { sigma: 0.1 }, 0, 100);
+        let mut a = SensorInjector::new(&plan);
+        let mut b = SensorInjector::new(&plan);
+        for m in 0..50 {
+            a.set_minute(m);
+            b.set_minute(m);
+            assert_eq!(a.inject(24.0, 3.0), b.inject(24.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn noise_clamps_non_negative() {
+        let plan = plan_with(FaultKind::SensorNoiseBurst { sigma: 50.0 }, 0, 1000);
+        let mut inj = SensorInjector::new(&plan);
+        inj.set_minute(0);
+        for _ in 0..200 {
+            let (v, i) = inj.inject(1.0, 1.0);
+            assert!(v >= 0.0 && i >= 0.0);
+        }
+    }
+}

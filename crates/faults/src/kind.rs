@@ -1,0 +1,153 @@
+//! The fault taxonomy: every disturbance the chaos harness can schedule.
+//!
+//! Each variant models a failure mode a deployed SolarCore system must ride
+//! out (DESIGN.md §17): sensing faults corrupt what the controller *sees*,
+//! power-train faults corrupt what the actuators *do*, chip faults remove
+//! load capacity, and environment faults go beyond the stochastic cloud
+//! model (e.g. a monsoon shelf cutting irradiance off a cliff).
+
+/// Which of the paired I/V sensor channels a sensing fault hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorChannel {
+    /// Only the voltage sense line.
+    Voltage,
+    /// Only the current sense line.
+    Current,
+    /// Both channels together (e.g. a shared ADC reference failing).
+    Both,
+}
+
+/// One typed fault, scheduled over a window on the sim-time axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The sensor freezes: every reading in the window repeats the first
+    /// value observed after onset (a latched sample-and-hold).
+    SensorStuck {
+        /// Affected channel(s).
+        channel: SensorChannel,
+    },
+    /// The sensor drops out entirely: readings become NaN (an unpowered or
+    /// disconnected sense line). The detector must never forward these.
+    SensorDropout,
+    /// Multiplicative calibration drift: readings are scaled by
+    /// `1 + rate · minutes_since_onset`, modelling a reference slowly
+    /// walking away (thermal drift, aging).
+    SensorBiasDrift {
+        /// Relative drift per minute (e.g. `0.02` = +2 %/min).
+        rate_per_minute: f64,
+    },
+    /// A burst of extra multiplicative Gaussian noise on both channels,
+    /// drawn from the plan's seeded stream.
+    SensorNoiseBurst {
+        /// Relative standard deviation of the burst noise.
+        sigma: f64,
+    },
+    /// DC/DC conversion-efficiency derating: the converter's efficiency is
+    /// scaled by a factor ramping linearly from `factor_start` at window
+    /// onset to `factor_end` at window close (aging capacitors, thermal
+    /// derating).
+    ConverterDerate {
+        /// Efficiency factor at window start, in `(0, 1]`.
+        factor_start: f64,
+        /// Efficiency factor at window end, in `(0, 1]`.
+        factor_end: f64,
+    },
+    /// Δk-step actuator lag: ratio nudges are queued and applied `steps`
+    /// commands late (a slow or bus-contended converter MCU).
+    ActuatorLag {
+        /// Queue depth in nudge commands; `1` = every nudge lands one
+        /// command late.
+        steps: u32,
+    },
+    /// ATS flapping: the transfer switch is forced to alternate sources
+    /// every `period_minutes`, regardless of available solar power (a
+    /// failing changeover relay).
+    AtsFlap {
+        /// Half-cycle length in minutes (≥ 1).
+        period_minutes: u32,
+    },
+    /// Per-core thermal throttle: the core may not run faster than the
+    /// given V/F level for the window.
+    CoreThrottle {
+        /// Core index.
+        core: usize,
+        /// Slowest-allowed V/F level index (`0` = fastest ladder point;
+        /// the core is clamped to indices ≥ this).
+        max_level_index: usize,
+    },
+    /// Core loss: the core is force-gated for the window (a dead or
+    /// fenced-off core).
+    CoreLoss {
+        /// Core index.
+        core: usize,
+    },
+    /// Irradiance cliff transient: panel irradiance is scaled by a factor
+    /// falling linearly from 1 to `factor` over `ramp_minutes`, then held
+    /// until the window closes — sharper than anything the cloud model's
+    /// autocorrelated process produces.
+    IrradianceCliff {
+        /// Floor factor in `[0, 1]`.
+        factor: f64,
+        /// Minutes over which the factor ramps from 1 down to `factor`
+        /// (`0` = instantaneous cliff).
+        ramp_minutes: u32,
+    },
+}
+
+impl FaultKind {
+    /// `true` for faults that corrupt the I/V sensor path.
+    pub fn is_sensor_fault(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SensorStuck { .. }
+                | FaultKind::SensorDropout
+                | FaultKind::SensorBiasDrift { .. }
+                | FaultKind::SensorNoiseBurst { .. }
+        )
+    }
+
+    /// A stable label for reports and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::SensorStuck { .. } => "sensor_stuck",
+            FaultKind::SensorDropout => "sensor_dropout",
+            FaultKind::SensorBiasDrift { .. } => "sensor_bias_drift",
+            FaultKind::SensorNoiseBurst { .. } => "sensor_noise_burst",
+            FaultKind::ConverterDerate { .. } => "converter_derate",
+            FaultKind::ActuatorLag { .. } => "actuator_lag",
+            FaultKind::AtsFlap { .. } => "ats_flap",
+            FaultKind::CoreThrottle { .. } => "core_throttle",
+            FaultKind::CoreLoss { .. } => "core_loss",
+            FaultKind::IrradianceCliff { .. } => "irradiance_cliff",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_faults_are_classified() {
+        assert!(FaultKind::SensorDropout.is_sensor_fault());
+        assert!(FaultKind::SensorStuck {
+            channel: SensorChannel::Both
+        }
+        .is_sensor_fault());
+        assert!(!FaultKind::CoreLoss { core: 0 }.is_sensor_fault());
+        assert!(!FaultKind::AtsFlap { period_minutes: 5 }.is_sensor_fault());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultKind::SensorDropout.label(), "sensor_dropout");
+        assert_eq!(
+            FaultKind::IrradianceCliff {
+                factor: 0.2,
+                ramp_minutes: 0
+            }
+            .label(),
+            "irradiance_cliff"
+        );
+    }
+}

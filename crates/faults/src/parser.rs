@@ -1,0 +1,413 @@
+//! Hand-rolled parser for the TOML-ish scenario files under `scenarios/`.
+//!
+//! The format is deliberately tiny (same dependency-free spirit as xtask's
+//! report tooling): one `[scenario]` header block with `key = value` lines,
+//! then any number of `[[fault]]` blocks. Values are double-quoted strings
+//! or bare numbers; `#` starts a comment. Example:
+//!
+//! ```text
+//! [scenario]
+//! name = "stuck_noon"
+//! seed = 42
+//! site = "AZ"          # optional hints the campaign runner may honour
+//! season = "Jul"
+//! day = 0
+//!
+//! [[fault]]
+//! kind = "sensor_stuck"
+//! channel = "both"
+//! start = 720
+//! end = 765
+//! ```
+//!
+//! Every error carries the 1-based line number of the offending line.
+
+use crate::kind::{FaultKind, SensorChannel};
+use crate::plan::{FaultError, FaultPlan, ScheduledFault};
+
+/// Parses scenario text into a validated [`FaultPlan`].
+///
+/// # Errors
+///
+/// Returns [`FaultError::Parse`] with a line number for malformed text, or
+/// [`FaultError::InvalidFault`] when a block parses but fails validation.
+pub fn parse_scenario(text: &str) -> Result<FaultPlan, FaultError> {
+    let mut scenario: Vec<(usize, String, String)> = Vec::new();
+    let mut fault_blocks: Vec<Vec<(usize, String, String)>> = Vec::new();
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[scenario]" {
+            if !scenario.is_empty() || !fault_blocks.is_empty() {
+                return err(
+                    line_no,
+                    "[scenario] must be the first block and appear once",
+                );
+            }
+            section = Section::Scenario;
+            continue;
+        }
+        if line == "[[fault]]" {
+            fault_blocks.push(Vec::new());
+            section = Section::Fault;
+            continue;
+        }
+        if line.starts_with('[') {
+            return err(
+                line_no,
+                "unknown block header (expected [scenario] or [[fault]])",
+            );
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return err(line_no, "expected `key = value`");
+        };
+        let entry = (line_no, key.trim().to_owned(), value.trim().to_owned());
+        match section {
+            Section::None => return err(line_no, "key before any block header"),
+            Section::Scenario => scenario.push(entry),
+            Section::Fault => {
+                if let Some(block) = fault_blocks.last_mut() {
+                    block.push(entry);
+                }
+            }
+        }
+    }
+
+    let mut name = None;
+    let mut seed = 0u64;
+    let mut site = None;
+    let mut season = None;
+    let mut day = None;
+    for (line_no, key, value) in &scenario {
+        match key.as_str() {
+            "name" => name = Some(string_value(*line_no, value)?),
+            "seed" => seed = int_value(*line_no, value)?,
+            "site" => site = Some(string_value(*line_no, value)?),
+            "season" => season = Some(string_value(*line_no, value)?),
+            "day" => day = Some(narrow(*line_no, int_value(*line_no, value)?)?),
+            _ => return err(*line_no, "unknown [scenario] key"),
+        }
+    }
+    let Some(name) = name else {
+        return err(1, "[scenario] block must set `name`");
+    };
+
+    let mut plan = FaultPlan::new(&name, seed);
+    plan.set_hints(site, season, day);
+    for block in &fault_blocks {
+        plan.schedule(parse_fault_block(block)?)?;
+    }
+    Ok(plan)
+}
+
+#[derive(Clone, Copy)]
+enum Section {
+    None,
+    Scenario,
+    Fault,
+}
+
+fn parse_fault_block(entries: &[(usize, String, String)]) -> Result<ScheduledFault, FaultError> {
+    let block_line = entries.first().map_or(1, |(l, _, _)| *l);
+    let find = |key: &str| -> Option<(usize, &str)> {
+        entries
+            .iter()
+            .find(|(_, k, _)| k == key)
+            .map(|(l, _, v)| (*l, v.as_str()))
+    };
+    let number = |key: &str| -> Result<f64, FaultError> {
+        let Some((line, v)) = find(key) else {
+            return Err(FaultError::Parse {
+                line: block_line,
+                reason: format!("[[fault]] block missing `{key}`"),
+            });
+        };
+        number_value(line, v)
+    };
+    let int = |key: &str| -> Result<u64, FaultError> {
+        let Some((line, v)) = find(key) else {
+            return Err(FaultError::Parse {
+                line: block_line,
+                reason: format!("[[fault]] block missing `{key}`"),
+            });
+        };
+        int_value(line, v)
+    };
+
+    let Some((kind_line, kind_raw)) = find("kind") else {
+        return err(block_line, "[[fault]] block missing `kind`");
+    };
+    let kind_name = string_value(kind_line, kind_raw)?;
+
+    let kind = match kind_name.as_str() {
+        "sensor_stuck" => {
+            let channel = match find("channel") {
+                None => SensorChannel::Both,
+                Some((line, v)) => match string_value(line, v)?.as_str() {
+                    "voltage" => SensorChannel::Voltage,
+                    "current" => SensorChannel::Current,
+                    "both" => SensorChannel::Both,
+                    _ => return err(line, "`channel` must be voltage, current or both"),
+                },
+            };
+            FaultKind::SensorStuck { channel }
+        }
+        "sensor_dropout" => FaultKind::SensorDropout,
+        "sensor_bias_drift" => FaultKind::SensorBiasDrift {
+            rate_per_minute: number("rate_per_minute")?,
+        },
+        "sensor_noise_burst" => FaultKind::SensorNoiseBurst {
+            sigma: number("sigma")?,
+        },
+        "converter_derate" => FaultKind::ConverterDerate {
+            factor_start: number("factor_start")?,
+            factor_end: number("factor_end")?,
+        },
+        "actuator_lag" => FaultKind::ActuatorLag {
+            steps: narrow(block_line, int("steps")?)?,
+        },
+        "ats_flap" => FaultKind::AtsFlap {
+            period_minutes: narrow(block_line, int("period_minutes")?)?,
+        },
+        "core_throttle" => FaultKind::CoreThrottle {
+            core: narrow(block_line, int("core")?)?,
+            max_level_index: narrow(block_line, int("max_level_index")?)?,
+        },
+        "core_loss" => FaultKind::CoreLoss {
+            core: narrow(block_line, int("core")?)?,
+        },
+        "irradiance_cliff" => FaultKind::IrradianceCliff {
+            factor: number("factor")?,
+            ramp_minutes: match find("ramp_minutes") {
+                None => 0,
+                Some(_) => narrow(block_line, int("ramp_minutes")?)?,
+            },
+        },
+        _ => return err(kind_line, "unknown fault kind"),
+    };
+
+    Ok(ScheduledFault {
+        start_minute: narrow(block_line, int("start")?)?,
+        end_minute: narrow(block_line, int("end")?)?,
+        kind,
+    })
+}
+
+/// Strips a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn string_value(line: usize, raw: &str) -> Result<String, FaultError> {
+    let raw = raw.trim();
+    if raw.len() >= 2 && raw.starts_with('"') && raw.ends_with('"') {
+        Ok(raw[1..raw.len() - 1].to_owned())
+    } else {
+        Err(FaultError::Parse {
+            line,
+            reason: "expected a double-quoted string".to_owned(),
+        })
+    }
+}
+
+fn number_value(line: usize, raw: &str) -> Result<f64, FaultError> {
+    raw.trim().parse::<f64>().map_err(|_| FaultError::Parse {
+        line,
+        reason: format!("expected a number, got `{}`", raw.trim()),
+    })
+}
+
+fn int_value(line: usize, raw: &str) -> Result<u64, FaultError> {
+    raw.trim().parse::<u64>().map_err(|_| FaultError::Parse {
+        line,
+        reason: format!("expected a non-negative integer, got `{}`", raw.trim()),
+    })
+}
+
+/// Narrows a parsed integer into the field's width with a line-anchored
+/// error instead of a silent truncation.
+fn narrow<T: TryFrom<u64>>(line: usize, x: u64) -> Result<T, FaultError> {
+    T::try_from(x).map_err(|_| FaultError::Parse {
+        line,
+        reason: format!("integer `{x}` out of range for this field"),
+    })
+}
+
+fn err<T>(line: usize, reason: &str) -> Result<T, FaultError> {
+    Err(FaultError::Parse {
+        line,
+        reason: reason.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# canonical stuck-sensor scenario
+[scenario]
+name = "stuck_noon"
+seed = 42
+site = "AZ"     # hint only
+season = "Jul"
+day = 0
+
+[[fault]]
+kind = "sensor_stuck"
+channel = "both"
+start = 720
+end = 765
+
+[[fault]]
+kind = "irradiance_cliff"
+factor = 0.25
+ramp_minutes = 5
+start = 800
+end = 860
+"#;
+
+    #[test]
+    fn parses_the_sample_scenario() {
+        let plan = parse_scenario(SAMPLE).unwrap();
+        assert_eq!(plan.name(), "stuck_noon");
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.site_hint(), Some("AZ"));
+        assert_eq!(plan.season_hint(), Some("Jul"));
+        assert_eq!(plan.day_hint(), Some(0));
+        assert_eq!(plan.faults().len(), 2);
+        assert_eq!(plan.first_onset(), Some(720));
+        assert!(plan.has_irradiance_faults());
+        assert_eq!(
+            plan.faults()[0].kind,
+            FaultKind::SensorStuck {
+                channel: SensorChannel::Both
+            }
+        );
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let text = r#"
+[scenario]
+name = "all"
+seed = 7
+
+[[fault]]
+kind = "sensor_dropout"
+start = 0
+end = 1
+
+[[fault]]
+kind = "sensor_bias_drift"
+rate_per_minute = 0.02
+start = 0
+end = 1
+
+[[fault]]
+kind = "sensor_noise_burst"
+sigma = 0.1
+start = 0
+end = 1
+
+[[fault]]
+kind = "converter_derate"
+factor_start = 1.0
+factor_end = 0.6
+start = 0
+end = 1
+
+[[fault]]
+kind = "actuator_lag"
+steps = 3
+start = 0
+end = 1
+
+[[fault]]
+kind = "ats_flap"
+period_minutes = 5
+start = 0
+end = 1
+
+[[fault]]
+kind = "core_throttle"
+core = 2
+max_level_index = 4
+start = 0
+end = 1
+
+[[fault]]
+kind = "core_loss"
+core = 1
+start = 0
+end = 1
+
+[[fault]]
+kind = "irradiance_cliff"
+factor = 0.3
+start = 0
+end = 1
+"#;
+        let plan = parse_scenario(text).unwrap();
+        assert_eq!(plan.faults().len(), 9);
+        assert_eq!(
+            plan.faults()[8].kind,
+            FaultKind::IrradianceCliff {
+                factor: 0.3,
+                ramp_minutes: 0
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad =
+            "[scenario]\nname = \"x\"\n\n[[fault]]\nkind = \"no_such_kind\"\nstart = 0\nend = 1\n";
+        match parse_scenario(bad) {
+            Err(FaultError::Parse { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_scenario("name = \"x\"\n") {
+            Err(FaultError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match parse_scenario("[scenario]\nname = unquoted\n") {
+            Err(FaultError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_name_is_rejected() {
+        assert!(parse_scenario("[scenario]\nseed = 1\n").is_err());
+    }
+
+    #[test]
+    fn invalid_fault_surfaces_validation_error() {
+        let bad =
+            "[scenario]\nname = \"x\"\n[[fault]]\nkind = \"sensor_dropout\"\nstart = 10\nend = 5\n";
+        match parse_scenario(bad) {
+            Err(FaultError::InvalidFault { kind, .. }) => assert_eq!(kind, "sensor_dropout"),
+            other => panic!("expected validation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let text = "[scenario]\nname = \"has # hash\"\n";
+        assert_eq!(parse_scenario(text).unwrap().name(), "has # hash");
+    }
+}

@@ -1,0 +1,726 @@
+//! The `FaultPlan` scenario model: typed faults scheduled on the sim-time
+//! axis, plus the per-minute queries the injection seams evaluate.
+//!
+//! A plan is pure data — building or querying one has no side effects, and
+//! every query is a pure function of `(plan, minute)`, so injection is
+//! deterministic under any thread count or evaluation order. Stateful
+//! behaviour (stuck-value capture, noise streams) lives in
+//! [`SensorInjector`](crate::SensorInjector), which is constructed *from*
+//! a plan per run.
+
+use crate::kind::{FaultKind, SensorChannel};
+
+/// Validation or parse failure for a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A scheduled fault failed validation.
+    InvalidFault {
+        /// The fault's label ([`FaultKind::label`]).
+        kind: &'static str,
+        /// The violated constraint.
+        reason: &'static str,
+    },
+    /// The scenario text failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::InvalidFault { kind, reason } => {
+                write!(f, "invalid `{kind}` fault: {reason}")
+            }
+            FaultError::Parse { line, reason } => {
+                write!(f, "scenario parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// One fault active over an inclusive `[start, end]` minute-of-day window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// First minute-of-day the fault is active.
+    pub start_minute: u32,
+    /// Last minute-of-day the fault is active (inclusive).
+    pub end_minute: u32,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+impl ScheduledFault {
+    /// `true` while `minute` lies inside the fault window.
+    pub fn active_at(&self, minute: u32) -> bool {
+        minute >= self.start_minute && minute <= self.end_minute
+    }
+
+    /// Validates the window and the kind's parameters.
+    fn validate(&self) -> Result<(), FaultError> {
+        let fail = |reason| {
+            Err(FaultError::InvalidFault {
+                kind: self.kind.label(),
+                reason,
+            })
+        };
+        if self.start_minute > self.end_minute {
+            return fail("window start must not exceed its end");
+        }
+        if self.end_minute > 1439 {
+            return fail("window must end within the civil day (minute <= 1439)");
+        }
+        match self.kind {
+            FaultKind::SensorStuck { .. }
+            | FaultKind::SensorDropout
+            | FaultKind::CoreLoss { .. } => Ok(()),
+            FaultKind::SensorBiasDrift { rate_per_minute } => {
+                if rate_per_minute.is_finite() {
+                    Ok(())
+                } else {
+                    fail("drift rate must be finite")
+                }
+            }
+            FaultKind::SensorNoiseBurst { sigma } => {
+                if sigma.is_finite() && sigma >= 0.0 {
+                    Ok(())
+                } else {
+                    fail("noise sigma must be finite and non-negative")
+                }
+            }
+            FaultKind::ConverterDerate {
+                factor_start,
+                factor_end,
+            } => {
+                let ok = |x: f64| x.is_finite() && x > 0.0 && x <= 1.0;
+                if ok(factor_start) && ok(factor_end) {
+                    Ok(())
+                } else {
+                    fail("derate factors must lie in (0, 1]")
+                }
+            }
+            FaultKind::ActuatorLag { steps } => {
+                if steps >= 1 {
+                    Ok(())
+                } else {
+                    fail("actuator lag must queue at least one step")
+                }
+            }
+            FaultKind::AtsFlap { period_minutes } => {
+                if period_minutes >= 1 {
+                    Ok(())
+                } else {
+                    fail("flap period must be at least one minute")
+                }
+            }
+            FaultKind::CoreThrottle {
+                max_level_index, ..
+            } => {
+                // The chip ladder has a small fixed depth; anything larger
+                // is a scenario typo, not a throttle.
+                if max_level_index < 16 {
+                    Ok(())
+                } else {
+                    fail("throttle level index is implausibly deep")
+                }
+            }
+            FaultKind::IrradianceCliff { factor, .. } => {
+                if factor.is_finite() && (0.0..=1.0).contains(&factor) {
+                    Ok(())
+                } else {
+                    fail("cliff factor must lie in [0, 1]")
+                }
+            }
+        }
+    }
+}
+
+/// The sensing disturbance active at one minute, resolved from the plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorDisturbance {
+    /// Hold the first post-onset reading.
+    Stuck(SensorChannel),
+    /// Readings are NaN.
+    Dropout,
+    /// Scale both channels by this factor.
+    Bias(f64),
+    /// Extra multiplicative Gaussian noise of this sigma.
+    Noise(f64),
+}
+
+/// A forced ATS position during a flap window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtsOverride {
+    /// Force the switch onto grid utility.
+    ForceUtility,
+    /// Force the switch onto the PV array.
+    ForceSolar,
+}
+
+/// A per-core availability constraint active at one minute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreConstraint {
+    /// Clamp the core at or below this V/F ladder index (`0` = fastest).
+    Throttle {
+        /// Core index.
+        core: usize,
+        /// Slowest-allowed ladder index floor.
+        max_level_index: usize,
+    },
+    /// Force-gate the core.
+    Loss {
+        /// Core index.
+        core: usize,
+    },
+}
+
+/// A named, seeded schedule of typed faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    name: String,
+    seed: u64,
+    faults: Vec<ScheduledFault>,
+    site_hint: Option<String>,
+    season_hint: Option<String>,
+    day_hint: Option<u32>,
+}
+
+impl FaultPlan {
+    /// An empty (no-fault) plan — arming it must be bit-transparent, which
+    /// the determinism harness enforces.
+    pub fn empty(name: &str) -> Self {
+        Self::new(name, 0)
+    }
+
+    /// A plan with no faults yet, seeded for its stochastic kinds.
+    pub fn new(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            seed,
+            faults: Vec::new(),
+            site_hint: None,
+            season_hint: None,
+            day_hint: None,
+        }
+    }
+
+    /// Schedules one fault after validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultError::InvalidFault`] for inverted windows or
+    /// out-of-range parameters.
+    pub fn schedule(&mut self, fault: ScheduledFault) -> Result<(), FaultError> {
+        fault.validate()?;
+        self.faults.push(fault);
+        Ok(())
+    }
+
+    /// The scenario name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The seed for the plan's stochastic faults (noise bursts).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[ScheduledFault] {
+        &self.faults
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scenario's preferred site code, if the file named one.
+    pub fn site_hint(&self) -> Option<&str> {
+        self.site_hint.as_deref()
+    }
+
+    /// The scenario's preferred season label, if the file named one.
+    pub fn season_hint(&self) -> Option<&str> {
+        self.season_hint.as_deref()
+    }
+
+    /// The scenario's preferred weather-day index, if the file named one.
+    pub fn day_hint(&self) -> Option<u32> {
+        self.day_hint
+    }
+
+    /// Sets the site/season/day hints (used by the parser).
+    pub(crate) fn set_hints(
+        &mut self,
+        site: Option<String>,
+        season: Option<String>,
+        day: Option<u32>,
+    ) {
+        self.site_hint = site;
+        self.season_hint = season;
+        self.day_hint = day;
+    }
+
+    /// The earliest fault onset, if any — the reference point for
+    /// detection-latency measurements.
+    pub fn first_onset(&self) -> Option<u32> {
+        self.faults.iter().map(|f| f.start_minute).min()
+    }
+
+    /// An FNV-1a digest over every scheduled fault, seed and name —
+    /// used to tag prepared simulation setups so a setup prepared under
+    /// one plan cannot silently be replayed under another.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.u64(self.seed);
+        for f in &self.faults {
+            h.u64(u64::from(f.start_minute));
+            h.u64(u64::from(f.end_minute));
+            h.str(f.kind.label());
+            match f.kind {
+                FaultKind::SensorStuck { channel } => h.u64(match channel {
+                    SensorChannel::Voltage => 0,
+                    SensorChannel::Current => 1,
+                    SensorChannel::Both => 2,
+                }),
+                FaultKind::SensorDropout => {}
+                FaultKind::SensorBiasDrift { rate_per_minute } => h.f64(rate_per_minute),
+                FaultKind::SensorNoiseBurst { sigma } => h.f64(sigma),
+                FaultKind::ConverterDerate {
+                    factor_start,
+                    factor_end,
+                } => {
+                    h.f64(factor_start);
+                    h.f64(factor_end);
+                }
+                FaultKind::ActuatorLag { steps } => h.u64(u64::from(steps)),
+                FaultKind::AtsFlap { period_minutes } => h.u64(u64::from(period_minutes)),
+                FaultKind::CoreThrottle {
+                    core,
+                    max_level_index,
+                } => {
+                    h.u64(core as u64);
+                    h.u64(max_level_index as u64);
+                }
+                FaultKind::CoreLoss { core } => h.u64(core as u64),
+                FaultKind::IrradianceCliff {
+                    factor,
+                    ramp_minutes,
+                } => {
+                    h.f64(factor);
+                    h.u64(u64::from(ramp_minutes));
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// The sensing disturbance active at `minute`, if any (first scheduled
+    /// wins when windows overlap).
+    pub fn sensor_disturbance_at(&self, minute: u32) -> Option<SensorDisturbance> {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .find_map(|f| match f.kind {
+                FaultKind::SensorStuck { channel } => Some(SensorDisturbance::Stuck(channel)),
+                FaultKind::SensorDropout => Some(SensorDisturbance::Dropout),
+                FaultKind::SensorBiasDrift { rate_per_minute } => Some(SensorDisturbance::Bias(
+                    1.0 + rate_per_minute * f64::from(minute.saturating_sub(f.start_minute) + 1),
+                )),
+                FaultKind::SensorNoiseBurst { sigma } => Some(SensorDisturbance::Noise(sigma)),
+                _ => None,
+            })
+    }
+
+    /// The combined converter-efficiency factor at `minute` (product of
+    /// active derate ramps; `1.0` when none are active).
+    pub fn converter_derate_at(&self, minute: u32) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .filter_map(|f| match f.kind {
+                FaultKind::ConverterDerate {
+                    factor_start,
+                    factor_end,
+                } => Some(ramp(
+                    factor_start,
+                    factor_end,
+                    f.start_minute,
+                    f.end_minute,
+                    minute,
+                )),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// The deepest actuator-lag queue active at `minute` (`0` = direct
+    /// drive).
+    pub fn actuator_lag_at(&self, minute: u32) -> u32 {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .filter_map(|f| match f.kind {
+                FaultKind::ActuatorLag { steps } => Some(steps),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The forced ATS position at `minute` during a flap window, if any.
+    pub fn ats_override_at(&self, minute: u32) -> Option<AtsOverride> {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .find_map(|f| match f.kind {
+                FaultKind::AtsFlap { period_minutes } => {
+                    let elapsed = minute.saturating_sub(f.start_minute);
+                    let half = (elapsed / period_minutes.max(1)) % 2;
+                    Some(if half == 0 {
+                        AtsOverride::ForceUtility
+                    } else {
+                        AtsOverride::ForceSolar
+                    })
+                }
+                _ => None,
+            })
+    }
+
+    /// Every core availability constraint active at `minute`.
+    pub fn core_constraints_at(&self, minute: u32) -> Vec<CoreConstraint> {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .filter_map(|f| match f.kind {
+                FaultKind::CoreThrottle {
+                    core,
+                    max_level_index,
+                } => Some(CoreConstraint::Throttle {
+                    core,
+                    max_level_index,
+                }),
+                FaultKind::CoreLoss { core } => Some(CoreConstraint::Loss { core }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `true` when the plan schedules any irradiance transient (so callers
+    /// can skip the trace transform entirely otherwise).
+    pub fn has_irradiance_faults(&self) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::IrradianceCliff { .. }))
+    }
+
+    /// `true` when the plan schedules any core availability fault.
+    pub fn has_core_faults(&self) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(
+                f.kind,
+                FaultKind::CoreThrottle { .. } | FaultKind::CoreLoss { .. }
+            )
+        })
+    }
+
+    /// `true` when the plan schedules any sensing fault.
+    pub fn has_sensor_faults(&self) -> bool {
+        self.faults.iter().any(|f| f.kind.is_sensor_fault())
+    }
+
+    /// The combined irradiance factor at `minute` (product over active
+    /// cliff transients; `1.0` when none are active).
+    pub fn irradiance_factor_at(&self, minute: u32) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.active_at(minute))
+            .filter_map(|f| match f.kind {
+                FaultKind::IrradianceCliff {
+                    factor,
+                    ramp_minutes,
+                } => {
+                    let ramp_end = f.start_minute.saturating_add(ramp_minutes);
+                    Some(ramp(
+                        1.0,
+                        factor,
+                        f.start_minute,
+                        ramp_end,
+                        minute.min(ramp_end),
+                    ))
+                }
+                _ => None,
+            })
+            .product()
+    }
+}
+
+/// Linear interpolation of a factor across a minute window (constant when
+/// the window is a single minute).
+fn ramp(from: f64, to: f64, start: u32, end: u32, minute: u32) -> f64 {
+    if end <= start || minute <= start {
+        return if minute >= end { to } else { from };
+    }
+    if minute >= end {
+        return to;
+    }
+    let t = f64::from(minute - start) / f64::from(end - start);
+    from + (to - from) * t
+}
+
+/// Minimal FNV-1a accumulator (same constants as the bench determinism
+/// hasher, re-implemented here to keep the crate dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        for b in s.bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cliff(start: u32, end: u32, factor: f64, ramp_minutes: u32) -> ScheduledFault {
+        ScheduledFault {
+            start_minute: start,
+            end_minute: end,
+            kind: FaultKind::IrradianceCliff {
+                factor,
+                ramp_minutes,
+            },
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_identity_everywhere() {
+        let plan = FaultPlan::empty("noop");
+        for m in [0, 450, 720, 1050] {
+            assert_eq!(plan.sensor_disturbance_at(m), None);
+            assert_eq!(plan.converter_derate_at(m), 1.0);
+            assert_eq!(plan.actuator_lag_at(m), 0);
+            assert_eq!(plan.ats_override_at(m), None);
+            assert!(plan.core_constraints_at(m).is_empty());
+            assert_eq!(plan.irradiance_factor_at(m), 1.0);
+        }
+        assert!(plan.is_empty());
+        assert_eq!(plan.first_onset(), None);
+        assert!(!plan.has_irradiance_faults());
+        assert!(!plan.has_core_faults());
+        assert!(!plan.has_sensor_faults());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut plan = FaultPlan::new("bad", 1);
+        assert!(plan
+            .schedule(ScheduledFault {
+                start_minute: 100,
+                end_minute: 50,
+                kind: FaultKind::SensorDropout,
+            })
+            .is_err());
+        assert!(plan
+            .schedule(ScheduledFault {
+                start_minute: 0,
+                end_minute: 2000,
+                kind: FaultKind::SensorDropout,
+            })
+            .is_err());
+        assert!(plan.schedule(cliff(100, 200, 1.5, 0)).is_err());
+        assert!(plan
+            .schedule(ScheduledFault {
+                start_minute: 0,
+                end_minute: 10,
+                kind: FaultKind::ConverterDerate {
+                    factor_start: 0.0,
+                    factor_end: 0.9,
+                },
+            })
+            .is_err());
+        assert!(plan
+            .schedule(ScheduledFault {
+                start_minute: 0,
+                end_minute: 10,
+                kind: FaultKind::AtsFlap { period_minutes: 0 },
+            })
+            .is_err());
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn windows_are_inclusive() {
+        let mut plan = FaultPlan::new("w", 1);
+        plan.schedule(ScheduledFault {
+            start_minute: 700,
+            end_minute: 710,
+            kind: FaultKind::SensorDropout,
+        })
+        .unwrap();
+        assert_eq!(plan.sensor_disturbance_at(699), None);
+        assert_eq!(
+            plan.sensor_disturbance_at(700),
+            Some(SensorDisturbance::Dropout)
+        );
+        assert_eq!(
+            plan.sensor_disturbance_at(710),
+            Some(SensorDisturbance::Dropout)
+        );
+        assert_eq!(plan.sensor_disturbance_at(711), None);
+        assert_eq!(plan.first_onset(), Some(700));
+    }
+
+    #[test]
+    fn derate_ramps_linearly() {
+        let mut plan = FaultPlan::new("d", 1);
+        plan.schedule(ScheduledFault {
+            start_minute: 100,
+            end_minute: 200,
+            kind: FaultKind::ConverterDerate {
+                factor_start: 1.0,
+                factor_end: 0.5,
+            },
+        })
+        .unwrap();
+        assert_eq!(plan.converter_derate_at(99), 1.0);
+        assert_eq!(plan.converter_derate_at(100), 1.0);
+        assert!((plan.converter_derate_at(150) - 0.75).abs() < 1e-12);
+        assert_eq!(plan.converter_derate_at(200), 0.5);
+        assert_eq!(plan.converter_derate_at(201), 1.0);
+    }
+
+    #[test]
+    fn cliff_ramps_then_holds() {
+        let mut plan = FaultPlan::new("c", 1);
+        plan.schedule(cliff(600, 700, 0.2, 10)).unwrap();
+        assert_eq!(plan.irradiance_factor_at(599), 1.0);
+        assert_eq!(plan.irradiance_factor_at(600), 1.0);
+        assert!((plan.irradiance_factor_at(605) - 0.6).abs() < 1e-12);
+        assert_eq!(plan.irradiance_factor_at(610), 0.2);
+        assert_eq!(plan.irradiance_factor_at(700), 0.2);
+        assert_eq!(plan.irradiance_factor_at(701), 1.0);
+        assert!(plan.has_irradiance_faults());
+    }
+
+    #[test]
+    fn instantaneous_cliff_drops_at_onset() {
+        let mut plan = FaultPlan::new("c0", 1);
+        plan.schedule(cliff(600, 650, 0.3, 0)).unwrap();
+        assert_eq!(plan.irradiance_factor_at(599), 1.0);
+        assert_eq!(plan.irradiance_factor_at(600), 0.3);
+        assert_eq!(plan.irradiance_factor_at(650), 0.3);
+    }
+
+    #[test]
+    fn ats_flap_alternates_by_half_period() {
+        let mut plan = FaultPlan::new("f", 1);
+        plan.schedule(ScheduledFault {
+            start_minute: 500,
+            end_minute: 520,
+            kind: FaultKind::AtsFlap { period_minutes: 5 },
+        })
+        .unwrap();
+        assert_eq!(plan.ats_override_at(499), None);
+        assert_eq!(plan.ats_override_at(500), Some(AtsOverride::ForceUtility));
+        assert_eq!(plan.ats_override_at(504), Some(AtsOverride::ForceUtility));
+        assert_eq!(plan.ats_override_at(505), Some(AtsOverride::ForceSolar));
+        assert_eq!(plan.ats_override_at(510), Some(AtsOverride::ForceUtility));
+        assert_eq!(plan.ats_override_at(521), None);
+    }
+
+    #[test]
+    fn core_constraints_collect_all_active() {
+        let mut plan = FaultPlan::new("k", 1);
+        plan.schedule(ScheduledFault {
+            start_minute: 0,
+            end_minute: 100,
+            kind: FaultKind::CoreLoss { core: 3 },
+        })
+        .unwrap();
+        plan.schedule(ScheduledFault {
+            start_minute: 50,
+            end_minute: 150,
+            kind: FaultKind::CoreThrottle {
+                core: 1,
+                max_level_index: 4,
+            },
+        })
+        .unwrap();
+        assert_eq!(plan.core_constraints_at(10).len(), 1);
+        assert_eq!(plan.core_constraints_at(60).len(), 2);
+        assert_eq!(plan.core_constraints_at(120).len(), 1);
+        assert!(plan.has_core_faults());
+    }
+
+    #[test]
+    fn bias_drift_grows_with_minutes_since_onset() {
+        let mut plan = FaultPlan::new("b", 1);
+        plan.schedule(ScheduledFault {
+            start_minute: 100,
+            end_minute: 200,
+            kind: FaultKind::SensorBiasDrift {
+                rate_per_minute: 0.1,
+            },
+        })
+        .unwrap();
+        let at = |m| match plan.sensor_disturbance_at(m) {
+            Some(SensorDisturbance::Bias(x)) => x,
+            other => panic!("expected bias at {m}, got {other:?}"),
+        };
+        assert!((at(100) - 1.1).abs() < 1e-12);
+        assert!((at(109) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digest_distinguishes_plans() {
+        let empty = FaultPlan::empty("a");
+        let mut one = FaultPlan::new("a", 0);
+        one.schedule(ScheduledFault {
+            start_minute: 1,
+            end_minute: 2,
+            kind: FaultKind::SensorDropout,
+        })
+        .unwrap();
+        assert_ne!(empty.digest(), one.digest());
+        assert_ne!(
+            FaultPlan::empty("a").digest(),
+            FaultPlan::empty("b").digest()
+        );
+        assert_eq!(empty.digest(), FaultPlan::empty("a").digest());
+    }
+}

@@ -1,0 +1,91 @@
+//! Self-contained deterministic randomness for fault injection.
+//!
+//! The injection subsystem is dependency-free, so it carries its own tiny
+//! generator instead of linking `rand`: a SplitMix64 stream (the same
+//! recurrence the bench harness uses for its deterministic shuffles) plus a
+//! Box–Muller transform for the noise-burst fault. Streams are pure
+//! functions of their seed — two injectors built from the same
+//! [`FaultPlan`](crate::FaultPlan) draw bit-identical samples on every run,
+//! thread and machine.
+
+/// A SplitMix64 pseudo-random stream.
+///
+/// Not cryptographic; chosen for its tiny state, full-period guarantee and
+/// platform-independent arithmetic (wrapping u64 ops only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits so the mantissa is fully random.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A standard-normal sample (Box–Muller, cosine branch) — the same
+    /// transform the `powertrain` I/V sensor uses, so noise-burst faults
+    /// and baseline sensor noise share a distribution family.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(1e-12);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn uniform_samples_live_in_unit_interval() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut rng = SplitMix64::new(99);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let x = rng.normal();
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Differential chaos transparency tests.
+//!
+//! The fault-injection subsystem's core guarantee (DESIGN.md §17): a run
+//! with **no armed plan** and a run with an **armed but empty plan** are
+//! bit-identical to each other — the seams (sensor wrapper, converter lag
+//! queue, availability mask, ATS override, irradiance transform) and the
+//! armed detection/degradation machinery must cost exactly nothing when
+//! nothing is scheduled. And an armed plan with real faults must be fully
+//! deterministic: the same scenario hashes identically across repeated
+//! runs, evaluation order, and threads.
+
+use bench::chaos::{load_scenarios, scenarios_dir};
+use bench::determinism::{day_hash, shuffle};
+use faults::FaultPlan;
+use proptest::prelude::*;
+use solarcore::{DaySimulation, Policy};
+use solarenv::{Season, Site};
+use workloads::Mix;
+
+/// Canonical day hash for an (optionally armed) Phoenix-AZ simulation.
+fn day_hash_for(policy: Policy, season: Season, day: u32, plan: Option<FaultPlan>) -> u64 {
+    let mut builder = DaySimulation::builder()
+        .site(Site::phoenix_az())
+        .season(season)
+        .day(day)
+        .mix(Mix::hm2())
+        .policy(policy);
+    if let Some(plan) = plan {
+        builder = builder.fault_plan(plan);
+    }
+    day_hash(
+        &builder
+            .build()
+            .expect("valid config")
+            .run()
+            .expect("day runs"),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// An armed-but-empty plan (which also arms detection and the
+    /// degradation FSM) yields the bit-identical day hash of a fully
+    /// disarmed run, across seasons, realizations, and both MPPT
+    /// allocators.
+    #[test]
+    fn armed_empty_plan_is_bit_transparent(
+        season_idx in 0usize..4,
+        day in 0u32..2,
+        opt in any::<bool>(),
+    ) {
+        let season = [Season::Jan, Season::Apr, Season::Jul, Season::Oct][season_idx];
+        let policy = if opt { Policy::MpptOpt } else { Policy::MpptRr };
+        let disarmed = day_hash_for(policy, season, day, None);
+        let armed = day_hash_for(policy, season, day, Some(FaultPlan::empty("control")));
+        prop_assert_eq!(disarmed, armed, "empty plan perturbed the day");
+    }
+}
+
+/// Every committed scenario is deterministic under repetition and under
+/// a shuffled evaluation order: the per-scenario armed day hash is a pure
+/// function of the plan, not of what ran before it.
+#[test]
+fn armed_scenarios_hash_identically_in_any_order() {
+    let scenarios = load_scenarios(&scenarios_dir()).expect("scenarios load");
+    assert!(scenarios.len() >= 5);
+    let hash_of =
+        |plan: &FaultPlan| day_hash_for(Policy::MpptOpt, Season::Jul, 0, Some(plan.clone()));
+    let baseline: Vec<u64> = scenarios.iter().map(|s| hash_of(&s.plan)).collect();
+
+    let mut order: Vec<usize> = (0..scenarios.len()).collect();
+    shuffle(&mut order, 0xc4a0_5c4a_05c4);
+    assert_ne!(
+        order,
+        (0..scenarios.len()).collect::<Vec<_>>(),
+        "shuffle is a no-op"
+    );
+    for &i in &order {
+        assert_eq!(
+            hash_of(&scenarios[i].plan),
+            baseline[i],
+            "scenario {} diverged under shuffled evaluation order",
+            scenarios[i].plan.name()
+        );
+    }
+}
+
+/// One armed scenario computed on two concurrent threads matches the
+/// main-thread hash bit for bit (the injection RNG and every seam are
+/// run-local; nothing leaks through globals or iteration order).
+#[test]
+fn armed_run_is_thread_independent() {
+    let scenarios = load_scenarios(&scenarios_dir()).expect("scenarios load");
+    let stuck = scenarios
+        .iter()
+        .find(|s| s.plan.name() == "stuck_noon")
+        .expect("canonical scenario present");
+    let here = day_hash_for(Policy::MpptOpt, Season::Jul, 0, Some(stuck.plan.clone()));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let plan = stuck.plan.clone();
+            std::thread::spawn(move || day_hash_for(Policy::MpptOpt, Season::Jul, 0, Some(plan)))
+        })
+        .collect();
+    for worker in workers {
+        assert_eq!(worker.join().expect("worker ran"), here);
+    }
+}

@@ -79,6 +79,18 @@ impl AutomaticTransferSwitch {
         self.transfers
     }
 
+    /// Forces the switch onto `source` regardless of available power — the
+    /// ATS-flapping fault seam (a failing changeover relay). Counts as a
+    /// transfer when the source actually changes, exactly like
+    /// [`update`](Self::update). Returns the selected source.
+    pub fn force(&mut self, source: PowerSource) -> PowerSource {
+        if source != self.source {
+            self.transfers += 1;
+            self.source = source;
+        }
+        source
+    }
+
     /// Updates the switch with the currently available PV power (e.g. the
     /// tracked MPP estimate) and returns the newly selected source.
     pub fn update(&mut self, available_solar: Watts) -> PowerSource {
@@ -149,6 +161,18 @@ mod tests {
             }
         }
         assert_eq!(transfers, 1);
+    }
+
+    #[test]
+    fn force_overrides_and_counts_real_changes() {
+        let mut ats = AutomaticTransferSwitch::new(Watts::new(25.0), Watts::new(3.0)).unwrap();
+        assert_eq!(ats.force(PowerSource::Solar), PowerSource::Solar);
+        assert_eq!(ats.transfer_count(), 1);
+        // Forcing the already-selected source is not a transfer.
+        assert_eq!(ats.force(PowerSource::Solar), PowerSource::Solar);
+        assert_eq!(ats.transfer_count(), 1);
+        assert_eq!(ats.force(PowerSource::Utility), PowerSource::Utility);
+        assert_eq!(ats.transfer_count(), 2);
     }
 
     #[test]

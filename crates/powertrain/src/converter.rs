@@ -17,6 +17,11 @@ pub struct DcDcConverter {
     max_ratio: f64,
     ratio_step: f64,
     efficiency: f64,
+    /// Actuator-lag fault seam: when > 0, nudge commands are queued and
+    /// land this many commands late. `0` (the default) is the original
+    /// direct-drive path, bit-identical to a converter without the seam.
+    lag: u32,
+    pending: Vec<i32>,
 }
 
 impl DcDcConverter {
@@ -74,6 +79,8 @@ impl DcDcConverter {
             max_ratio,
             ratio_step,
             efficiency,
+            lag: 0,
+            pending: Vec::new(),
         })
     }
 
@@ -129,11 +136,45 @@ impl DcDcConverter {
 
     /// Nudges the ratio by `steps` increments of `Δk` (negative = down),
     /// saturating at the range limits. Returns the actually applied delta.
+    ///
+    /// With an actuator lag armed ([`set_actuator_lag`](Self::set_actuator_lag)),
+    /// the command is queued instead and the command issued `lag` calls ago
+    /// lands now; until the queue fills, the applied delta is `0.0`.
     pub fn nudge_ratio(&mut self, steps: i32) -> f64 {
-        let before = self.ratio;
-        let target = self.ratio + steps as f64 * self.ratio_step;
-        self.ratio = target.clamp(self.min_ratio, self.max_ratio);
-        self.ratio - before
+        if self.lag == 0 {
+            let before = self.ratio;
+            let target = self.ratio + steps as f64 * self.ratio_step;
+            self.ratio = target.clamp(self.min_ratio, self.max_ratio);
+            return self.ratio - before;
+        }
+        self.pending.push(steps);
+        if self.pending.len() > self.lag as usize {
+            let delayed = self.pending.remove(0);
+            let before = self.ratio;
+            let target = self.ratio + f64::from(delayed) * self.ratio_step;
+            self.ratio = target.clamp(self.min_ratio, self.max_ratio);
+            self.ratio - before
+        } else {
+            0.0
+        }
+    }
+
+    /// Arms (or disarms, with `steps == 0`) the Δk-step actuator-lag fault
+    /// seam. Reducing the lag drains the now-excess queued commands in
+    /// issue order — a recovering actuator applies what was already
+    /// commanded rather than forgetting it.
+    pub fn set_actuator_lag(&mut self, steps: u32) {
+        self.lag = steps;
+        while self.pending.len() > self.lag as usize {
+            let delayed = self.pending.remove(0);
+            let target = self.ratio + f64::from(delayed) * self.ratio_step;
+            self.ratio = target.clamp(self.min_ratio, self.max_ratio);
+        }
+    }
+
+    /// The armed actuator-lag queue depth (`0` = direct drive).
+    pub fn actuator_lag(&self) -> u32 {
+        self.lag
     }
 
     /// Output (load bus) voltage for a given panel voltage.
@@ -205,6 +246,35 @@ mod tests {
         assert!((c.ratio() - 8.0).abs() < 1e-12);
         let applied = c.nudge_ratio(-2);
         assert!((applied + 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actuator_lag_delays_commands_by_queue_depth() {
+        let mut c = DcDcConverter::new(3.0, 0.8, 8.0, 0.05, 1.0).unwrap();
+        c.set_actuator_lag(2);
+        // First two commands only fill the queue.
+        assert_eq!(c.nudge_ratio(1), 0.0);
+        assert_eq!(c.nudge_ratio(1), 0.0);
+        assert_eq!(c.ratio(), 3.0);
+        // Third command lands the first one.
+        let applied = c.nudge_ratio(-1);
+        assert!((applied - 0.05).abs() < 1e-12);
+        assert!((c.ratio() - 3.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clearing_lag_drains_queued_commands() {
+        let mut c = DcDcConverter::new(3.0, 0.8, 8.0, 0.05, 1.0).unwrap();
+        c.set_actuator_lag(3);
+        c.nudge_ratio(1);
+        c.nudge_ratio(1);
+        assert_eq!(c.ratio(), 3.0);
+        c.set_actuator_lag(0);
+        assert!((c.ratio() - 3.10).abs() < 1e-12);
+        assert_eq!(c.actuator_lag(), 0);
+        // Back on the direct path.
+        let applied = c.nudge_ratio(-1);
+        assert!((applied + 0.05).abs() < 1e-12);
     }
 
     #[test]

@@ -49,4 +49,4 @@ pub use error::PowerError;
 pub use opsolve::{
     solve_operating_point, solve_operating_point_traced, LoadModel, OperatingPoint, SolveStats,
 };
-pub use sensors::IvSensor;
+pub use sensors::{FaultedIvSensor, IvSensor};

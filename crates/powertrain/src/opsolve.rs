@@ -124,10 +124,15 @@ impl<G: PvGenerator + ?Sized> PvGenerator for CountingGenerator<'_, G> {
 
     fn current_at_counted(&self, env: CellEnv, voltage: Volts) -> Result<(Amps, u32), PvError> {
         let (current, iters) = self.inner.current_at_counted(env, voltage)?;
-        self.stats.pv_evals.set(self.stats.pv_evals.get().saturating_add(1));
         self.stats
-            .newton_iters
-            .set(self.stats.newton_iters.get().saturating_add(u64::from(iters)));
+            .pv_evals
+            .set(self.stats.pv_evals.get().saturating_add(1));
+        self.stats.newton_iters.set(
+            self.stats
+                .newton_iters
+                .get()
+                .saturating_add(u64::from(iters)),
+        );
         Ok((current, iters))
     }
 }

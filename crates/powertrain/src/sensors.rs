@@ -3,7 +3,9 @@
 //! The SolarCore controller observes the load bus through sensors whose
 //! readings may carry multiplicative measurement noise. The default sensor
 //! is ideal (the paper does not model sensor error); tests and robustness
-//! experiments can enable seeded Gaussian noise.
+//! experiments can enable seeded Gaussian noise. For chaos experiments,
+//! [`FaultedIvSensor`] wraps a sensor with an optional fault injector that
+//! corrupts readings according to an armed `faults::FaultPlan`.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -11,6 +13,22 @@ use rand_chacha::ChaCha8Rng;
 use pv::units::{Amps, Volts};
 
 /// A (possibly noisy) voltage/current sensor pair.
+///
+/// # RNG stream contract
+///
+/// The noise stream is owned, seeded state: `IvSensor::noisy(sigma, seed)`
+/// fixes the entire sample sequence, and each [`measure`](Self::measure)
+/// call with `sigma > 0` consumes exactly two normal draws (voltage first,
+/// then current). Consequences callers may rely on:
+///
+/// - Two sensors built with the same `(sigma, seed)` return bit-identical
+///   reading sequences for identical inputs.
+/// - `Clone` copies the stream position: a clone and its original return
+///   bit-identical sequences from the clone point onward (pinned by the
+///   `clone_then_read_matches_original` test). Cloning never forks to an
+///   independent stream.
+/// - Ideal sensors (`sigma == 0`) short-circuit without touching the RNG,
+///   so interleaving ideal reads does not perturb the stream.
 #[derive(Debug, Clone)]
 pub struct IvSensor {
     noise_sigma: f64,
@@ -64,6 +82,74 @@ impl Default for IvSensor {
     }
 }
 
+/// An [`IvSensor`] with an optional fault-injection seam.
+///
+/// When no injector is armed (`transparent`), `measure` is exactly the
+/// inner sensor's `measure` — same code path, same RNG consumption — so the
+/// disarmed stack stays bit-identical to a bare [`IvSensor`] (the bench
+/// determinism harness pins this). When an injector is armed, readings pass
+/// through `faults::SensorInjector::inject` after the inner sensor samples
+/// them, so baseline sensor noise and injected faults compose.
+#[derive(Debug, Clone)]
+pub struct FaultedIvSensor {
+    inner: IvSensor,
+    injector: Option<faults::SensorInjector>,
+}
+
+impl FaultedIvSensor {
+    /// Wraps `inner` with no injector armed — bit-transparent.
+    pub fn transparent(inner: IvSensor) -> Self {
+        Self {
+            inner,
+            injector: None,
+        }
+    }
+
+    /// Wraps `inner` with an armed injector.
+    pub fn armed(inner: IvSensor, injector: faults::SensorInjector) -> Self {
+        Self {
+            inner,
+            injector: Some(injector),
+        }
+    }
+
+    /// `true` when a fault injector is armed.
+    pub fn is_armed(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// The wrapped sensor.
+    pub fn inner(&self) -> &IvSensor {
+        &self.inner
+    }
+
+    /// Advances the injector's sim-time clock (no-op when disarmed).
+    pub fn set_minute(&mut self, minute: u32) {
+        if let Some(injector) = self.injector.as_mut() {
+            injector.set_minute(minute);
+        }
+    }
+
+    /// Samples the sensor pair for true values `(v, i)`, applying any
+    /// active injected fault after the inner sensor's own noise.
+    pub fn measure(&mut self, v: Volts, i: Amps) -> (Volts, Amps) {
+        let (mv, mi) = self.inner.measure(v, i);
+        match self.injector.as_mut() {
+            None => (mv, mi),
+            Some(injector) => {
+                let (fv, fi) = injector.inject(mv.get(), mi.get());
+                (Volts::new(fv), Amps::new(fi))
+            }
+        }
+    }
+}
+
+impl From<IvSensor> for FaultedIvSensor {
+    fn from(inner: IvSensor) -> Self {
+        Self::transparent(inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +185,56 @@ mod tests {
             let rb = b.measure(Volts::new(10.0), Amps::new(1.0));
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn clone_then_read_matches_original() {
+        // The documented RNG stream contract: a clone copies the stream
+        // position, so clone and original agree bit-for-bit from the clone
+        // point onward.
+        let mut original = IvSensor::noisy(0.05, 1234);
+        // Advance the stream so the clone point is mid-stream, not at seed.
+        for _ in 0..17 {
+            let _ = original.measure(Volts::new(9.0), Amps::new(2.0));
+        }
+        let mut clone = original.clone();
+        for _ in 0..50 {
+            let ra = original.measure(Volts::new(12.0), Amps::new(8.0));
+            let rb = clone.measure(Volts::new(12.0), Amps::new(8.0));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn transparent_wrapper_matches_bare_sensor() {
+        let mut bare = IvSensor::noisy(0.02, 99);
+        let mut wrapped = FaultedIvSensor::transparent(IvSensor::noisy(0.02, 99));
+        assert!(!wrapped.is_armed());
+        for m in 0..30 {
+            wrapped.set_minute(m);
+            let ra = bare.measure(Volts::new(11.0), Amps::new(3.0));
+            let rb = wrapped.measure(Volts::new(11.0), Amps::new(3.0));
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn armed_wrapper_applies_injection() {
+        let mut plan = faults::FaultPlan::new("t", 0);
+        plan.schedule(faults::ScheduledFault {
+            start_minute: 5,
+            end_minute: 10,
+            kind: faults::FaultKind::SensorDropout,
+        })
+        .unwrap();
+        let injector = faults::SensorInjector::new(&plan);
+        let mut s = FaultedIvSensor::armed(IvSensor::ideal(), injector);
+        s.set_minute(0);
+        let (v, _) = s.measure(Volts::new(10.0), Amps::new(1.0));
+        assert_eq!(v, Volts::new(10.0));
+        s.set_minute(7);
+        let (v, i) = s.measure(Volts::new(10.0), Amps::new(1.0));
+        assert!(v.get().is_nan() && i.get().is_nan());
     }
 
     #[test]

@@ -246,7 +246,14 @@ mod tests {
 
     fn sample_cell() -> CellParams {
         // A plausible polycrystalline cell: Isc ≈ 5.4 A, I0 ≈ 5 nA.
-        CellParams::new(Amps::new(5.4), Amps::new(5.0e-9), 1.3, Ohms::new(0.006), 0.003).unwrap()
+        CellParams::new(
+            Amps::new(5.4),
+            Amps::new(5.0e-9),
+            1.3,
+            Ohms::new(0.006),
+            0.003,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -264,8 +271,17 @@ mod tests {
     #[test]
     fn rejects_bad_ideality_and_resistance() {
         assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 0.1, Ohms::ZERO, 0.0).is_err());
-        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, Ohms::new(-0.1), 0.0).is_err());
-        assert!(CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, Ohms::new(f64::NAN), 0.0).is_err());
+        assert!(
+            CellParams::new(Amps::new(5.0), Amps::new(1e-9), 1.3, Ohms::new(-0.1), 0.0).is_err()
+        );
+        assert!(CellParams::new(
+            Amps::new(5.0),
+            Amps::new(1e-9),
+            1.3,
+            Ohms::new(f64::NAN),
+            0.0
+        )
+        .is_err());
     }
 
     #[test]

@@ -135,9 +135,14 @@ impl Datasheet {
         if !(rs.is_finite() && rs >= 0.0) {
             return None;
         }
-        let cell =
-            CellParams::new(Amps::new(iph), Amps::new(i0), n, Ohms::new(rs), self.isc_temp_coeff)
-                .ok()?;
+        let cell = CellParams::new(
+            Amps::new(iph),
+            Amps::new(i0),
+            n,
+            Ohms::new(rs),
+            self.isc_temp_coeff,
+        )
+        .ok()?;
         PvModule::new(self.name.clone(), cell, self.cells_series, 1).ok()
     }
 }

@@ -124,7 +124,9 @@ fn eviction_churn_stays_bit_identical() {
     // Deterministic pseudo-random probe stream (LCG; no ambient RNG).
     let mut state: u64 = 0x5eed_cafe_f00d_0001;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 11) as f64 / (1u64 << 53) as f64
     };
     let mut probes = Vec::new();

@@ -203,7 +203,9 @@ mod tests {
     fn sunny_day_simulation_is_consistent() {
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::phoenix_az(), Season::Apr, 0);
-        let result = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::h1(), 42).unwrap();
+        let result = BatterySystem::upper_bound()
+            .simulate_day(&array, &trace, &Mix::h1(), 42)
+            .unwrap();
         assert!((result.utilization() - 0.92).abs() < 1e-9);
         assert!(result.instructions > 0.0);
         assert!(result.powered_minutes > 0.0);
@@ -214,8 +216,12 @@ mod tests {
     fn upper_bound_beats_lower_bound() {
         let array = PvArray::solarcore_default();
         let trace = EnvTrace::generate(&Site::golden_co(), Season::Jul, 1);
-        let hi = BatterySystem::upper_bound().simulate_day(&array, &trace, &Mix::hm2(), 7).unwrap();
-        let lo = BatterySystem::lower_bound().simulate_day(&array, &trace, &Mix::hm2(), 7).unwrap();
+        let hi = BatterySystem::upper_bound()
+            .simulate_day(&array, &trace, &Mix::hm2(), 7)
+            .unwrap();
+        let lo = BatterySystem::lower_bound()
+            .simulate_day(&array, &trace, &Mix::hm2(), 7)
+            .unwrap();
         assert!(hi.instructions > lo.instructions);
         assert!(hi.stored > lo.stored);
         // Roughly proportional to the energy ratio.

@@ -21,15 +21,16 @@ use std::rc::Rc;
 
 use archsim::MultiCoreChip;
 use powertrain::{
-    solve_operating_point, solve_operating_point_traced, DcDcConverter, IvSensor, LoadModel,
-    OperatingPoint, SolveStats,
+    solve_operating_point, solve_operating_point_traced, DcDcConverter, FaultedIvSensor, IvSensor,
+    LoadModel, OperatingPoint, SolveStats,
 };
 use pv::cell::CellEnv;
 use pv::generator::PvGenerator;
-use pv::units::Ohms;
+use pv::units::{Amps, Ohms, Volts};
 
 use crate::adapter::LoadTuner;
 use crate::config::ControllerConfig;
+use crate::degrade::{DegradeConfig, FaultDetector, ProbeFault};
 use crate::error::CoreError;
 use crate::invariants;
 
@@ -79,7 +80,12 @@ pub struct TrackReport {
 #[derive(Debug, Clone)]
 pub struct SolarCoreController {
     config: ControllerConfig,
-    sensor: IvSensor,
+    sensor: FaultedIvSensor,
+    /// When present, every reading the controller acts on is screened
+    /// against the model-based plausibility window (reject / re-sample /
+    /// hold-last-good). `None` keeps `observe` on the original unscreened
+    /// path, bit-identical to a detector-free controller.
+    detector: Option<FaultDetector>,
     /// When attached, every operating-point solve is tallied here (solves,
     /// PV evaluations, Newton iterations) for the telemetry stream. Solves
     /// are bit-identical with or without it.
@@ -106,14 +112,56 @@ impl SolarCoreController {
     /// Returns [`CoreError::InvalidConfig`] if the configuration fails
     /// [`ControllerConfig::validate`].
     pub fn with_sensor(config: ControllerConfig, sensor: IvSensor) -> Result<Self, CoreError> {
+        Self::with_faulted_sensor(config, FaultedIvSensor::transparent(sensor))
+    }
+
+    /// Builds a controller on a [`FaultedIvSensor`] — a sensor wrapped with
+    /// an (optionally armed) chaos-scenario fault injector. With a
+    /// transparent wrapper this is exactly [`with_sensor`](Self::with_sensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration fails
+    /// [`ControllerConfig::validate`].
+    pub fn with_faulted_sensor(
+        config: ControllerConfig,
+        sensor: FaultedIvSensor,
+    ) -> Result<Self, CoreError> {
         config
             .validate()
             .map_err(|reason| CoreError::InvalidConfig { reason })?;
         Ok(Self {
             config,
             sensor,
+            detector: None,
             solve_stats: None,
         })
+    }
+
+    /// Arms plausibility-window fault detection: from now on every reading
+    /// `observe` forwards is screened (reject / bounded re-sample /
+    /// hold-last-good) and [`health_probe`](Self::health_probe) becomes
+    /// meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `config` fails
+    /// [`DegradeConfig::validate`].
+    pub fn enable_detection(&mut self, config: DegradeConfig) -> Result<(), CoreError> {
+        self.detector = Some(FaultDetector::new(config)?);
+        Ok(())
+    }
+
+    /// The armed fault detector, if [`enable_detection`](Self::enable_detection)
+    /// was called (for reject/retry counters).
+    pub fn detector(&self) -> Option<&FaultDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Advances the sensor wrapper's fault-injection clock (no-op for a
+    /// transparent wrapper).
+    pub fn set_sensor_minute(&mut self, minute: u32) {
+        self.sensor.set_minute(minute);
     }
 
     /// The active configuration.
@@ -139,10 +187,47 @@ impl SolarCoreController {
         chip: &MultiCoreChip,
     ) -> OperatingPoint {
         let mut op = self.solve(array, env, converter, chip);
+        let expected = (op.output_voltage.get(), op.output_current.get());
         let (v, i) = self.sensor.measure(op.output_voltage, op.output_current);
-        op.output_voltage = v;
-        op.output_current = i;
+        match self.detector.as_mut() {
+            None => {
+                op.output_voltage = v;
+                op.output_current = i;
+            }
+            Some(detector) => {
+                // Disjoint field borrow: the re-sample closure needs the
+                // sensor while the detector screens.
+                let sensor = &mut self.sensor;
+                let (sv, si) = detector.screen((v.get(), i.get()), expected, || {
+                    let (rv, ri) = sensor.measure(Volts::new(expected.0), Amps::new(expected.1));
+                    (rv.get(), ri.get())
+                });
+                op.output_voltage = Volts::new(sv);
+                op.output_current = Amps::new(si);
+            }
+        }
         op
+    }
+
+    /// One per-minute sensing health probe: solves the modeled operating
+    /// point, takes a single sensor reading and asks the detector whether
+    /// it is faulty (and why). Returns `None` both for clean readings and
+    /// when detection is not armed. The probed reading is evaluated, not
+    /// forwarded.
+    pub fn health_probe(
+        &mut self,
+        array: &dyn PvGenerator,
+        env: CellEnv,
+        converter: &DcDcConverter,
+        chip: &MultiCoreChip,
+    ) -> Option<ProbeFault> {
+        self.detector.as_ref()?;
+        let op = self.solve(array, env, converter, chip);
+        let expected = (op.output_voltage.get(), op.output_current.get());
+        let (v, i) = self.sensor.measure(op.output_voltage, op.output_current);
+        self.detector
+            .as_mut()
+            .and_then(|detector| detector.probe((v.get(), i.get()), expected))
     }
 
     /// Solves the present electrical operating point: the chip (at its

@@ -1,0 +1,530 @@
+//! Graceful degradation: sensor-fault detection, hold-last-good reading
+//! screening and the MPPT → conservative-budget fallback state machine
+//! (DESIGN.md §17).
+//!
+//! SolarCore's MPPT loop steers entirely by its I/V sensors; one stuck or
+//! dropped-out sensor corrupts every perturbation decision. The hardening
+//! layered here follows the degraded-mode playbook of utility-scale PV
+//! setpoint trackers: *screen* every reading against a model-based
+//! plausibility window (reject, re-sample with bounded retry, hold the last
+//! good value), *trip* into a conservative Fixed-Power-style fallback
+//! budget when detection confidence collapses, and *re-enter* MPPT only
+//! after a hysteresis dwell so marginal sensors cannot make the controller
+//! oscillate between modes.
+
+use pv::units::{Amps, Volts, Watts};
+
+use crate::error::CoreError;
+
+/// Tolerance for "the modeled truth moved" in the stuck-sensor heuristic.
+const TRUTH_MOTION_EPS: f64 = 1e-9;
+
+/// Configuration for fault detection and the degradation state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeConfig {
+    /// Relative half-width of the plausibility window around the modeled
+    /// reading (e.g. `0.25` accepts measurements within ±25 %).
+    pub relative_window: f64,
+    /// Absolute voltage window floor, so near-zero expected voltages keep
+    /// a usable acceptance band.
+    pub voltage_floor: Volts,
+    /// Absolute current window floor, mirroring `voltage_floor`.
+    pub current_floor: Amps,
+    /// Re-sample attempts per screened reading before holding last-good.
+    pub max_retries: u32,
+    /// Consecutive faulty health probes before tripping into degraded mode.
+    pub trip_threshold: u32,
+    /// Consecutive clean health probes required to re-enter MPPT.
+    pub reentry_dwell: u32,
+    /// Minimum minutes to remain degraded once tripped (oscillation bound).
+    pub min_degraded_minutes: u32,
+    /// Fraction of the last known-good power used as the fallback budget.
+    pub fallback_fraction: f64,
+    /// Fallback budget floor when no good power was ever observed — the
+    /// paper's lowest fixed budget keeps the chip alive without trusting
+    /// the sensors.
+    pub fallback_floor: Watts,
+}
+
+impl DegradeConfig {
+    /// Defaults tuned for the paper's operating ranges: a ±25 % window
+    /// (wide enough that 2 % sensor noise never false-trips), one retry,
+    /// a 3-probe trip, 5-probe re-entry dwell and a 10-minute residence
+    /// floor.
+    pub fn paper_defaults() -> Self {
+        Self {
+            relative_window: 0.25,
+            voltage_floor: Volts::new(1.0),
+            current_floor: Amps::new(0.5),
+            max_retries: 1,
+            trip_threshold: 3,
+            reentry_dwell: 5,
+            min_degraded_minutes: 10,
+            fallback_fraction: 0.6,
+            fallback_floor: Watts::new(25.0),
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.relative_window > 0.0 && self.relative_window.is_finite()) {
+            return Err("relative_window must be positive and finite");
+        }
+        if !(self.voltage_floor.get() > 0.0 && self.voltage_floor.is_finite()) {
+            return Err("voltage_floor must be positive and finite");
+        }
+        if !(self.current_floor.get() > 0.0 && self.current_floor.is_finite()) {
+            return Err("current_floor must be positive and finite");
+        }
+        if self.trip_threshold == 0 {
+            return Err("trip_threshold must be at least 1");
+        }
+        if self.reentry_dwell == 0 {
+            return Err("reentry_dwell must be at least 1");
+        }
+        if !(self.fallback_fraction > 0.0 && self.fallback_fraction <= 1.0) {
+            return Err("fallback_fraction must lie in (0, 1]");
+        }
+        if !(self.fallback_floor.get() > 0.0 && self.fallback_floor.is_finite()) {
+            return Err("fallback_floor must be positive and finite");
+        }
+        Ok(())
+    }
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Screens sensor readings against a model-based plausibility window.
+///
+/// The detector is pure bookkeeping over the reading stream — it never
+/// touches the sensor itself; callers hand it a re-sample closure so the
+/// bounded-retry policy stays in one place.
+#[derive(Debug, Clone)]
+pub struct FaultDetector {
+    config: DegradeConfig,
+    last_good: Option<(f64, f64)>,
+    prev_measured: Option<(f64, f64)>,
+    prev_expected: Option<(f64, f64)>,
+    rejects: u64,
+    retries: u64,
+}
+
+impl FaultDetector {
+    /// Builds a detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `config` fails
+    /// [`DegradeConfig::validate`].
+    pub fn new(config: DegradeConfig) -> Result<Self, CoreError> {
+        config
+            .validate()
+            .map_err(|reason| CoreError::InvalidConfig { reason })?;
+        Ok(Self {
+            config,
+            last_good: None,
+            prev_measured: None,
+            prev_expected: None,
+            rejects: 0,
+            retries: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DegradeConfig {
+        &self.config
+    }
+
+    /// Total readings rejected (screened out or probe-flagged).
+    pub fn reject_count(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Total re-sample attempts issued.
+    pub fn retry_count(&self) -> u64 {
+        self.retries
+    }
+
+    /// `true` when `measured` is implausible against the modeled
+    /// `expected` pair: non-finite, negative, or outside the relative
+    /// window (with absolute floors).
+    pub fn implausible(&self, measured: (f64, f64), expected: (f64, f64)) -> bool {
+        let (mv, mi) = measured;
+        let (ev, ei) = expected;
+        if !(mv.is_finite() && mi.is_finite()) || mv < 0.0 || mi < 0.0 {
+            return true;
+        }
+        let v_window =
+            (self.config.relative_window * ev.abs()).max(self.config.voltage_floor.get());
+        let i_window =
+            (self.config.relative_window * ei.abs()).max(self.config.current_floor.get());
+        (mv - ev).abs() > v_window || (mi - ei).abs() > i_window
+    }
+
+    /// The stuck-sensor heuristic: the measured pair repeated bit-for-bit
+    /// while the modeled truth moved more than [`TRUTH_MOTION_EPS`]. An
+    /// in-window frozen reading escapes the plausibility test; this
+    /// catches it.
+    fn looks_stuck(&self, measured: (f64, f64), expected: (f64, f64)) -> bool {
+        match (self.prev_measured, self.prev_expected) {
+            (Some(pm), Some(pe)) => {
+                let frozen = measured.0.to_bits() == pm.0.to_bits()
+                    && measured.1.to_bits() == pm.1.to_bits();
+                let truth_moved = (expected.0 - pe.0).abs() > TRUTH_MOTION_EPS
+                    || (expected.1 - pe.1).abs() > TRUTH_MOTION_EPS;
+                frozen && truth_moved
+            }
+            _ => false,
+        }
+    }
+
+    /// Records the `(measured, expected)` pair for the stuck heuristic.
+    fn remember(&mut self, measured: (f64, f64), expected: (f64, f64)) {
+        self.prev_measured = Some(measured);
+        self.prev_expected = Some(expected);
+    }
+
+    /// Screens one reading: accept it, or re-sample up to
+    /// `max_retries` times, or fall back to the last good reading (the
+    /// modeled value when no good reading exists yet). The returned pair
+    /// is always finite and non-negative.
+    pub fn screen<F: FnMut() -> (f64, f64)>(
+        &mut self,
+        measured: (f64, f64),
+        expected: (f64, f64),
+        mut resample: F,
+    ) -> (f64, f64) {
+        let mut reading = measured;
+        let mut faulty = self.implausible(reading, expected) || self.looks_stuck(reading, expected);
+        if faulty {
+            for _ in 0..self.config.max_retries {
+                self.retries += 1;
+                reading = resample();
+                faulty = self.implausible(reading, expected) || self.looks_stuck(reading, expected);
+                if !faulty {
+                    break;
+                }
+            }
+        }
+        self.remember(reading, expected);
+        if faulty {
+            self.rejects += 1;
+            let held = self.last_good.unwrap_or(expected);
+            (held.0.max(0.0), held.1.max(0.0))
+        } else {
+            self.last_good = Some(reading);
+            reading
+        }
+    }
+
+    /// Evaluates one health-probe reading without forwarding it, returning
+    /// why it was faulty (or `None` when clean). Probes share the
+    /// stuck-heuristic history with [`screen`](Self::screen) and count
+    /// rejected probes in [`reject_count`](Self::reject_count).
+    pub fn probe(&mut self, measured: (f64, f64), expected: (f64, f64)) -> Option<ProbeFault> {
+        let fault = if self.implausible(measured, expected) {
+            Some(ProbeFault::Implausible)
+        } else if self.looks_stuck(measured, expected) {
+            Some(ProbeFault::Stuck)
+        } else {
+            None
+        };
+        self.remember(measured, expected);
+        if fault.is_some() {
+            self.rejects += 1;
+        } else {
+            self.last_good = Some(measured);
+        }
+        fault
+    }
+}
+
+/// Why a health probe flagged a reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeFault {
+    /// Outside the model-based plausibility window (or non-finite /
+    /// negative).
+    Implausible,
+    /// Bit-identical to the previous reading while the modeled truth
+    /// moved.
+    Stuck,
+}
+
+impl ProbeFault {
+    /// The telemetry label for this fault class.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProbeFault::Implausible => "implausible",
+            ProbeFault::Stuck => "stuck",
+        }
+    }
+}
+
+/// What one [`DegradationFsm::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmTransition {
+    /// No mode change this minute.
+    None,
+    /// Tripped from MPPT into the degraded fallback mode.
+    Entered,
+    /// Re-entered MPPT after the hysteresis dwell.
+    Exited,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Normal,
+    Degraded { entered_at: u32 },
+}
+
+/// The MPPT ⇄ degraded-fallback state machine with re-entry hysteresis.
+#[derive(Debug, Clone)]
+pub struct DegradationFsm {
+    config: DegradeConfig,
+    mode: Mode,
+    consecutive_faulty: u32,
+    consecutive_clean: u32,
+    last_good_power: Option<Watts>,
+    enters: u64,
+}
+
+impl DegradationFsm {
+    /// Builds the state machine (starts in normal MPPT mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `config` fails
+    /// [`DegradeConfig::validate`].
+    pub fn new(config: DegradeConfig) -> Result<Self, CoreError> {
+        config
+            .validate()
+            .map_err(|reason| CoreError::InvalidConfig { reason })?;
+        Ok(Self {
+            config,
+            mode: Mode::Normal,
+            consecutive_faulty: 0,
+            consecutive_clean: 0,
+            last_good_power: None,
+            enters: 0,
+        })
+    }
+
+    /// `true` while operating on the conservative fallback budget.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.mode, Mode::Degraded { .. })
+    }
+
+    /// How many times the machine tripped into degraded mode.
+    pub fn enter_count(&self) -> u64 {
+        self.enters
+    }
+
+    /// Records a trusted post-tracking output power (the fallback anchor).
+    pub fn note_good_power(&mut self, power: Watts) {
+        if power.is_finite() && power.get() > 0.0 {
+            self.last_good_power = Some(power);
+        }
+    }
+
+    /// Advances the machine one health probe and returns the transition,
+    /// if any. `minute` must be non-decreasing across calls.
+    pub fn step(&mut self, minute: u32, faulty: bool) -> FsmTransition {
+        match self.mode {
+            Mode::Normal => {
+                if faulty {
+                    self.consecutive_faulty += 1;
+                    if self.consecutive_faulty >= self.config.trip_threshold {
+                        self.mode = Mode::Degraded { entered_at: minute };
+                        self.consecutive_faulty = 0;
+                        self.consecutive_clean = 0;
+                        self.enters += 1;
+                        return FsmTransition::Entered;
+                    }
+                } else {
+                    self.consecutive_faulty = 0;
+                }
+                FsmTransition::None
+            }
+            Mode::Degraded { entered_at } => {
+                if faulty {
+                    self.consecutive_clean = 0;
+                } else {
+                    self.consecutive_clean += 1;
+                }
+                let dwelled = self.consecutive_clean >= self.config.reentry_dwell;
+                let resided = minute.saturating_sub(entered_at) >= self.config.min_degraded_minutes;
+                if dwelled && resided {
+                    self.mode = Mode::Normal;
+                    self.consecutive_faulty = 0;
+                    self.consecutive_clean = 0;
+                    return FsmTransition::Exited;
+                }
+                FsmTransition::None
+            }
+        }
+    }
+
+    /// The conservative fallback budget: a fraction of the last known-good
+    /// output power (or the configured floor before any good observation),
+    /// never exceeding the currently measured potential. Always finite and
+    /// non-negative.
+    pub fn fallback_budget(&self, measured_potential: Watts) -> Watts {
+        let anchor = self
+            .last_good_power
+            .filter(|p| p.is_finite() && p.get() > 0.0)
+            .unwrap_or(self.config.fallback_floor);
+        let budget = anchor * self.config.fallback_fraction;
+        let potential = if measured_potential.is_finite() {
+            measured_potential.max(Watts::ZERO)
+        } else {
+            Watts::ZERO
+        };
+        budget.min(potential).max(Watts::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(DegradeConfig::paper_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        let mut c = DegradeConfig::paper_defaults();
+        c.relative_window = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DegradeConfig::paper_defaults();
+        c.trip_threshold = 0;
+        assert!(c.validate().is_err());
+        let mut c = DegradeConfig::paper_defaults();
+        c.fallback_fraction = 1.5;
+        assert!(c.validate().is_err());
+        assert!(FaultDetector::new(c).is_err());
+        assert!(DegradationFsm::new(c).is_err());
+    }
+
+    #[test]
+    fn plausible_readings_pass_through() {
+        let mut d = FaultDetector::new(DegradeConfig::paper_defaults()).unwrap();
+        let out = d.screen((12.1, 8.2), (12.0, 8.0), || (12.1, 8.2));
+        assert_eq!(out, (12.1, 8.2));
+        assert_eq!(d.reject_count(), 0);
+    }
+
+    #[test]
+    fn nan_readings_are_never_forwarded() {
+        let mut d = FaultDetector::new(DegradeConfig::paper_defaults()).unwrap();
+        // Establish a good reading first.
+        d.screen((12.0, 8.0), (12.0, 8.0), || (12.0, 8.0));
+        let out = d.screen((f64::NAN, f64::NAN), (11.0, 7.0), || (f64::NAN, f64::NAN));
+        assert!(out.0.is_finite() && out.1.is_finite());
+        assert_eq!(out, (12.0, 8.0)); // held last good
+        assert_eq!(d.reject_count(), 1);
+        assert_eq!(d.retry_count(), 1);
+    }
+
+    #[test]
+    fn retry_can_rescue_a_glitch() {
+        let mut d = FaultDetector::new(DegradeConfig::paper_defaults()).unwrap();
+        let mut calls = 0;
+        let out = d.screen((40.0, 0.1), (12.0, 8.0), || {
+            calls += 1;
+            (12.0, 8.0)
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out, (12.0, 8.0));
+        assert_eq!(d.reject_count(), 0, "rescued reading is not a reject");
+        assert_eq!(d.retry_count(), 1);
+    }
+
+    #[test]
+    fn hold_last_good_falls_back_to_expected_when_cold() {
+        let mut d = FaultDetector::new(DegradeConfig::paper_defaults()).unwrap();
+        let out = d.screen((f64::INFINITY, -3.0), (12.0, 8.0), || (f64::INFINITY, -3.0));
+        assert_eq!(out, (12.0, 8.0));
+    }
+
+    #[test]
+    fn stuck_in_window_readings_are_caught() {
+        let mut d = FaultDetector::new(DegradeConfig::paper_defaults()).unwrap();
+        // A frozen reading that stays inside the plausibility window.
+        assert_eq!(d.probe((12.0, 8.0), (12.0, 8.0)), None);
+        // Truth moves, measurement does not: stuck.
+        assert_eq!(d.probe((12.0, 8.0), (11.0, 7.4)), Some(ProbeFault::Stuck));
+        assert_eq!(d.reject_count(), 1);
+        // Way-out readings are classed implausible, not stuck.
+        assert_eq!(
+            d.probe((40.0, 0.0), (11.0, 7.4)),
+            Some(ProbeFault::Implausible)
+        );
+        assert_eq!(ProbeFault::Stuck.label(), "stuck");
+        assert_eq!(ProbeFault::Implausible.label(), "implausible");
+    }
+
+    #[test]
+    fn fsm_trips_after_threshold_and_dwells() {
+        let cfg = DegradeConfig {
+            trip_threshold: 3,
+            reentry_dwell: 2,
+            min_degraded_minutes: 5,
+            ..DegradeConfig::paper_defaults()
+        };
+        let mut fsm = DegradationFsm::new(cfg).unwrap();
+        assert_eq!(fsm.step(0, true), FsmTransition::None);
+        assert_eq!(fsm.step(1, true), FsmTransition::None);
+        assert_eq!(fsm.step(2, true), FsmTransition::Entered);
+        assert!(fsm.is_degraded());
+        // Clean probes satisfy the dwell but not the residence floor.
+        assert_eq!(fsm.step(3, false), FsmTransition::None);
+        assert_eq!(fsm.step(4, false), FsmTransition::None);
+        assert_eq!(fsm.step(5, false), FsmTransition::None);
+        assert_eq!(fsm.step(6, false), FsmTransition::None);
+        // Residence satisfied at minute 7 (entered at 2, floor 5).
+        assert_eq!(fsm.step(7, false), FsmTransition::Exited);
+        assert!(!fsm.is_degraded());
+        assert_eq!(fsm.enter_count(), 1);
+    }
+
+    #[test]
+    fn single_glitches_do_not_trip() {
+        let mut fsm = DegradationFsm::new(DegradeConfig::paper_defaults()).unwrap();
+        for m in 0..100 {
+            // Alternating faulty/clean never reaches the 3-in-a-row trip.
+            assert_eq!(fsm.step(m, m % 2 == 0), FsmTransition::None);
+        }
+        assert_eq!(fsm.enter_count(), 0);
+    }
+
+    #[test]
+    fn fallback_budget_is_feasible_and_finite() {
+        let mut fsm = DegradationFsm::new(DegradeConfig::paper_defaults()).unwrap();
+        // Cold: floor-anchored.
+        let b = fsm.fallback_budget(Watts::new(100.0));
+        assert!((b.get() - 0.6 * 25.0).abs() < 1e-12);
+        // Anchored to last good power.
+        fsm.note_good_power(Watts::new(80.0));
+        let b = fsm.fallback_budget(Watts::new(100.0));
+        assert!((b.get() - 48.0).abs() < 1e-12);
+        // Clamped by measured potential.
+        let b = fsm.fallback_budget(Watts::new(10.0));
+        assert_eq!(b, Watts::new(10.0));
+        // NaN potential sanitizes to zero.
+        let b = fsm.fallback_budget(Watts::new(f64::NAN));
+        assert_eq!(b, Watts::ZERO);
+        // NaN good power is ignored.
+        fsm.note_good_power(Watts::new(f64::NAN));
+        assert!((fsm.fallback_budget(Watts::new(100.0)).get() - 48.0).abs() < 1e-12);
+    }
+}

@@ -9,8 +9,11 @@
 
 use std::rc::Rc;
 
-use archsim::{CoreId, MultiCoreChip, VfLevel};
-use powertrain::{AutomaticTransferSwitch, DcDcConverter, IvSensor, PowerSource, SolveStats};
+use archsim::{AvailabilityMask, CoreId, MultiCoreChip, VfLevel};
+use faults::{AtsOverride, CoreConstraint, FaultPlan, SensorInjector};
+use powertrain::{
+    AutomaticTransferSwitch, DcDcConverter, FaultedIvSensor, IvSensor, PowerSource, SolveStats,
+};
 use pv::generator::PvGenerator;
 use pv::units::{Volts, WattHours, Watts};
 use solarenv::{EnvTrace, Season, Site};
@@ -20,6 +23,7 @@ use workloads::{Mix, PhaseTrace};
 use crate::adapter::LoadTuner;
 use crate::config::ControllerConfig;
 use crate::controller::{SolarCoreController, TrackingRig};
+use crate::degrade::{DegradationFsm, DegradeConfig, FsmTransition};
 use crate::error::CoreError;
 use crate::invariants;
 use crate::metrics;
@@ -103,6 +107,8 @@ pub struct DaySimulation {
     sensor: IvSensor,
     solver_cache: bool,
     telemetry: Telemetry,
+    fault_plan: Option<FaultPlan>,
+    degrade: Option<DegradeConfig>,
 }
 
 /// Builder for [`DaySimulation`].
@@ -121,6 +127,8 @@ pub struct DaySimulationBuilder {
     sensor: IvSensor,
     solver_cache: bool,
     telemetry: Telemetry,
+    fault_plan: Option<FaultPlan>,
+    degrade: Option<DegradeConfig>,
 }
 
 /// Reusable per-`(site, season, day, mix)` state of a day simulation: the
@@ -140,6 +148,11 @@ pub struct SimSetup {
     season: Season,
     day: u32,
     mix_name: &'static str,
+    /// Digest of the fault plan the trace was prepared under
+    /// ([`FaultPlan::digest`]; `0` when disarmed) — irradiance faults are
+    /// baked into the trace at prepare time, so a setup must not be
+    /// replayed under a different plan.
+    faults_digest: u64,
     trace: EnvTrace,
     phases: Vec<PhaseTrace>,
     cache: pv::ArrayCache,
@@ -176,6 +189,8 @@ impl DaySimulation {
             sensor: IvSensor::ideal(),
             solver_cache: true,
             telemetry: Telemetry::disabled(),
+            fault_plan: None,
+            degrade: None,
         }
     }
 
@@ -201,7 +216,15 @@ impl DaySimulation {
     /// workload phases — and allocates a fresh PV solver memo, for reuse
     /// across [`Self::run_prepared`] calls.
     pub fn prepare(&self) -> SimSetup {
-        let trace = EnvTrace::generate(&self.site, self.season, self.day);
+        let mut trace = EnvTrace::generate(&self.site, self.season, self.day);
+        if let Some(plan) = &self.fault_plan {
+            if plan.has_irradiance_faults() {
+                // Environmental transients are a property of the day, not
+                // of the control loop: bake them into the trace once so
+                // every policy of a batch sees the same clouded sky.
+                trace.scale_irradiance(|minute| plan.irradiance_factor_at(minute));
+            }
+        }
         let minutes = trace.samples().len();
         let seed = phase_seed(&self.site, self.season, self.day);
         let phases = PhaseTrace::for_mix(&self.mix, seed, minutes);
@@ -210,10 +233,17 @@ impl DaySimulation {
             season: self.season,
             day: self.day,
             mix_name: self.mix.name(),
+            faults_digest: self.faults_digest(),
             trace,
             phases,
             cache: pv::ArrayCache::new(),
         }
+    }
+
+    /// Digest of the armed fault plan (`0` when disarmed), the tag that
+    /// binds a [`SimSetup`] to the plan it was prepared under.
+    fn faults_digest(&self) -> u64 {
+        self.fault_plan.as_ref().map_or(0, FaultPlan::digest)
     }
 
     /// Runs the day against a previously [`Self::prepare`]d setup, skipping
@@ -232,6 +262,11 @@ impl DaySimulation {
         {
             return Err(CoreError::InvalidConfig {
                 reason: "SimSetup was prepared for a different (site, season, day, mix)",
+            });
+        }
+        if setup.faults_digest != self.faults_digest() {
+            return Err(CoreError::InvalidConfig {
+                reason: "SimSetup was prepared under a different fault plan",
             });
         }
         let trace = &setup.trace;
@@ -263,8 +298,33 @@ impl DaySimulation {
         };
         let solve_stats = Rc::new(SolveStats::new());
 
-        let mut controller =
-            SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone())?;
+        // Chaos seams. An armed fault plan routes the controller's sensing
+        // through an injecting wrapper and (like an explicit `degrade`
+        // override) arms plausibility-window detection plus the
+        // MPPT ⇄ fallback state machine. All seams keep an exact disarmed
+        // fast path, so a run without a plan is bit-identical to the
+        // pre-seam engine (the determinism harness pins that hash).
+        let plan = self.fault_plan.as_ref();
+        let mut controller = match plan {
+            Some(plan) if plan.has_sensor_faults() => SolarCoreController::with_faulted_sensor(
+                self.config.clone(),
+                FaultedIvSensor::armed(self.sensor.clone(), SensorInjector::new(plan)),
+            )?,
+            _ => SolarCoreController::with_sensor(self.config.clone(), self.sensor.clone())?,
+        };
+        let degrade_config = self
+            .degrade
+            .or_else(|| plan.map(|_| DegradeConfig::paper_defaults()));
+        let mut fsm = match degrade_config {
+            Some(config) => {
+                controller.enable_detection(config)?;
+                Some(DegradationFsm::new(config)?)
+            }
+            None => None,
+        };
+        let mut degrade_entered_minute: u32 = 0;
+        let base_efficiency = self.converter.efficiency();
+        let mut current_derate = 1.0_f64;
         if tel.is_enabled() {
             controller.set_solve_stats(Rc::clone(&solve_stats));
             tel.set_minute(setup.trace.samples().first().map_or(0, |s| s.minute_of_day));
@@ -296,9 +356,40 @@ impl DaySimulation {
         let mut records = Vec::with_capacity(trace.samples().len());
         for (t, sample) in trace.samples().iter().enumerate() {
             tel.set_minute(sample.minute_of_day);
+            let minute = sample.minute_of_day;
+            if let Some(plan) = plan {
+                controller.set_sensor_minute(minute);
+                if plan.has_core_faults() {
+                    // Gate lost cores and clamp throttled ones before the
+                    // minute executes; later budget allocations re-apply
+                    // the mask (it only ever gates or slows, so a masked
+                    // chip never exceeds an allocated budget).
+                    enforce_plan_mask(plan, minute, &mut chip)?;
+                }
+                let derate = plan.converter_derate_at(minute);
+                #[allow(clippy::float_cmp)] // exact 1.0/derate comparison is the disarmed fast path
+                if derate != current_derate {
+                    // Rebuild at the same ratio with the derated conversion
+                    // efficiency; any queued lag commands are dropped (the
+                    // degraded regulator restarts its command pipeline).
+                    converter = DcDcConverter::new(
+                        converter.ratio(),
+                        self.converter.ratio_range().0,
+                        self.converter.ratio_range().1,
+                        self.converter.ratio_step(),
+                        base_efficiency * derate,
+                    )?;
+                    current_derate = derate;
+                }
+                converter.set_actuator_lag(plan.actuator_lag_at(minute));
+            }
             let env = sample.cell_env();
             let budget = array.mpp(env).power;
-            let source = ats.update(budget);
+            let source = match plan.and_then(|p| p.ats_override_at(minute)) {
+                Some(AtsOverride::ForceUtility) => ats.force(PowerSource::Utility),
+                Some(AtsOverride::ForceSolar) => ats.force(PowerSource::Solar),
+                None => ats.update(budget),
+            };
 
             if source != prev_source {
                 match source {
@@ -331,6 +422,12 @@ impl DaySimulation {
                     Policy::FixedPower(budget_cap) => {
                         if force_track || t % self.config.tracking_interval_minutes as usize == 0 {
                             let moves = allocate_budget(&mut chip, budget_cap)?;
+                            if let Some(plan) = plan.filter(|p| p.has_core_faults()) {
+                                // The fill ungates everything; re-impose
+                                // the availability mask (monotone: only
+                                // gates or slows, so the budget holds).
+                                enforce_plan_mask(plan, minute, &mut chip)?;
+                            }
                             force_track = false;
                             if tel.is_enabled() {
                                 instruments.tpr_moves.record(u64::from(moves));
@@ -345,57 +442,138 @@ impl DaySimulation {
                         }
                         (chip.total_power().min(budget_cap), vdd)
                     }
-                    Policy::MpptIc
-                    | Policy::MpptRr
-                    | Policy::MpptOpt
-                    | Policy::MpptChipWide => {
-                        let forced = force_track;
-                        let op = controller.solve(array, env, &converter, &chip);
-                        if force_track
-                            || t % self.config.tracking_interval_minutes as usize == 0
-                            || controller.needs_retrack(&op)
-                        {
-                            let report = controller.track(&mut TrackingRig {
-                                array,
-                                env,
-                                converter: &mut converter,
-                                chip: &mut chip,
-                                tuner: &mut tuner,
-                            })?;
-                            force_track = false;
-                            if tel.is_enabled() {
-                                instruments.track_rounds.record(u64::from(report.rounds));
-                                instruments.track_actions.record(u64::from(report.actions));
-                                instruments
-                                    .track_reversals
-                                    .record(u64::from(report.reversals));
-                                tel.span(
-                                    schema::SPAN_TRACK,
-                                    sample.minute_of_day,
-                                    vec![
-                                        field(schema::ROUNDS, report.rounds),
-                                        field(schema::ACTIONS, report.actions),
-                                        field(schema::REVERSALS, report.reversals),
-                                        field(schema::FINAL_POWER_W, report.final_output_power),
-                                        field(schema::RATIO_K, report.final_ratio),
-                                        field(schema::FORCED, forced),
-                                    ],
-                                )?;
+                    Policy::MpptIc | Policy::MpptRr | Policy::MpptOpt | Policy::MpptChipWide => {
+                        // Sensing health probe + degradation state machine
+                        // (armed runs only; `fsm` is `None` otherwise).
+                        let mut probe_clean = false;
+                        let mut degraded = false;
+                        if let Some(fsm) = fsm.as_mut() {
+                            let fault = controller.health_probe(array, env, &converter, &chip);
+                            probe_clean = fault.is_none();
+                            if let Some(fault) = fault {
+                                if tel.is_enabled() {
+                                    let (rejects, retries) = detector_counts(&controller);
+                                    tel.event(
+                                        schema::EVENT_FAULT_REJECT,
+                                        vec![
+                                            field(schema::REASON, fault.label()),
+                                            field(schema::REJECTS, rejects),
+                                            field(schema::RETRIES, retries),
+                                        ],
+                                    )?;
+                                }
                             }
+                            match fsm.step(minute, !probe_clean) {
+                                FsmTransition::Entered => {
+                                    degrade_entered_minute = minute;
+                                    if tel.is_enabled() {
+                                        let (rejects, _) = detector_counts(&controller);
+                                        tel.event(
+                                            schema::EVENT_DEGRADE_ENTER,
+                                            vec![
+                                                field(
+                                                    schema::FALLBACK_BUDGET_W,
+                                                    fsm.fallback_budget(budget).get(),
+                                                ),
+                                                field(schema::REJECTS, rejects),
+                                            ],
+                                        )?;
+                                    }
+                                }
+                                FsmTransition::Exited => {
+                                    // Re-enter MPPT from a forced retrack.
+                                    force_track = true;
+                                    if tel.is_enabled() {
+                                        let (rejects, _) = detector_counts(&controller);
+                                        tel.event(
+                                            schema::EVENT_DEGRADE_EXIT,
+                                            vec![
+                                                field(
+                                                    schema::DWELL_MINUTES,
+                                                    u64::from(
+                                                        minute
+                                                            .saturating_sub(degrade_entered_minute),
+                                                    ),
+                                                ),
+                                                field(schema::REJECTS, rejects),
+                                            ],
+                                        )?;
+                                    }
+                                }
+                                FsmTransition::None => {}
+                            }
+                            degraded = fsm.is_degraded();
                         }
-                        if invariants::enabled() {
-                            invariants::assert_bus_voltage(
-                                "engine minute",
-                                op.output_voltage,
-                                Volts::new(array.open_circuit_voltage(env).get() / k_min),
-                            );
+                        if degraded {
+                            // Conservative fallback: stop trusting the
+                            // sensors, run a Fixed-Power-style fill at a
+                            // fraction of the last known-good power, on
+                            // the nominal bus.
+                            let fallback = match fsm.as_ref() {
+                                Some(f) => f.fallback_budget(budget),
+                                None => Watts::ZERO,
+                            };
+                            allocate_budget(&mut chip, fallback)?;
+                            if let Some(plan) = plan.filter(|p| p.has_core_faults()) {
+                                enforce_plan_mask(plan, minute, &mut chip)?;
+                            }
+                            (chip.total_power().min(fallback), vdd)
+                        } else {
+                            let forced = force_track;
+                            let op = controller.solve(array, env, &converter, &chip);
+                            if force_track
+                                || t % self.config.tracking_interval_minutes as usize == 0
+                                || controller.needs_retrack(&op)
+                            {
+                                let report = controller.track(&mut TrackingRig {
+                                    array,
+                                    env,
+                                    converter: &mut converter,
+                                    chip: &mut chip,
+                                    tuner: &mut tuner,
+                                })?;
+                                force_track = false;
+                                if tel.is_enabled() {
+                                    instruments.track_rounds.record(u64::from(report.rounds));
+                                    instruments.track_actions.record(u64::from(report.actions));
+                                    instruments
+                                        .track_reversals
+                                        .record(u64::from(report.reversals));
+                                    tel.span(
+                                        schema::SPAN_TRACK,
+                                        sample.minute_of_day,
+                                        vec![
+                                            field(schema::ROUNDS, report.rounds),
+                                            field(schema::ACTIONS, report.actions),
+                                            field(schema::REVERSALS, report.reversals),
+                                            field(schema::FINAL_POWER_W, report.final_output_power),
+                                            field(schema::RATIO_K, report.final_ratio),
+                                            field(schema::FORCED, forced),
+                                        ],
+                                    )?;
+                                }
+                            }
+                            if invariants::enabled() {
+                                invariants::assert_bus_voltage(
+                                    "engine minute",
+                                    op.output_voltage,
+                                    Volts::new(array.open_circuit_voltage(env).get() / k_min),
+                                );
+                            }
+                            if probe_clean {
+                                if let Some(fsm) = fsm.as_mut() {
+                                    // Anchor the fallback budget to the latest
+                                    // power the screened loop steered to.
+                                    fsm.note_good_power(op.panel_power());
+                                }
+                            }
+                            // The chip's useful draw is capped at its DVFS
+                            // demand (the on-chip VRMs regulate); when the bus
+                            // sags below nominal the impedance model caps it at
+                            // what the panel delivers. The gap to the budget is
+                            // the paper's power margin.
+                            (op.panel_power().min(chip_power), op.output_voltage)
                         }
-                        // The chip's useful draw is capped at its DVFS
-                        // demand (the on-chip VRMs regulate); when the bus
-                        // sags below nominal the impedance model caps it at
-                        // what the panel delivers. The gap to the budget is
-                        // the paper's power margin.
-                        (op.panel_power().min(chip_power), op.output_voltage)
                     }
                 },
             };
@@ -581,6 +759,27 @@ impl DaySimulationBuilder {
         self
     }
 
+    /// Arms a chaos-scenario fault plan (default: disarmed). An armed plan
+    /// drives every injection seam — sensor disturbances, converter
+    /// derating and actuator lag, ATS overrides, core throttles/losses and
+    /// irradiance transients — on the simulated-minute axis, and implies
+    /// fault detection with [`DegradeConfig::paper_defaults`] unless
+    /// [`degrade`](Self::degrade) overrides it. Disarmed runs take the
+    /// exact pre-seam code paths and are bit-identical to an engine
+    /// without the chaos subsystem.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the graceful-degradation configuration and arms fault
+    /// detection even without a fault plan (e.g. to screen a noisy sensor
+    /// configured via [`sensor`](Self::sensor)).
+    pub fn degrade(mut self, config: DegradeConfig) -> Self {
+        self.degrade = Some(config);
+        self
+    }
+
     /// Builds one simulation per policy, all sharing a single prepared
     /// [`SimSetup`] (one trace decode, one solver memo), returned as a
     /// [`DayBatch`].
@@ -647,6 +846,8 @@ impl DaySimulationBuilder {
             sensor: self.sensor,
             solver_cache: self.solver_cache,
             telemetry: self.telemetry,
+            fault_plan: self.fault_plan,
+            degrade: self.degrade,
         })
     }
 }
@@ -732,9 +933,7 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<u32, C
             .core(entry.core)?
             .level()
             .faster()
-            .ok_or(CoreError::LevelExhausted {
-                core: entry.core.0,
-            })?;
+            .ok_or(CoreError::LevelExhausted { core: entry.core.0 })?;
         if chip.power_if(entry.core, next)? <= budget {
             chip.set_level(entry.core, next)?;
             moves += 1;
@@ -747,6 +946,40 @@ pub fn allocate_budget(chip: &mut MultiCoreChip, budget: Watts) -> Result<u32, C
         invariants::assert_budget("budget allocation", chip.total_power(), budget);
     }
     Ok(moves)
+}
+
+/// Builds the minute's [`AvailabilityMask`] from the plan's core
+/// constraints and applies it to the chip. Monotone: the mask only gates
+/// or slows cores, so applying it after a budget allocation can never push
+/// the chip over that budget.
+fn enforce_plan_mask(
+    plan: &FaultPlan,
+    minute: u32,
+    chip: &mut MultiCoreChip,
+) -> Result<u32, CoreError> {
+    let mut mask = AvailabilityMask::none(chip.core_count());
+    for constraint in plan.core_constraints_at(minute) {
+        match constraint {
+            CoreConstraint::Throttle {
+                core,
+                max_level_index,
+            } => mask.throttle(core, max_level_index),
+            CoreConstraint::Loss { core } => mask.lose(core),
+        }
+    }
+    if mask.is_unconstrained() {
+        Ok(0)
+    } else {
+        Ok(mask.enforce(chip)?)
+    }
+}
+
+/// The detector's cumulative reject/retry counters (zeros when detection
+/// is not armed), for the `fault_*`/`degrade_*` telemetry events.
+fn detector_counts(controller: &SolarCoreController) -> (u64, u64) {
+    controller
+        .detector()
+        .map_or((0, 0), |d| (d.reject_count(), d.retry_count()))
 }
 
 /// The converter transfer ratio in centisteps (`round(k · 100)`) for the

@@ -49,6 +49,7 @@ pub mod adapter;
 pub mod battery;
 pub mod config;
 pub mod controller;
+pub mod degrade;
 pub mod engine;
 pub mod error;
 pub mod invariants;
@@ -61,6 +62,7 @@ pub use adapter::LoadTuner;
 pub use battery::{BatteryDayResult, BatterySystem, BatteryTier};
 pub use config::ControllerConfig;
 pub use controller::{SolarCoreController, TrackingRig};
+pub use degrade::{DegradationFsm, DegradeConfig, FaultDetector, FsmTransition, ProbeFault};
 pub use engine::{DayBatch, DayResult, DaySimulation, MinuteRecord, SimSetup};
 pub use error::CoreError;
 pub use policy::{LoadScheduler, Policy};

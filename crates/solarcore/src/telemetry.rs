@@ -102,6 +102,24 @@ pub mod schema {
     /// (`round(k · 100)`) observed once per minute.
     pub const HIST_RATIO_K_CENTI: &str = "ratio_k_centi";
 
+    /// Event emitted once per minute whose sensing health probe was
+    /// flagged faulty (implausible or stuck reading).
+    ///
+    /// Fields: [`REASON`], [`REJECTS`], [`RETRIES`].
+    pub const EVENT_FAULT_REJECT: &str = "fault_reject";
+
+    /// Event emitted when detection confidence collapses and the engine
+    /// trips from MPPT into the conservative fallback budget.
+    ///
+    /// Fields: [`FALLBACK_BUDGET_W`], [`REJECTS`].
+    pub const EVENT_DEGRADE_ENTER: &str = "degrade_enter";
+
+    /// Event emitted when the re-entry hysteresis dwell is satisfied and
+    /// MPPT resumes.
+    ///
+    /// Fields: [`DWELL_MINUTES`], [`REJECTS`].
+    pub const EVENT_DEGRADE_EXIT: &str = "degrade_exit";
+
     /// Counter of PV generator MPP oracle queries.
     pub const COUNTER_MPP_QUERIES: &str = "mpp_queries";
 
@@ -173,6 +191,17 @@ pub mod schema {
     pub const PV_EVALS: &str = "pv_evals";
     /// Field: total Newton iterations across all PV evaluations. U64.
     pub const NEWTON_ITERS_TOTAL: &str = "newton_iters_total";
+    /// Field: why a sensing health probe was rejected, `"implausible"` or
+    /// `"stuck"`. Str.
+    pub const REASON: &str = "reason";
+    /// Field: cumulative readings rejected by the fault detector. U64.
+    pub const REJECTS: &str = "rejects";
+    /// Field: cumulative re-sample attempts issued by the detector. U64.
+    pub const RETRIES: &str = "retries";
+    /// Field: the conservative budget allocated while degraded, watts. F64.
+    pub const FALLBACK_BUDGET_W: &str = "fallback_budget_w";
+    /// Field: minutes spent in degraded mode before re-entering MPPT. U64.
+    pub const DWELL_MINUTES: &str = "dwell_minutes";
     /// Field names for per-level residency minutes in
     /// [`EVENT_VF_RESIDENCY`], indexed by V/F level (`l0` = fastest). U64.
     pub const RESIDENCY_LEVELS: [&str; 6] = [

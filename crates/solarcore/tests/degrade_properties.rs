@@ -1,0 +1,127 @@
+//! Property-based invariants of the graceful-degradation layer
+//! (DESIGN.md §17): the fallback budget is always feasible, the re-entry
+//! hysteresis bounds mode oscillation, and the reading screen never
+//! forwards a non-finite or negative measurement — over randomized
+//! configurations, fault patterns, and hostile sensor streams.
+
+use proptest::prelude::*;
+
+use pv::units::Watts;
+use solarcore::{DegradationFsm, DegradeConfig, FaultDetector, FsmTransition};
+
+/// A randomized-but-valid degradation configuration.
+fn config_strategy() -> impl Strategy<Value = DegradeConfig> {
+    (
+        0.05f64..1.0,
+        1u32..=4,
+        1u32..=6,
+        1u32..=8,
+        0u32..=20,
+        0.1f64..=1.0,
+        1.0f64..100.0,
+    )
+        .prop_map(
+            |(window, retries, trip, dwell, min_deg, fraction, floor)| DegradeConfig {
+                relative_window: window,
+                max_retries: retries,
+                trip_threshold: trip,
+                reentry_dwell: dwell,
+                min_degraded_minutes: min_deg,
+                fallback_fraction: fraction,
+                fallback_floor: Watts::new(floor),
+                ..DegradeConfig::paper_defaults()
+            },
+        )
+}
+
+/// An arbitrary f64 that is frequently hostile (NaN, ±∞, negative).
+fn hostile_f64() -> impl Strategy<Value = f64> {
+    (0u8..7, 0.0f64..200.0).prop_map(|(kind, x)| match kind {
+        0..=2 => x,
+        3 => f64::NAN,
+        4 => f64::INFINITY,
+        5 => f64::NEG_INFINITY,
+        _ => -x - 1.0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fallback budget is always finite, non-negative, and never
+    /// exceeds the (sanitized) measured potential — no matter what power
+    /// observations and potentials the day threw at the FSM.
+    #[test]
+    fn fallback_budget_is_always_feasible(
+        config in config_strategy(),
+        goods in proptest::collection::vec(hostile_f64(), 0..8),
+        potential in hostile_f64(),
+    ) {
+        let mut fsm = DegradationFsm::new(config).expect("valid config");
+        for g in goods {
+            fsm.note_good_power(Watts::new(g));
+        }
+        let budget = fsm.fallback_budget(Watts::new(potential));
+        prop_assert!(budget.is_finite());
+        prop_assert!(budget.get() >= 0.0);
+        let sane_potential = if potential.is_finite() { potential.max(0.0) } else { 0.0 };
+        prop_assert!(budget.get() <= sane_potential + 1e-12,
+            "fallback {budget} exceeds potential {sane_potential}");
+    }
+
+    /// Hysteresis bound: for any probe pattern, the FSM never exits
+    /// degraded mode sooner than `max(reentry_dwell, min_degraded_minutes)`
+    /// minutes after it entered, and never enters without at least
+    /// `trip_threshold` minutes elapsed since the previous exit.
+    #[test]
+    fn fsm_never_oscillates_faster_than_its_dwell_bounds(
+        config in config_strategy(),
+        faults in proptest::collection::vec(any::<bool>(), 1..300),
+    ) {
+        let mut fsm = DegradationFsm::new(config).expect("valid config");
+        let mut entered_at: Option<u32> = None;
+        let mut exited_at: Option<u32> = None;
+        for (minute, faulty) in faults.iter().copied().enumerate() {
+            #[allow(clippy::cast_possible_truncation)] // bounded by the vec length (< 300)
+            let minute = minute as u32;
+            match fsm.step(minute, faulty) {
+                FsmTransition::Entered => {
+                    if let Some(exit) = exited_at {
+                        prop_assert!(minute - exit >= config.trip_threshold,
+                            "re-tripped {} minutes after exit (threshold {})",
+                            minute - exit, config.trip_threshold);
+                    }
+                    entered_at = Some(minute);
+                }
+                FsmTransition::Exited => {
+                    let enter = entered_at.expect("exit without enter");
+                    let dwell = minute - enter;
+                    let bound = config.reentry_dwell.max(config.min_degraded_minutes);
+                    prop_assert!(dwell >= bound,
+                        "exited after {dwell} minutes, bound {bound}");
+                    exited_at = Some(minute);
+                }
+                FsmTransition::None => {}
+            }
+        }
+    }
+
+    /// The reading screen never forwards a non-finite or negative pair,
+    /// whatever garbage the sensor produced on the first reading and on
+    /// every retry.
+    #[test]
+    fn screen_never_forwards_nan_or_out_of_bounds(
+        config in config_strategy(),
+        readings in proptest::collection::vec((hostile_f64(), hostile_f64()), 1..40),
+        expected in proptest::collection::vec((0.0f64..50.0, 0.0f64..20.0), 1..40),
+    ) {
+        let mut detector = FaultDetector::new(config).expect("valid config");
+        for (measured, exp) in readings.iter().zip(expected.iter().cycle()) {
+            let (v, i) = detector.screen(*measured, *exp, || *measured);
+            prop_assert!(v.is_finite() && i.is_finite(),
+                "screen forwarded non-finite ({v}, {i}) from {measured:?}");
+            prop_assert!(v >= 0.0 && i >= 0.0,
+                "screen forwarded negative ({v}, {i}) from {measured:?}");
+        }
+    }
+}

@@ -175,11 +175,59 @@ impl EnvTrace {
             .map(|s| s.irradiance)
             .fold(Irradiance::ZERO, Irradiance::max)
     }
+
+    /// Scales each sample's irradiance by `factor(minute_of_day)` and
+    /// recomputes the cell temperature from the (unchanged) ambient via the
+    /// NOCT relation — the environment-side fault seam for transients
+    /// beyond the cloud model (e.g. an irradiance cliff).
+    ///
+    /// Factors are clamped to be non-negative and non-finite factors are
+    /// treated as `1.0` (identity), so a buggy transform cannot produce an
+    /// unphysical trace. A transform returning `1.0` everywhere leaves the
+    /// trace bit-identical.
+    #[allow(clippy::float_cmp)] // exact 1.0 check is the bit-transparency fast path
+    pub fn scale_irradiance<F: Fn(u32) -> f64>(&mut self, factor: F) {
+        for sample in &mut self.samples {
+            let f = factor(sample.minute_of_day);
+            let f = if f.is_finite() { f.max(0.0) } else { 1.0 };
+            if f == 1.0 {
+                continue;
+            }
+            sample.irradiance = sample.irradiance * f;
+            sample.cell_temperature = thermal::cell_temperature(sample.ambient, sample.irradiance);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_irradiance_identity_is_bit_transparent() {
+        let base = EnvTrace::generate(&Site::phoenix_az(), Season::Jul, 0);
+        let mut scaled = base.clone();
+        scaled.scale_irradiance(|_| 1.0);
+        assert_eq!(base, scaled);
+        // Non-finite factors are treated as identity too.
+        scaled.scale_irradiance(|_| f64::NAN);
+        assert_eq!(base, scaled);
+    }
+
+    #[test]
+    fn scale_irradiance_recomputes_cell_temperature() {
+        let base = EnvTrace::generate(&Site::phoenix_az(), Season::Jul, 0);
+        let mut cliff = base.clone();
+        cliff.scale_irradiance(|m| if m >= 720 { 0.25 } else { 1.0 });
+        let b = base.sample_at(800).unwrap();
+        let c = cliff.sample_at(800).unwrap();
+        assert!((c.irradiance.get() - 0.25 * b.irradiance.get()).abs() < 1e-12);
+        assert_eq!(c.ambient, b.ambient);
+        // Less irradiance heats the cell less.
+        assert!(c.cell_temperature < b.cell_temperature);
+        // Before the cliff, untouched.
+        assert_eq!(base.sample_at(700).unwrap(), cliff.sample_at(700).unwrap());
+    }
 
     #[test]
     fn daytime_window_has_601_minutes() {

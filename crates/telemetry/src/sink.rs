@@ -295,7 +295,11 @@ impl AggregatingSink {
         match slot.binary_search_by(|(n, _)| n.cmp(&name)) {
             Ok(i) => {
                 let cur = slot[i].1;
-                slot[i].1 = if fold_max { cur.max(v) } else { cur.saturating_add(v) };
+                slot[i].1 = if fold_max {
+                    cur.max(v)
+                } else {
+                    cur.saturating_add(v)
+                };
             }
             Err(i) => slot.insert(i, (name, v)),
         }

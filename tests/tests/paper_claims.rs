@@ -42,8 +42,12 @@ fn grid() -> Vec<Cell> {
                 let opt = run(Policy::MpptOpt);
                 let trace = EnvTrace::generate(&site, season, 0);
                 let seed = phase_seed(&site, season, 0);
-                let bu = BatterySystem::upper_bound().simulate_day(&array, &trace, &mix, seed).unwrap();
-                let bl = BatterySystem::lower_bound().simulate_day(&array, &trace, &mix, seed).unwrap();
+                let bu = BatterySystem::upper_bound()
+                    .simulate_day(&array, &trace, &mix, seed)
+                    .unwrap();
+                let bl = BatterySystem::lower_bound()
+                    .simulate_day(&array, &trace, &mix, seed)
+                    .unwrap();
                 cells.push(Cell {
                     ic: ic.solar_instructions() / bl.instructions,
                     rr: rr.solar_instructions() / bl.instructions,

@@ -27,7 +27,10 @@ use workloads::Mix;
 fn assert_tracking_converges(env: CellEnv, start_ratio: f64, mix_idx: usize) {
     let array = PvArray::solarcore_default();
     let mpp = array.mpp(env).power.get();
-    assert!(mpp > 30.0, "corpus case no longer satisfies the prop_assume");
+    assert!(
+        mpp > 30.0,
+        "corpus case no longer satisfies the prop_assume"
+    );
     let mix = Mix::all().swap_remove(mix_idx);
     let mut chip = MultiCoreChip::new(&mix);
     chip.set_all_levels(VfLevel::lowest());

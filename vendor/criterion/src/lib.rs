@@ -266,7 +266,9 @@ mod tests {
     fn groups_run_and_finish() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.sample_size(10).bench_function("one", |b| b.iter(|| black_box(2 * 2)));
+        group
+            .sample_size(10)
+            .bench_function("one", |b| b.iter(|| black_box(2 * 2)));
         group.finish();
     }
 

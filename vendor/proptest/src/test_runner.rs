@@ -11,7 +11,9 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// A configuration running `cases` cases per property.
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases: cases.max(1) }
+        Self {
+            cases: cases.max(1),
+        }
     }
 }
 

@@ -224,7 +224,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 

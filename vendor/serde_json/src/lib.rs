@@ -53,9 +53,16 @@ fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usi
         Value::Float(x) => write_float(out, *x),
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => {
-            write_seq(out, ('[', ']'), items.iter(), indent, depth, |out, v, ind, d| {
-                write_value(out, v, ind, d);
-            });
+            write_seq(
+                out,
+                ('[', ']'),
+                items.iter(),
+                indent,
+                depth,
+                |out, v, ind, d| {
+                    write_value(out, v, ind, d);
+                },
+            );
         }
         Value::Object(entries) => {
             write_seq(
@@ -308,9 +315,10 @@ impl Parser<'_> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| Error("invalid UTF-8 in string".to_owned()))?;
-                    let c = s.chars().next().ok_or_else(|| {
-                        Error("unterminated string".to_owned())
-                    })?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| Error("unterminated string".to_owned()))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -354,9 +362,15 @@ mod tests {
         let v = Value::Object(vec![
             ("a".into(), Value::UInt(1)),
             ("b".into(), Value::Str("x\"y".into())),
-            ("c".into(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+            (
+                "c".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
         ]);
-        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x\"y","c":[1.5,null]}"#);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":"x\"y","c":[1.5,null]}"#
+        );
     }
 
     #[test]
@@ -383,7 +397,10 @@ mod tests {
     fn parser_round_trips_writer_output() {
         let v = Value::Object(vec![
             ("name".into(), Value::Str("a\"b\\c\nd".into())),
-            ("xs".into(), Value::Array(vec![Value::Float(1.5), Value::Null])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
             ("n".into(), Value::Int(-3)),
             ("u".into(), Value::UInt(7)),
             ("ok".into(), Value::Bool(true)),

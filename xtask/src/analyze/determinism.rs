@@ -21,8 +21,8 @@
 //!   accumulation with thread scheduling; reductions must happen in input
 //!   order (as `bench::parallel_map` guarantees).
 
-use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
+use crate::syntax::source::SourceFile;
 
 use crate::syntax::lexer::{self};
 
@@ -212,7 +212,10 @@ mod tests {
 
     #[test]
     fn btree_collections_pass() {
-        assert!(findings("use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f64>) {}\n").is_empty());
+        assert!(
+            findings("use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, f64>) {}\n")
+                .is_empty()
+        );
     }
 
     #[test]

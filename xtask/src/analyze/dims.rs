@@ -23,11 +23,11 @@
 
 use std::collections::BTreeMap;
 
-use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
+use crate::syntax::source::SourceFile;
 
-use crate::syntax::lexer::{self, Tok, Token};
 use super::units::{UnitAlgebra, SCALAR};
+use crate::syntax::lexer::{self, Tok, Token};
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "dim";
@@ -157,10 +157,7 @@ fn is_binary_position(tokens: &[Token], i: usize) -> bool {
     let Some(prev) = i.checked_sub(1).and_then(|k| tokens.get(k)) else {
         return false;
     };
-    matches!(
-        &prev.tok,
-        Tok::Ident(_) | Tok::Num(_) | Tok::Op(")" | "]")
-    )
+    matches!(&prev.tok, Tok::Ident(_) | Tok::Num(_) | Tok::Op(")" | "]"))
 }
 
 /// Resolves the full left operand of the operator at `i`, folding the
@@ -196,7 +193,11 @@ fn left_operand(
     while let (Some(c), Some(d)) = (ops.pop(), atoms.pop()) {
         dim = algebra.combine(&dim, c, &d)?.to_owned();
     }
-    let display = if folded { format!("…*{name0}") } else { name0 };
+    let display = if folded {
+        format!("…*{name0}")
+    } else {
+        name0
+    };
     Some((dim, display))
 }
 
@@ -226,7 +227,11 @@ fn right_operand(
             folded = true;
         }
     }
-    let display = if folded { format!("{name0}*…") } else { name0 };
+    let display = if folded {
+        format!("{name0}*…")
+    } else {
+        name0
+    };
     Some((dim, display))
 }
 
@@ -253,10 +258,7 @@ fn left_atom(
             // expression we do not attempt to type.
             let open = matching_open(tokens, last)?;
             // x.get() — tokens: [Ident x][.][get][(][)]
-            if open >= 3
-                && tokens[open - 1].is_ident("get")
-                && tokens[open - 2].is_op(".")
-            {
+            if open >= 3 && tokens[open - 1].is_ident("get") && tokens[open - 2].is_op(".") {
                 if let Some(name) = tokens[open - 3].ident() {
                     if open >= 4 && matches!(tokens[open - 4].tok, Tok::Op("." | "::")) {
                         return None;
@@ -532,7 +534,8 @@ impl Div<Volts> for Watts { type Output = Amps; }
 
     #[test]
     fn cross_unit_add_on_newtypes_is_flagged() {
-        let v = findings("fn f(voltage: Volts, power: Watts) {\n    let _x = voltage + power;\n}\n");
+        let v =
+            findings("fn f(voltage: Volts, power: Watts) {\n    let _x = voltage + power;\n}\n");
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("cross-unit"));
         assert_eq!(v[0].line, 2);

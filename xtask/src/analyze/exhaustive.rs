@@ -19,8 +19,8 @@
 
 use std::path::Path;
 
-use crate::syntax::source::SourceFile;
 use crate::lint::Violation;
+use crate::syntax::source::SourceFile;
 
 use crate::syntax::lexer::{self, Tok, Token};
 
@@ -96,11 +96,7 @@ pub fn enums_in(src: &SourceFile) -> Vec<EnumDef> {
             continue;
         };
         // Skip generics, find the body brace.
-        let Some(open) = tokens[i..]
-            .iter()
-            .position(|t| t.is_op("{"))
-            .map(|k| i + k)
-        else {
+        let Some(open) = tokens[i..].iter().position(|t| t.is_op("{")).map(|k| i + k) else {
             break;
         };
         let Some(close) = lexer::matching_close(&tokens, open) else {
@@ -327,7 +323,9 @@ mod tests {
             "crates/solarcore/src/policy.rs",
             "pub enum Policy {\n    FixedPower(Watts),\n    MpptIc,\n    MpptRr,\n}\n",
         );
-        Enums { defs: enums_in(&src) }
+        Enums {
+            defs: enums_in(&src),
+        }
     }
 
     #[test]
@@ -353,7 +351,10 @@ mod tests {
     #[test]
     fn wildcard_arm_on_scoped_enum_is_flagged() {
         let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::MpptIc => 1,\n        _ => 0,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/solarcore/src/engine.rs", text),
+            &scoped(),
+        );
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 4);
         assert!(v[0].message.contains("wildcard"));
@@ -362,7 +363,10 @@ mod tests {
     #[test]
     fn binder_catchall_is_flagged() {
         let text = "fn f(p: &Policy) {\n    match p {\n        Policy::FixedPower(w) => drop(w),\n        other => drop(other),\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/solarcore/src/policy.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/solarcore/src/policy.rs", text),
+            &scoped(),
+        );
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("catch-all binder `other =>`"));
     }
@@ -370,21 +374,31 @@ mod tests {
     #[test]
     fn exhaustive_match_passes() {
         let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::FixedPower(_) => 0,\n        Policy::MpptIc | Policy::MpptRr => 1,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/solarcore/src/engine.rs", text),
+            &scoped(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn wildcards_on_unscoped_matches_pass() {
-        let text = "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/bench/src/grid.rs", text), &scoped());
+        let text =
+            "fn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => 0,\n    }\n}\n";
+        let v = check(
+            &SourceFile::parse("crates/bench/src/grid.rs", text),
+            &scoped(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn guards_and_payload_binders_are_not_catchalls() {
         let text = "fn f(p: Policy, n: u32) -> u32 {\n    match p {\n        Policy::FixedPower(w) if n > 0 => 1,\n        Policy::MpptIc => 2,\n        Policy::MpptRr => 3,\n        Policy::FixedPower(_) => 4,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/solarcore/src/engine.rs", text),
+            &scoped(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
@@ -393,14 +407,20 @@ mod tests {
         // A match over a *string* that builds Policy values: its `_` arm
         // is fine — the compiler cannot exhaust strings.
         let text = "fn f(s: &str) -> Policy {\n    match s {\n        \"ic\" => Policy::MpptIc,\n        _ => Policy::MpptRr,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/bench/src/args.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/bench/src/args.rs", text),
+            &scoped(),
+        );
         assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]
     fn block_arm_values_do_not_break_arm_splitting() {
         let text = "fn f(p: Policy) -> u32 {\n    match p {\n        Policy::FixedPower(_) => {\n            let x = 1;\n            x\n        }\n        _ => 0,\n    }\n}\n";
-        let v = check(&SourceFile::parse("crates/solarcore/src/engine.rs", text), &scoped());
+        let v = check(
+            &SourceFile::parse("crates/solarcore/src/engine.rs", text),
+            &scoped(),
+        );
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].message.contains("wildcard"));
     }

@@ -38,9 +38,11 @@ pub fn run(root: &Path) -> Result<Report, String> {
     let mut allow = lint::Allowlist::load(root)?;
     let algebra = units::UnitAlgebra::learn(root)?;
     if algebra.unit_count() == 0 {
-        return Err("no unit newtypes learned from crates/pv/src/units.rs — dimensional \
+        return Err(
+            "no unit newtypes learned from crates/pv/src/units.rs — dimensional \
                     analysis would be vacuous"
-            .to_owned());
+                .to_owned(),
+        );
     }
     let enums = exhaustive::Enums::learn(root)?;
     let mut report = Report::default();
@@ -58,8 +60,8 @@ pub fn run(root: &Path) -> Result<Report, String> {
 
     for path in &files {
         let rel = files::relative(root, path);
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let src = SourceFile::parse(&rel, &text);
 
         let mut findings = Vec::new();
@@ -72,10 +74,7 @@ pub fn run(root: &Path) -> Result<Report, String> {
         if exhaustive::applies_to(&rel) {
             findings.extend(exhaustive::check(&src, &enums));
             for (e, v) in exhaustive::mentions(&src, &enums) {
-                let declared_here = enums
-                    .defs
-                    .iter()
-                    .any(|d| d.name == e && d.path == rel);
+                let declared_here = enums.defs.iter().any(|d| d.name == e && d.path == rel);
                 if !declared_here {
                     mentioned.push((e, v));
                 }

@@ -183,15 +183,25 @@ fn validate(records: &[BenchRecord]) -> Result<(), String> {
     }
     for r in records {
         if !r.median_ns.is_finite() || r.median_ns <= 0.0 {
-            return Err(format!("benchmark `{}` has bad median {}", r.name, r.median_ns));
+            return Err(format!(
+                "benchmark `{}` has bad median {}",
+                r.name, r.median_ns
+            ));
         }
         if r.iters == 0 || r.samples == 0 {
             return Err(format!("benchmark `{}` ran zero iterations", r.name));
         }
     }
-    for required in [RATIO_BASELINE, RATIO_FAST, TELEMETRY_BASELINE, TELEMETRY_NULL] {
+    for required in [
+        RATIO_BASELINE,
+        RATIO_FAST,
+        TELEMETRY_BASELINE,
+        TELEMETRY_NULL,
+    ] {
         if !records.iter().any(|r| r.name == required) {
-            return Err(format!("required benchmark `{required}` missing from output"));
+            return Err(format!(
+                "required benchmark `{required}` missing from output"
+            ));
         }
     }
     Ok(())
@@ -270,7 +280,8 @@ mod tests {
 
     #[test]
     fn parses_stub_lines() {
-        let raw = "{\"name\":\"day_sim_cache/warm\",\"median_ns\":123.456,\"iters\":10,\"samples\":7}\n";
+        let raw =
+            "{\"name\":\"day_sim_cache/warm\",\"median_ns\":123.456,\"iters\":10,\"samples\":7}\n";
         let records = parse_records(raw).unwrap();
         assert_eq!(records.len(), 1);
         assert_eq!(records[0].name, "day_sim_cache/warm");
@@ -308,7 +319,9 @@ mod tests {
         assert!(validate(&records).unwrap_err().contains("required"));
         records.extend(required_records());
         assert!(validate(&records).is_ok());
-        assert!(validate(&records[..4]).unwrap_err().contains("expected at least"));
+        assert!(validate(&records[..4])
+            .unwrap_err()
+            .contains("expected at least"));
 
         // Dropping either telemetry end breaks validation: the overhead
         // figure must stay in every future BENCH report.

@@ -474,9 +474,7 @@ fn is_pub_fn(tokens: &[Token], at: usize) -> bool {
         let prev = &tokens[k - 1];
         match &prev.tok {
             Tok::Ident(w) if w == "pub" => return true,
-            Tok::Ident(w)
-                if w == "const" || w == "unsafe" || w == "async" || w == "extern" =>
-            {
+            Tok::Ident(w) if w == "const" || w == "unsafe" || w == "async" || w == "extern" => {
                 k -= 1;
             }
             // `pub(crate)`: step back over the `(…)` group to its `(`.
@@ -497,6 +495,25 @@ fn is_pub_fn(tokens: &[Token], at: usize) -> bool {
                 k = b;
             }
             _ => return false,
+        }
+    }
+    false
+}
+
+/// `true` when an `if`/`else` token chain contains a `let` at bracket depth
+/// zero — i.e. any condition in the chain is an `if let`. Depth-0 is what
+/// distinguishes chain conditions from `if let`s nested inside the braced
+/// branch bodies (those are fine in expression position: the bodies are
+/// re-parsed as blocks by [`Parser::parse_block_expr`]).
+fn chain_has_depth0_let(tokens: &[Token]) -> bool {
+    let mut depth = 0u32;
+    for t in tokens {
+        if t.is_op("{") || t.is_op("(") || t.is_op("[") {
+            depth += 1;
+        } else if t.is_op("}") || t.is_op(")") || t.is_op("]") {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && t.is_ident("let") {
+            return true;
         }
     }
     false
@@ -549,8 +566,7 @@ fn parse_params(tokens: &[Token]) -> (Vec<Param>, bool, bool) {
         }
         if idx == 0 && is_self_param(part) {
             has_self = true;
-            self_mut = part.iter().any(|t| t.is_op("&"))
-                && part.iter().any(|t| t.is_ident("mut"));
+            self_mut = part.iter().any(|t| t.is_op("&")) && part.iter().any(|t| t.is_ident("mut"));
             continue;
         }
         params.push(parse_param(part));
@@ -562,11 +578,7 @@ fn parse_params(tokens: &[Token]) -> (Vec<Param>, bool, bool) {
 /// `&self`, `&mut self`, `&'a self`).
 fn is_self_param(part: &[Token]) -> bool {
     part.iter()
-        .find(|t| {
-            !(t.is_op("&")
-                || t.is_ident("mut")
-                || matches!(&t.tok, Tok::Lifetime(_)))
-        })
+        .find(|t| !(t.is_op("&") || t.is_ident("mut") || matches!(&t.tok, Tok::Lifetime(_))))
         .is_some_and(|t| t.is_ident("self"))
 }
 
@@ -678,7 +690,10 @@ fn parse_range_hint(tokens: &[Token]) -> Option<Interval> {
         None => (f64::INFINITY, true),
     };
     // NaN endpoints fail this comparison too, rejecting the range.
-    if matches!(lo.partial_cmp(&hi), None | Some(std::cmp::Ordering::Greater)) {
+    if matches!(
+        lo.partial_cmp(&hi),
+        None | Some(std::cmp::Ordering::Greater)
+    ) {
         return None;
     }
     Some(Interval {
@@ -714,8 +729,8 @@ pub fn num_value(raw: &str) -> Option<f64> {
         return Some(v);
     }
     for suffix in [
-        "f64", "f32", "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16",
-        "i16", "u8", "i8",
+        "f64", "f32", "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16",
+        "u8", "i8",
     ] {
         if let Some(stripped) = t.strip_suffix(suffix) {
             if !stripped.is_empty() {
@@ -837,7 +852,26 @@ impl<'a> Parser<'a> {
                 continue;
             }
             if self.at_ident("if") {
-                stmts.push(self.parse_if_stmt());
+                // A trailing `if`/`else` chain is the block's value (e.g. a
+                // match arm ending in `if c { (a, b) } else { (x, y) }`);
+                // re-parse it as an expression so the value survives. `if
+                // let` conditions (a depth-0 `let` in the chain) stay
+                // statements — the expression grammar does not model them.
+                let start = self.pos;
+                let stmt = self.parse_if_stmt();
+                if self.peek().is_none() && !chain_has_depth0_let(&self.toks[start..]) {
+                    self.pos = start;
+                    let e = self.parse_expr(true);
+                    if self.peek().is_none() {
+                        return (stmts, Some(e));
+                    }
+                    // The expression parse desynchronised; fall back to the
+                    // statement parse, which is known to consume the chain.
+                    self.pos = start;
+                    stmts.push(self.parse_if_stmt());
+                    continue;
+                }
+                stmts.push(stmt);
                 continue;
             }
             if self.at_ident("while") {
@@ -870,7 +904,11 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 // Labels / break values are skipped.
                 self.skip_past_semi();
-                stmts.push(if is_break { Stmt::Break } else { Stmt::Continue });
+                stmts.push(if is_break {
+                    Stmt::Break
+                } else {
+                    Stmt::Continue
+                });
                 continue;
             }
             if self.at_op("{") {
@@ -969,7 +1007,7 @@ impl<'a> Parser<'a> {
 
     fn parse_let(&mut self) -> Stmt {
         self.pos += 1; // `let`
-        // Pattern tokens reach to `=`, `:`, `;` or `else` at depth 0.
+                       // Pattern tokens reach to `=`, `:`, `;` or `else` at depth 0.
         let pat_start = self.pos;
         let mut depth = 0i32;
         while let Some(t) = self.peek() {
@@ -1297,10 +1335,7 @@ impl<'a> Parser<'a> {
                         parts
                             .iter()
                             .map(|part| {
-                                let mut p = Parser {
-                                    toks: part,
-                                    pos: 0,
-                                };
+                                let mut p = Parser { toks: part, pos: 0 };
                                 p.parse_expr(true)
                             })
                             .collect(),
@@ -1759,7 +1794,11 @@ fn assign_op(t: &Token) -> Option<Option<BinOp>> {
         Tok::Op("-=") => Some(Some(BinOp::Sub)),
         Tok::Op("*=") => Some(Some(BinOp::Mul)),
         Tok::Op("/=") => Some(Some(BinOp::Div)),
-        Tok::Op("%=") | Tok::Op("^=") | Tok::Op("&=") | Tok::Op("|=") | Tok::Op("<<=")
+        Tok::Op("%=")
+        | Tok::Op("^=")
+        | Tok::Op("&=")
+        | Tok::Op("|=")
+        | Tok::Op("<<=")
         | Tok::Op(">>=") => Some(Some(BinOp::Other)),
         _ => None,
     }
@@ -1872,11 +1911,26 @@ mod tests {
 
     #[test]
     fn statement_if_else_chain() {
-        let b = body("if a < 1.0 { x = 1.0; } else if a < 2.0 { x = 2.0; } else { x = 3.0; }");
+        // A chain with statements after it parses as a statement…
+        let b =
+            body("if a < 1.0 { x = 1.0; } else if a < 2.0 { x = 2.0; } else { x = 3.0; }\ndone();");
         let Stmt::If { else_body, .. } = &b[0] else {
             panic!("{b:?}")
         };
         assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn trailing_if_else_chain_is_a_value() {
+        // …while a chain that ends the block is re-parsed as the block's
+        // value expression, so `match` arms ending in `if c { (a, b) }
+        // else { (x, y) }` keep their tuple value.
+        let b = body("if a < 1.0 { x = 1.0; } else if a < 2.0 { x = 2.0; } else { x = 3.0; }");
+        assert!(matches!(&b[0], Stmt::Expr(Expr::If { .. })), "{b:?}");
+        // An `if let` anywhere in the chain's conditions keeps the whole
+        // chain a statement (the expression grammar does not model it).
+        let b = body("if let Some(v) = find(x) { x = v; } else { x = 3.0; }");
+        assert!(matches!(&b[0], Stmt::If { .. }), "{b:?}");
     }
 
     #[test]
@@ -1890,12 +1944,16 @@ mod tests {
         let Stmt::Loop { body } = &b[0] else {
             panic!("{b:?}")
         };
-        assert!(matches!(&body[0], Stmt::LetElse { else_body, .. } if matches!(else_body[0], Stmt::Break)));
+        assert!(
+            matches!(&body[0], Stmt::LetElse { else_body, .. } if matches!(else_body[0], Stmt::Break))
+        );
     }
 
     #[test]
     fn while_and_for() {
-        let b = body("while p > cap && n > 0 { n -= 1; }\nfor (i, s) in xs.iter().enumerate() { go(i, s); }");
+        let b = body(
+            "while p > cap && n > 0 { n -= 1; }\nfor (i, s) in xs.iter().enumerate() { go(i, s); }",
+        );
         assert!(matches!(&b[0], Stmt::While { .. }));
         let Stmt::For { pat, .. } = &b[1] else {
             panic!("{b:?}")

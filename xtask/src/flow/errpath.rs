@@ -183,9 +183,32 @@ fn inspect_statement(
     // their value; only pure expression statements drop it.
     if let Some(first) = tokens[start].ident() {
         const KEYWORDS: &[&str] = &[
-            "let", "return", "break", "continue", "use", "pub", "fn", "impl", "struct", "enum",
-            "mod", "const", "static", "type", "trait", "unsafe", "if", "match", "while", "for",
-            "loop", "else", "macro_rules", "extern", "where", "async",
+            "let",
+            "return",
+            "break",
+            "continue",
+            "use",
+            "pub",
+            "fn",
+            "impl",
+            "struct",
+            "enum",
+            "mod",
+            "const",
+            "static",
+            "type",
+            "trait",
+            "unsafe",
+            "if",
+            "match",
+            "while",
+            "for",
+            "loop",
+            "else",
+            "macro_rules",
+            "extern",
+            "where",
+            "async",
         ];
         if KEYWORDS.contains(&first) {
             return;
@@ -198,9 +221,9 @@ fn inspect_statement(
         match &t.tok {
             Tok::Op("(" | "[") => depth += 1,
             Tok::Op(")" | "]") => depth -= 1,
-            Tok::Op("=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=")
-                if depth == 0 =>
-            {
+            Tok::Op(
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "^=" | "&=" | "|=" | "<<=" | ">>=",
+            ) if depth == 0 => {
                 return; // assignment: value consumed
             }
             _ => {}

@@ -413,7 +413,10 @@ impl Interval {
     /// Excludes NaN without touching the bounds (an observed-true IEEE
     /// comparison implies both operands are numeric).
     pub fn refine_not_nan(&self) -> Interval {
-        Interval { nan: false, ..*self }
+        Interval {
+            nan: false,
+            ..*self
+        }
     }
 
     /// Proof predicate: the check `x ≥ c` always passes — no NaN, and
@@ -435,9 +438,7 @@ impl Interval {
     /// Proof predicate: `x.is_finite()` always passes — no NaN and both
     /// infinities excluded (an infinite bound must be open).
     pub fn proves_finite(&self) -> bool {
-        !self.nan
-            && (self.lo.is_finite() || self.lo_open)
-            && (self.hi.is_finite() || self.hi_open)
+        !self.nan && (self.lo.is_finite() || self.lo_open) && (self.hi.is_finite() || self.hi_open)
     }
 
     /// Disproof predicate: the check `x ≥ c` always *fails*. Numeric
@@ -529,8 +530,8 @@ mod tests {
         assert!(!m2.nan);
         assert!(m2.proves_ge(0.0));
         assert!(!m2.proves_finite()); // +∞ still possible
-        // f64::min(maybe-NaN, c) can be anything up to the *other* side's
-        // bound when the NaN side drops out.
+                                      // f64::min(maybe-NaN, c) can be anything up to the *other* side's
+                                      // bound when the NaN side drops out.
         let m3 = Interval::TOP.min(&Interval::constant(5.0));
         assert!(!m3.nan);
         assert_eq!(m3.hi, 5.0);

@@ -195,8 +195,8 @@ pub fn run(root: &Path) -> Result<FlowOutcome, String> {
     let mut sources = Vec::with_capacity(paths.len());
     for path in &paths {
         let rel = files::relative(root, path);
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         sources.push(SourceFile::parse(&rel, &text));
     }
     let fallible = errpath::FallibleSet::learn_from(&sources);
@@ -315,8 +315,7 @@ pub fn report_json(outcome: &FlowOutcome) -> Json {
         .sites
         .iter()
         .map(|site| {
-            let count =
-                |st| site.checks.iter().filter(|c| c.status == st).count();
+            let count = |st| site.checks.iter().filter(|c| c.status == st).count();
             Json::obj(vec![
                 ("kind", Json::str(site.kind.to_string())),
                 ("line", Json::int(site.line)),
@@ -350,7 +349,10 @@ pub fn report_json(outcome: &FlowOutcome) -> Json {
             "totals",
             Json::obj(vec![
                 ("checks", Json::int(outcome.checks())),
-                ("proven", Json::int(outcome.count(range::CheckStatus::Proven))),
+                (
+                    "proven",
+                    Json::int(outcome.count(range::CheckStatus::Proven)),
+                ),
                 ("sites", Json::int(outcome.sites.len())),
                 (
                     "unproven",
@@ -416,9 +418,7 @@ mod tests {
         assert!(
             outcome.proof_gate_passed,
             "proven ratio {:.4} below ratchet baseline {:.4} — sites: {:#?}",
-            outcome.proven_ratio,
-            outcome.baseline,
-            outcome.sites
+            outcome.proven_ratio, outcome.baseline, outcome.sites
         );
         // The interprocedural oracle must beat the best purely seed-driven
         // run (20/27 ≈ 0.7407): derived summaries and closed-world params

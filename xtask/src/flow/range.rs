@@ -481,7 +481,9 @@ impl<'a> Interp<'a> {
                 // in opaque code) fall back to the head state rather than
                 // claiming unreachability.
                 let exit = match breaks.split_first() {
-                    Some((first, rest)) => rest.iter().fold(first.clone(), |a, b| join_states(&a, b)),
+                    Some((first, rest)) => {
+                        rest.iter().fold(first.clone(), |a, b| join_states(&a, b))
+                    }
                     None => head,
                 };
                 out.fall = Some(exit);
@@ -698,9 +700,7 @@ impl<'a> Interp<'a> {
                     None => AVal::top(),
                 }
             }
-            Expr::Tuple(es) => {
-                AVal::Tuple(es.iter().map(|e| self.eval(e, state)).collect())
-            }
+            Expr::Tuple(es) => AVal::Tuple(es.iter().map(|e| self.eval(e, state)).collect()),
             Expr::If {
                 cond,
                 then_e,
@@ -831,7 +831,13 @@ impl<'a> Interp<'a> {
         joined_val.unwrap_or_else(AVal::top)
     }
 
-    fn eval_call(&mut self, path: &[String], args: &[Expr], line: usize, state: &mut State) -> AVal {
+    fn eval_call(
+        &mut self,
+        path: &[String],
+        args: &[Expr],
+        line: usize,
+        state: &mut State,
+    ) -> AVal {
         let vals: Vec<AVal> = args.iter().map(|a| self.eval(a, state)).collect();
         self.apply_ref_mut_kills(args, state);
         if self.record {
@@ -941,10 +947,10 @@ impl<'a> Interp<'a> {
             // not kill a tracked local (`for m in mixes.iter()` keeps
             // `mixes`). Their values are not modelled.
             (
-                "iter" | "into_iter" | "enumerate" | "rev" | "zip" | "chain" | "copied"
-                | "cloned" | "map" | "filter" | "filter_map" | "flat_map" | "flatten"
-                | "collect" | "sum" | "windows" | "chunks" | "len" | "is_empty" | "to_vec"
-                | "contains" | "first" | "last",
+                "iter" | "into_iter" | "enumerate" | "rev" | "zip" | "chain" | "copied" | "cloned"
+                | "map" | "filter" | "filter_map" | "flat_map" | "flatten" | "collect" | "sum"
+                | "windows" | "chunks" | "len" | "is_empty" | "to_vec" | "contains" | "first"
+                | "last",
                 _,
             ) => Some(AVal::top()),
             ("ratio_range", 0) => Some(AVal::Tuple(vec![
@@ -1062,9 +1068,9 @@ impl<'a> Interp<'a> {
                 };
                 self.refine_cmp(rhs, flipped, lhs, polarity, state);
             }
-            Expr::Method { recv, name, args, .. }
-                if name == "is_finite" && args.is_empty() && polarity =>
-            {
+            Expr::Method {
+                recv, name, args, ..
+            } if name == "is_finite" && args.is_empty() && polarity => {
                 if let Some(target) = refine_target(recv) {
                     let cur = state.get(&target).map_or(Interval::TOP, |v| v.num());
                     state.insert(target, AVal::Num(cur.refine_finite()));
@@ -1075,14 +1081,7 @@ impl<'a> Interp<'a> {
     }
 
     /// Refines the target of `lhs` under `lhs <op> rhs == polarity`.
-    fn refine_cmp(
-        &mut self,
-        lhs: &Expr,
-        op: &str,
-        rhs: &Expr,
-        polarity: bool,
-        state: &mut State,
-    ) {
+    fn refine_cmp(&mut self, lhs: &Expr, op: &str, rhs: &Expr, polarity: bool, state: &mut State) {
         let Some(target) = refine_target(lhs) else {
             return;
         };
@@ -1317,9 +1316,8 @@ mod tests {
 
     #[test]
     fn literal_power_is_proven() {
-        let (sites, v) = run_src(
-            "fn f() {\n    invariants::assert_power(\"t\", Watts::new(42.0));\n}\n",
-        );
+        let (sites, v) =
+            run_src("fn f() {\n    invariants::assert_power(\"t\", Watts::new(42.0));\n}\n");
         assert_eq!(statuses(&sites), [CheckStatus::Proven; 2]);
         assert!(v.is_empty());
     }
@@ -1338,9 +1336,7 @@ mod tests {
 
     #[test]
     fn unknown_values_stay_runtime() {
-        let (sites, v) = run_src(
-            "fn f(p: Watts) {\n    invariants::assert_power(\"t\", p);\n}\n",
-        );
+        let (sites, v) = run_src("fn f(p: Watts) {\n    invariants::assert_power(\"t\", p);\n}\n");
         assert_eq!(statuses(&sites), [CheckStatus::Runtime; 2]);
         assert!(v.is_empty());
     }
@@ -1450,9 +1446,7 @@ mod tests {
 
     #[test]
     fn set_ratio_sink_flags_constant_out_of_range() {
-        let (_, v) = run_src(
-            "fn f(c: Converter) {\n    let _r = c.set_ratio(12.5);\n}\n",
-        );
+        let (_, v) = run_src("fn f(c: Converter) {\n    let _r = c.set_ratio(12.5);\n}\n");
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("transfer ratio"), "{}", v[0].message);
         // In-range constants are quiet.

@@ -186,9 +186,7 @@ pub fn collect_uses(src: &SourceFile) -> BTreeSet<String> {
                 continue;
             }
         }
-        if tokens[i].is_ident("schema")
-            && tokens.get(i + 1).is_some_and(|t| t.is_op("::"))
-        {
+        if tokens[i].is_ident("schema") && tokens.get(i + 1).is_some_and(|t| t.is_op("::")) {
             if let Some(name) = tokens.get(i + 2).and_then(Token::ident) {
                 used.insert(name.to_owned());
             }
@@ -356,7 +354,11 @@ mod tests {
         ));
         let dead = schema().dead(&uses);
         assert_eq!(dead.len(), 1);
-        assert!(dead[0].message.contains("UNUSED_ONE"), "{}", dead[0].message);
+        assert!(
+            dead[0].message.contains("UNUSED_ONE"),
+            "{}",
+            dead[0].message
+        );
         assert_eq!(dead[0].path, DECL_PATH);
         assert_eq!(dead[0].line, 5);
     }

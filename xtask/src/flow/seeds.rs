@@ -193,6 +193,11 @@ impl Seeds {
             // non-negative by construction (their own unit tests and the
             // runtime sanitizer in debug builds enforce it at the source).
             "total_power" | "power_if" | "panel_power" | "output_power" | "power" => Some(nonneg),
+            // The degraded-mode budget: documented (and property-tested)
+            // to be finite, non-negative and capped by the measured
+            // potential — the cap is not representable here, so only the
+            // `[0, ∞)` part is trusted.
+            "fallback_budget" => Some(nonneg),
             // Solved node voltages: finite, non-negative.
             "output_voltage" | "open_circuit_voltage" => Some(nonneg),
             // The VID ladder pins core voltages to its end points.
@@ -280,6 +285,7 @@ impl Seeds {
             "panel_power",
             "output_power",
             "power",
+            "fallback_budget",
             "output_voltage",
             "open_circuit_voltage",
             "voltage",
@@ -395,7 +401,9 @@ mod tests {
             .unwrap();
         assert_eq!((zero.lo, zero.hi), (0.0, 0.0));
         assert!(zero.proves_finite());
-        let inf = s.const_value(&["f64".to_owned(), "INFINITY".to_owned()]).unwrap();
+        let inf = s
+            .const_value(&["f64".to_owned(), "INFINITY".to_owned()])
+            .unwrap();
         assert!(!inf.proves_finite());
         assert!(inf.proves_ge(0.0));
         let slack = s.const_value(&["POWER_SLACK_W".to_owned()]).unwrap();

@@ -103,11 +103,7 @@ impl GraphOutcome {
     pub fn summary(&self) -> String {
         let a = &self.analysis;
         let (confirmed, trusted, mismatched) = seed_verdict_counts(a);
-        let proven_sites = a
-            .sharing
-            .iter()
-            .filter(|v| v.verdict == "proven")
-            .count();
+        let proven_sites = a.sharing.iter().filter(|v| v.verdict == "proven").count();
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -162,8 +158,8 @@ pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut sources = Vec::with_capacity(paths.len());
     for path in &paths {
         let rel = files::relative(root, path);
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         sources.push(SourceFile::parse(&rel, &text));
     }
     Ok(sources)
@@ -231,9 +227,7 @@ pub fn run(root: &Path) -> Result<GraphOutcome, String> {
 pub fn report_json(outcome: &GraphOutcome) -> Json {
     let a = &outcome.analysis;
     let iv = |i: &crate::flow::interval::Interval| Json::str(format!("{i}"));
-    let opt_iv = |i: &Option<crate::flow::interval::Interval>| {
-        i.as_ref().map_or(Json::Null, iv)
-    };
+    let opt_iv = |i: &Option<crate::flow::interval::Interval>| i.as_ref().map_or(Json::Null, iv);
 
     let mut summaries = Vec::new();
     let mut order: Vec<usize> = (0..a.ws.fns.len()).collect();
@@ -280,8 +274,7 @@ pub fn report_json(outcome: &GraphOutcome) -> Json {
         .params
         .iter()
         .map(|((path, line), env)| {
-            let obj: BTreeMap<String, Json> =
-                env.iter().map(|(k, v)| (k.clone(), iv(v))).collect();
+            let obj: BTreeMap<String, Json> = env.iter().map(|(k, v)| (k.clone(), iv(v))).collect();
             (format!("{path}:{line}"), Json::Obj(obj))
         })
         .collect();
@@ -383,9 +376,15 @@ mod tests {
                 .join("\n")
         );
         let a = &outcome.analysis;
-        assert!(!a.summary.seed_checks.is_empty(), "seed contracts must be checked");
         assert!(
-            a.summary.seed_checks.iter().all(|c| c.verdict != "mismatch"),
+            !a.summary.seed_checks.is_empty(),
+            "seed contracts must be checked"
+        );
+        assert!(
+            a.summary
+                .seed_checks
+                .iter()
+                .all(|c| c.verdict != "mismatch"),
             "no seed contract may mismatch its derived summary"
         );
         assert!(!a.sharing.is_empty(), "parallel_map sites must be found");
@@ -394,7 +393,11 @@ mod tests {
             "every parallel_map site needs a race-freedom proof: {:#?}",
             a.sharing
         );
-        assert!(a.reach.dead_pub.is_empty(), "dead pub: {:?}", a.reach.dead_pub);
+        assert!(
+            a.reach.dead_pub.is_empty(),
+            "dead pub: {:?}",
+            a.reach.dead_pub
+        );
     }
 
     /// Satellite (b): rendering the report twice over two fresh runs

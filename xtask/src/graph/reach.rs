@@ -30,10 +30,7 @@ pub struct ReachReport {
 }
 
 /// Runs the traversal. Dead-pub findings use pass `reach`.
-pub fn check(
-    ws: &Workspace,
-    resolutions: &[Vec<Resolution>],
-) -> (ReachReport, Vec<Violation>) {
+pub fn check(ws: &Workspace, resolutions: &[Vec<Resolution>]) -> (ReachReport, Vec<Violation>) {
     let n = ws.fns.len();
     let mut reachable = vec![false; n];
     let mut stack: Vec<usize> = Vec::new();
@@ -107,10 +104,7 @@ mod tests {
     use crate::syntax::source::SourceFile;
 
     fn run(files: &[(&str, &str)]) -> (Workspace, ReachReport, Vec<Violation>) {
-        let sources: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, t)| SourceFile::parse(p, t))
-            .collect();
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
         let ws = Workspace::build(&sources);
         let seeds = Seeds::for_tests();
         let resolutions: Vec<Vec<Resolution>> = ws
@@ -123,8 +117,11 @@ mod tests {
                     .calls
                     .iter()
                     .map(|e| {
-                        let recv_ty =
-                            e.recv.as_ref().and_then(|r| hints.get(r)).map(String::as_str);
+                        let recv_ty = e
+                            .recv
+                            .as_ref()
+                            .and_then(|r| hints.get(r))
+                            .map(String::as_str);
                         ws.resolve(f.file, f.self_type.as_deref(), e, recv_ty)
                     })
                     .collect()

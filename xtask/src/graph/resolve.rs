@@ -20,26 +20,121 @@ use crate::syntax::source::SourceFile;
 /// workspace method with one of these names is never claimed as the
 /// unique target of an unhinted method call.
 pub const STD_METHODS: &[&str] = &[
-    "abs", "all", "and_then", "any", "as_mut", "as_ref", "as_str", "borrow", "borrow_mut",
-    "ceil", "chain", "chunks", "clamp", "clone", "cloned", "cmp", "collect", "contains",
-    "copied", "count", "dedup", "default", "drain", "entry", "enumerate", "eq", "err",
-    "exp", "expect", "extend", "filter", "filter_map", "find", "first", "flat_map",
-    "flatten", "floor", "fmt", "fold", "from_bits", "get", "get_mut", "hash", "hypot",
-    "insert", "into", "into_iter", "is_empty", "is_err", "is_finite", "is_nan", "is_none",
-    "is_ok", "is_some", "iter", "iter_mut", "join", "last", "len", "ln", "lock", "log10",
-    "map", "map_err", "max", "max_by", "min", "min_by", "mul_add", "next", "ok", "or",
-    "or_else", "parse", "partial_cmp", "position", "powf", "powi", "push", "push_str",
-    "read", "rem_euclid", "remove", "replace", "rev", "round", "signum", "skip", "sort",
-    "sort_by", "split", "sqrt", "sum", "swap", "take", "to_bits", "to_owned", "to_string",
-    "to_vec", "trim", "trunc", "unwrap", "unwrap_or", "unwrap_or_default",
-    "unwrap_or_else", "windows", "write", "zip",
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_mut",
+    "as_ref",
+    "as_str",
+    "borrow",
+    "borrow_mut",
+    "ceil",
+    "chain",
+    "chunks",
+    "clamp",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "copied",
+    "count",
+    "dedup",
+    "default",
+    "drain",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "exp",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "from_bits",
+    "get",
+    "get_mut",
+    "hash",
+    "hypot",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_finite",
+    "is_nan",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "ln",
+    "lock",
+    "log10",
+    "map",
+    "map_err",
+    "max",
+    "max_by",
+    "min",
+    "min_by",
+    "mul_add",
+    "next",
+    "ok",
+    "or",
+    "or_else",
+    "parse",
+    "partial_cmp",
+    "position",
+    "powf",
+    "powi",
+    "push",
+    "push_str",
+    "read",
+    "rem_euclid",
+    "remove",
+    "replace",
+    "rev",
+    "round",
+    "signum",
+    "skip",
+    "sort",
+    "sort_by",
+    "split",
+    "sqrt",
+    "sum",
+    "swap",
+    "take",
+    "to_bits",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "trunc",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "windows",
+    "write",
+    "zip",
 ];
 
 /// Free-function names too generic to claim from a bare (unqualified)
 /// call even when the workspace defines exactly one.
 const FREE_FN_DENY: &[&str] = &[
-    "abs", "clamp", "default", "drop", "format", "from", "into", "main", "max", "min",
-    "new", "replace", "swap", "take",
+    "abs", "clamp", "default", "drop", "format", "from", "into", "main", "max", "min", "new",
+    "replace", "swap", "take",
 ];
 
 /// One source file's resolution context.
@@ -260,7 +355,11 @@ impl Workspace {
             .filter(|&i| !self.fns[i].def.has_self)
             .collect();
         // Same-file definitions shadow imports.
-        let local: Vec<usize> = cands.iter().copied().filter(|&i| self.fns[i].file == file).collect();
+        let local: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].file == file)
+            .collect();
         if local.len() == 1 {
             return Resolution::Unique(local[0]);
         }
@@ -594,7 +693,10 @@ pub fn for_each_stmt<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
                 for_each_stmt(body, f);
             }
             Stmt::Return(Some(e)) => for_each_stmt_expr(e, f),
-            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Havoc(_)
+            Stmt::Return(None)
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::Havoc(_)
             | Stmt::Opaque { .. } => {}
         }
     }
@@ -663,10 +765,7 @@ mod tests {
     use super::*;
 
     fn ws(files: &[(&str, &str)]) -> Workspace {
-        let sources: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, t)| SourceFile::parse(p, t))
-            .collect();
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
         Workspace::build(&sources)
     }
 
@@ -693,22 +792,31 @@ mod tests {
     #[test]
     fn bare_calls_resolve_same_file_then_workspace() {
         let w = ws(&[
-            ("crates/a/src/lib.rs", "fn helper() {}\nfn go() { helper(); }\n"),
+            (
+                "crates/a/src/lib.rs",
+                "fn helper() {}\nfn go() { helper(); }\n",
+            ),
             ("crates/b/src/lib.rs", "fn solo() {}\n"),
         ]);
-        assert!(matches!(w.resolve(0, None, &call(&["helper"]), None), Resolution::Unique(0)));
+        assert!(matches!(
+            w.resolve(0, None, &call(&["helper"]), None),
+            Resolution::Unique(0)
+        ));
         // `solo` is unique workspace-wide even from another file.
-        assert!(matches!(w.resolve(0, None, &call(&["solo"]), None), Resolution::Unique(_)));
-        assert_eq!(w.resolve(0, None, &call(&["nothing"]), None), Resolution::External);
+        assert!(matches!(
+            w.resolve(0, None, &call(&["solo"]), None),
+            Resolution::Unique(_)
+        ));
+        assert_eq!(
+            w.resolve(0, None, &call(&["nothing"]), None),
+            Resolution::External
+        );
     }
 
     #[test]
     fn use_expansion_and_module_suffix_match() {
         let w = ws(&[
-            (
-                "crates/bench/src/parallel.rs",
-                "pub fn parallel_map() {}\n",
-            ),
+            ("crates/bench/src/parallel.rs", "pub fn parallel_map() {}\n"),
             (
                 "crates/bench/src/bin/go.rs",
                 "use bench::parallel::parallel_map;\nfn main() { parallel_map(); }\n",
@@ -739,7 +847,10 @@ mod tests {
             Resolution::Unique(_)
         ));
         // `len` collides with std; never claimed.
-        assert_eq!(w.resolve(0, None, &method("len"), None), Resolution::External);
+        assert_eq!(
+            w.resolve(0, None, &method("len"), None),
+            Resolution::External
+        );
         // A hint that matches nothing stays external.
         assert_eq!(
             w.resolve(0, None, &method("power_if"), Some("Vec")),

@@ -112,7 +112,9 @@ mod tests {
     #[test]
     fn deep_chain_does_not_overflow() {
         let n = 50_000;
-        let adj: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
         let comps = sccs(&adj);
         assert_eq!(comps.len(), n);
         assert_eq!(comps[0], vec![n - 1]);

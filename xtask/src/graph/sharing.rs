@@ -21,17 +21,34 @@ use std::collections::BTreeSet;
 use crate::flow::ast::{Arm, Expr, Pat, Stmt};
 use crate::lint::Violation;
 
-use super::resolve::{for_each_stmt, Resolution, Workspace, INTERIOR_MUT_TYPES};
 use super::resolve::local_type_hints;
+use super::resolve::{for_each_stmt, Resolution, Workspace, INTERIOR_MUT_TYPES};
 use crate::flow::range::CallEvent;
 
 /// Std methods that mutate their receiver through `&mut self`; calling
 /// one on a capture is a sharing violation even without workspace
 /// resolution.
 const STD_MUT_METHODS: &[&str] = &[
-    "borrow_mut", "clear", "dedup", "drain", "extend", "get_mut", "insert", "iter_mut",
-    "lock", "pop", "push", "push_str", "remove", "retain", "set", "sort", "sort_by",
-    "sort_unstable", "truncate", "write",
+    "borrow_mut",
+    "clear",
+    "dedup",
+    "drain",
+    "extend",
+    "get_mut",
+    "insert",
+    "iter_mut",
+    "lock",
+    "pop",
+    "push",
+    "push_str",
+    "remove",
+    "retain",
+    "set",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "truncate",
+    "write",
 ];
 
 /// The verdict for one `parallel_map` call site.
@@ -163,10 +180,14 @@ fn judge_site(
 
     let mut details = Vec::new();
     for name in walker.assigned.iter().filter(|n| enclosing.contains(*n)) {
-        details.push(format!("captured `{name}` is assigned to inside the worker"));
+        details.push(format!(
+            "captured `{name}` is assigned to inside the worker"
+        ));
     }
     for name in walker.mut_refs.iter().filter(|n| enclosing.contains(*n)) {
-        details.push(format!("captured `{name}` is borrowed `&mut` inside the worker"));
+        details.push(format!(
+            "captured `{name}` is borrowed `&mut` inside the worker"
+        ));
     }
     for name in &captures {
         if let Some(ty) = hints.get(name) {
@@ -198,12 +219,12 @@ fn judge_site(
         };
         let recv_ty = hints.get(recv).map(String::as_str);
         let info = &ws.fns[fn_ix];
-        let hits: Vec<usize> = match ws.resolve(info.file, info.self_type.as_deref(), &event, recv_ty)
-        {
-            Resolution::Unique(j) => vec![j],
-            Resolution::Candidates(js) => js,
-            Resolution::External => Vec::new(),
-        };
+        let hits: Vec<usize> =
+            match ws.resolve(info.file, info.self_type.as_deref(), &event, recv_ty) {
+                Resolution::Unique(j) => vec![j],
+                Resolution::Candidates(js) => js,
+                Resolution::External => Vec::new(),
+            };
         if hits.iter().any(|&j| ws.fns[j].def.self_mut) {
             details.push(format!(
                 "captured `{recv}` receives workspace `&mut self` method `.{method}()` (line {mline})"
@@ -389,7 +410,8 @@ impl CapWalker {
             } => {
                 if let Expr::Path(segs) = recv.as_ref() {
                     if segs.len() == 1 && !self.is_bound(&segs[0]) {
-                        self.method_calls.push((segs[0].clone(), name.clone(), *line));
+                        self.method_calls
+                            .push((segs[0].clone(), name.clone(), *line));
                     }
                 }
                 self.walk_expr(recv);
@@ -526,7 +548,9 @@ mod tests {
 
     #[test]
     fn named_function_worker_is_proven() {
-        let v = verdicts("fn work(x: &f64) -> f64 { *x }\nfn go() {\n    parallel_map(items, 4, work);\n}\n");
+        let v = verdicts(
+            "fn work(x: &f64) -> f64 { *x }\nfn go() {\n    parallel_map(items, 4, work);\n}\n",
+        );
         assert_eq!(v[0].verdict, "proven");
         assert!(v[0].captures.is_empty());
     }

@@ -114,9 +114,12 @@ pub struct SummaryResult {
 
 /// Runs the whole summary pass over a parsed workspace.
 pub fn compute(ws: &Workspace, seeds: &Seeds, sources: &[SourceFile]) -> SummaryResult {
-    let hints: Vec<BTreeMap<String, String>> =
-        ws.fns.iter().map(local_type_hints).collect();
-    let paths: Vec<&str> = ws.fns.iter().map(|f| ws.files[f.file].path.as_str()).collect();
+    let hints: Vec<BTreeMap<String, String>> = ws.fns.iter().map(local_type_hints).collect();
+    let paths: Vec<&str> = ws
+        .fns
+        .iter()
+        .map(|f| ws.files[f.file].path.as_str())
+        .collect();
 
     // Phase 1: intra-procedural event collection (no oracle).
     let mut events: Vec<Vec<CallEvent>> = ws
@@ -469,9 +472,7 @@ fn cross_check_seeds(
         }
     }
     checks.extend(check_unit_constructors(ws, sources, violations));
-    checks.sort_by(|a, b| {
-        (&a.contract, &a.path, a.line).cmp(&(&b.contract, &b.path, b.line))
-    });
+    checks.sort_by(|a, b| (&a.contract, &a.path, a.line).cmp(&(&b.contract, &b.path, b.line)));
     checks
 }
 
@@ -549,10 +550,7 @@ mod tests {
     use super::*;
 
     fn analyze(files: &[(&str, &str)]) -> (Workspace, SummaryResult) {
-        let sources: Vec<SourceFile> = files
-            .iter()
-            .map(|(p, t)| SourceFile::parse(p, t))
-            .collect();
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| SourceFile::parse(p, t)).collect();
         let ws = Workspace::build(&sources);
         let seeds = Seeds::for_tests();
         let result = compute(&ws, &seeds, &sources);

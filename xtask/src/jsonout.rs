@@ -30,12 +30,7 @@ pub enum Json {
 impl Json {
     /// An object builder from `(key, value)` pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// A string value.

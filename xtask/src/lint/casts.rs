@@ -8,8 +8,8 @@
 //! allowed; everything else must go through `TryFrom`/`try_into`, an
 //! explicit clamp, or carry a `// lint:allow(cast): <reason>` marker.
 
-use crate::syntax::source::SourceFile;
 use super::Violation;
+use crate::syntax::source::SourceFile;
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "cast";

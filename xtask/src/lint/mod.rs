@@ -292,8 +292,8 @@ pub fn run(root: &Path) -> Result<Report, String> {
 
     for path in &files {
         let rel = files::relative(root, path);
-        let text = fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let src = SourceFile::parse(&rel, &text);
 
         let mut findings = Vec::new();

@@ -8,8 +8,8 @@
 //! validation) carry a `// lint:allow(panic): <reason>` marker or an
 //! allowlist entry.
 
-use crate::syntax::source::SourceFile;
 use super::Violation;
+use crate::syntax::source::SourceFile;
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "panic";
@@ -60,7 +60,8 @@ mod tests {
 
     #[test]
     fn flags_unwrap_expect_panic() {
-        let v = findings("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n");
+        let v =
+            findings("fn f() {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"no\");\n}\n");
         assert_eq!(v.len(), 3);
         assert_eq!(v[0].line, 2);
         assert_eq!(v[1].line, 3);
@@ -84,7 +85,8 @@ mod tests {
 
     #[test]
     fn unwrap_or_variants_are_fine() {
-        let v = findings("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }");
+        let v =
+            findings("fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }");
         assert!(v.is_empty());
     }
 }

@@ -8,8 +8,8 @@
 //! `power`, `irradiance`, … Dimensionless quantities (ratios, fractions,
 //! efficiencies, seeds) stay raw `f64` by design and are never flagged.
 
-use crate::syntax::source::SourceFile;
 use super::Violation;
+use crate::syntax::source::SourceFile;
 
 /// Pass name used in waivers and reports.
 pub const PASS: &str = "raw-f64";

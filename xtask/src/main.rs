@@ -33,9 +33,14 @@
 //!   MPPT&Opt), writes its JSONL stream under `results/`, renders the
 //!   per-period tracking timeline and cross-checks the stream's
 //!   tracking-error aggregate against the committed Table 7 artifact.
+//! * `chaos` — runs the differential fault-injection campaign over every
+//!   scenario under `scenarios/`, enforcing the soundness gates (control
+//!   rows bit-transparent, zero false degradation trips) and rewriting
+//!   `results/chaos_report.json`; `--smoke` runs a two-scenario subset
+//!   with the same gates and writes nothing.
 //! * `ci`   — the one-command verification gate, in dependency order:
 //!   lint → clippy → analyze → flow → graph → doc → build → test →
-//!   determinism → bench smoke.
+//!   determinism → chaos smoke → bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
             bench::run(&workspace_root(), smoke)
         }
         Some("trace") => run_trace(),
+        Some("chaos") => run_chaos(args.iter().any(|a| a == "--smoke")),
         Some("ci") => run_ci(),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -77,7 +83,7 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: cargo xtask <lint | analyze | flow [--bless] | graph | determinism | \
-         bench [--smoke] | trace | ci>"
+         bench [--smoke] | trace | chaos [--smoke] | ci>"
     );
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
@@ -88,8 +94,12 @@ fn print_usage() {
     eprintln!("  bench        run the criterion suite and write BENCH_pr3.json");
     eprintln!("  trace        run the golden telemetry day and render its timeline");
     eprintln!(
+        "  chaos        run the fault-injection campaign and write results/chaos_report.json"
+    );
+    eprintln!("               (--smoke runs a two-scenario subset and writes nothing)");
+    eprintln!(
         "  ci           lint, clippy, analyze, flow, graph, doc, build, test, determinism, \
-         bench smoke"
+         chaos smoke, bench smoke"
     );
 }
 
@@ -220,7 +230,15 @@ fn run_determinism() -> ExitCode {
     let root = workspace_root();
     println!("xtask determinism: running determinism_check (release)");
     let status = Command::new("cargo")
-        .args(["run", "--release", "-q", "-p", "bench", "--bin", "determinism_check"])
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "bench",
+            "--bin",
+            "determinism_check",
+        ])
         .current_dir(&root)
         .status();
     match status {
@@ -242,7 +260,15 @@ fn run_trace() -> ExitCode {
     let root = workspace_root();
     println!("xtask trace: running trace_report (release)");
     let status = Command::new("cargo")
-        .args(["run", "--release", "-q", "-p", "bench", "--bin", "trace_report"])
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "bench",
+            "--bin",
+            "trace_report",
+        ])
         .current_dir(&root)
         .status();
     match status {
@@ -258,6 +284,41 @@ fn run_trace() -> ExitCode {
     }
 }
 
+/// Runs the differential chaos campaign (a bench binary, so xtask does
+/// not link the simulation crates).
+fn run_chaos(smoke: bool) -> ExitCode {
+    let root = workspace_root();
+    let mode = if smoke { " --smoke" } else { "" };
+    println!("xtask chaos: running chaos_check{mode} (release)");
+    let mut args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "bench",
+        "--bin",
+        "chaos_check",
+    ];
+    if smoke {
+        args.extend(["--", "--smoke"]);
+    }
+    let status = Command::new("cargo")
+        .args(&args)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask chaos: campaign gate failed (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask chaos: could not spawn cargo: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_ci() -> ExitCode {
     let root = workspace_root();
 
@@ -267,7 +328,14 @@ fn run_ci() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let clippy: &[&str] = &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"];
+    let clippy: &[&str] = &[
+        "clippy",
+        "--workspace",
+        "--all-targets",
+        "--",
+        "-D",
+        "warnings",
+    ];
     println!("xtask ci: running cargo {}", clippy.join(" "));
     if !run_cargo_step(&root, "clippy", clippy) {
         return ExitCode::FAILURE;
@@ -291,7 +359,10 @@ fn run_ci() -> ExitCode {
     // Rustdoc gate: crate-level docs and doc links must stay warning-free
     // (the observability contract in `solarcore::telemetry` is rustdoc).
     let doc: &[&str] = &["doc", "--no-deps", "--workspace"];
-    println!("xtask ci: running cargo {} (RUSTDOCFLAGS=-D warnings)", doc.join(" "));
+    println!(
+        "xtask ci: running cargo {} (RUSTDOCFLAGS=-D warnings)",
+        doc.join(" ")
+    );
     let doc_status = Command::new("cargo")
         .args(doc)
         .env("RUSTDOCFLAGS", "-D warnings")
@@ -322,6 +393,13 @@ fn run_ci() -> ExitCode {
 
     println!("xtask ci: running xtask determinism");
     if run_determinism() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    // Chaos smoke: proves the fault-injection campaign's soundness gates
+    // (control transparency, zero false trips) on a two-scenario subset.
+    println!("xtask ci: running xtask chaos --smoke");
+    if run_chaos(true) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 

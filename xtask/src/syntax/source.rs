@@ -54,7 +54,10 @@ impl SourceFile {
 
     /// `true` if `line` (1-based) is inside a test-gated region.
     pub fn is_test_line(&self, line: usize) -> bool {
-        self.in_test.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+        self.in_test
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Every inline `lint:allow(<pass>)` marker in the file, for
@@ -152,8 +155,8 @@ fn mask(text: &str) -> Vec<String> {
                     } else if c == '\'' {
                         // Char literal or lifetime. A lifetime has an ident
                         // char after the quote and no closing quote nearby.
-                        let close = bytes.get(i + 2) == Some(&'\'')
-                            || (bytes.get(i + 1) == Some(&'\\'));
+                        let close =
+                            bytes.get(i + 2) == Some(&'\'') || (bytes.get(i + 1) == Some(&'\\'));
                         if close {
                             let span = if bytes.get(i + 1) == Some(&'\\') {
                                 // '\n', '\'', '\\', '\u{...}' — find the close.
@@ -313,7 +316,8 @@ mod tests {
 
     #[test]
     fn cfg_test_region_is_flagged() {
-        let text = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let text =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
         let src = SourceFile::parse("t.rs", text);
         assert!(!src.is_test_line(1));
         assert!(src.is_test_line(2));
@@ -361,8 +365,17 @@ mod tests {
         let src = SourceFile::parse("t.rs", text);
         let m = src.waiver_markers();
         assert_eq!(m.len(), 3);
-        assert_eq!((m[0].line, m[0].pass.as_str(), m[0].has_reason), (1, "panic", true));
-        assert_eq!((m[1].line, m[1].pass.as_str(), m[1].has_reason), (2, "cast", false));
-        assert_eq!((m[2].line, m[2].pass.as_str(), m[2].has_reason), (3, "dim", false));
+        assert_eq!(
+            (m[0].line, m[0].pass.as_str(), m[0].has_reason),
+            (1, "panic", true)
+        );
+        assert_eq!(
+            (m[1].line, m[1].pass.as_str(), m[1].has_reason),
+            (2, "cast", false)
+        );
+        assert_eq!(
+            (m[2].line, m[2].pass.as_str(), m[2].has_reason),
+            (3, "dim", false)
+        );
     }
 }

@@ -49,8 +49,8 @@ fn fixtures_dir() -> PathBuf {
 fn load_fixtures() -> Vec<Fixture> {
     let dir = fixtures_dir();
     let mut out = Vec::new();
-    let entries = std::fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
+    let entries =
+        std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()));
     for entry in entries {
         let p = entry.expect("dir entry").path();
         if p.extension().and_then(|e| e.to_str()) != Some("rs") {
@@ -96,7 +96,9 @@ fn parse_checks(v: &str, name: &str) -> (usize, usize, usize) {
         let (Some(n), Some(label)) = (it.next(), it.next()) else {
             panic!("{name}: malformed checks directive part `{part}`");
         };
-        let n: usize = n.parse().unwrap_or_else(|_| panic!("{name}: bad count `{n}`"));
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}: bad count `{n}`"));
         let slot = match label {
             "proven" => 0,
             "runtime" => 1,
@@ -125,15 +127,19 @@ fn run_fixture(f: &Fixture) -> (Vec<String>, Option<(usize, usize, usize)>) {
                 f.path
             );
             let (sites, violations) = range::check(&src, &Seeds::for_tests());
-            let tally = sites
-                .iter()
-                .flat_map(|s| s.checks.iter())
-                .fold((0, 0, 0), |(p, r, v), c| match c.status {
-                    CheckStatus::Proven => (p + 1, r, v),
-                    CheckStatus::Runtime => (p, r + 1, v),
-                    CheckStatus::Violated => (p, r, v + 1),
-                });
-            (violations.iter().map(ToString::to_string).collect(), Some(tally))
+            let tally =
+                sites
+                    .iter()
+                    .flat_map(|s| s.checks.iter())
+                    .fold((0, 0, 0), |(p, r, v), c| match c.status {
+                        CheckStatus::Proven => (p + 1, r, v),
+                        CheckStatus::Runtime => (p, r + 1, v),
+                        CheckStatus::Violated => (p, r, v + 1),
+                    });
+            (
+                violations.iter().map(ToString::to_string).collect(),
+                Some(tally),
+            )
         }
         "schema" => {
             assert!(
@@ -234,9 +240,9 @@ fn suite_covers_every_pass_in_both_directions() {
             "no violating fixture for pass `{pass}`"
         );
         assert!(
-            of_pass.iter().any(|f| {
-                std::fs::read_to_string(&f.expected_file).is_ok_and(|e| e.is_empty())
-            }),
+            of_pass
+                .iter()
+                .any(|f| { std::fs::read_to_string(&f.expected_file).is_ok_and(|e| e.is_empty()) }),
             "no clean fixture for pass `{pass}`"
         );
     }

@@ -103,7 +103,13 @@ fn run_fixture(f: &Fixture) -> (Vec<String>, usize) {
         .filter(|v| v.pass == f.pass && v.path == f.path)
         .map(ToString::to_string)
         .collect();
-    let largest = analysis.summary.sccs.iter().map(Vec::len).max().unwrap_or(0);
+    let largest = analysis
+        .summary
+        .sccs
+        .iter()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0);
     (diags, largest)
 }
 
