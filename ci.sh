@@ -1,5 +1,8 @@
 #!/usr/bin/env sh
 # Full local CI gate, in order: invariant lints (cargo xtask lint),
+# documentation cross-references (cargo xtask docs: every §N pointer
+# resolves to a DESIGN.md heading, every committed results/*.json is
+# catalogued in EXPERIMENTS.md, every crate has a README crate-map row),
 # clippy -D warnings, static analysis (cargo xtask analyze: dimensional /
 # determinism / exhaustiveness passes), dataflow analysis (cargo xtask
 # flow: interval/range proofs over the sanitizer sites — sharpened by the
@@ -16,9 +19,13 @@
 # schema in solarcore::schema is rustdoc, so doc rot fails CI), release build,
 # workspace tests, the bitwise-reproducibility harness (cargo xtask
 # determinism — now also proves traced runs are bit-transparent and
-# their JSONL byte-identical), and a benchmark smoke run (cargo xtask
-# bench --smoke) that validates every bench target and archives
-# BENCH_pr3.json at the repo root.
+# their JSONL byte-identical, and that a sharded campaign digests
+# identically across thread counts and a kill/resume cycle), the chaos
+# smoke gate (cargo xtask chaos --smoke), the campaign smoke gate
+# (cargo xtask campaign --smoke: four shards, byte-identity across
+# 1/N threads and kill+resume, DESIGN.md §18), and a benchmark smoke
+# run (cargo xtask bench --smoke) that validates every bench target
+# and archives BENCH_pr3.json at the repo root.
 #
 # The gate order is load-bearing: flow consumes the summaries graph
 # derives, so a summary regression surfaces in flow first (as a proven-
@@ -28,8 +35,10 @@
 # Exits non-zero on the first failing gate. See DESIGN.md §11 for the
 # invariant catalog, §12 for the static analysis passes, §13 for the
 # caching/benchmark layer, §14 for the observability contract, §15
-# for the dataflow passes and their proof/runtime split, and §16 for the
-# call-graph analysis and the proven-ratio ratchet.
+# for the dataflow passes and their proof/runtime split, §16 for the
+# call-graph analysis and the proven-ratio ratchet, §17 for fault
+# injection, and §18 for the campaign engine; docs/HANDBOOK.md is the
+# operator-facing walkthrough of this gate order.
 #
 # Note on proptest regressions: the vendored proptest stub does not read
 # tests/tests/properties.proptest-regressions. The corpus is replayed as

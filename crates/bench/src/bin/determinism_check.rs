@@ -14,14 +14,19 @@
 //! 5. the fault-injection seams — a run armed with an **empty**
 //!    [`FaultPlan`] must hash identically to a fully disarmed run *and*
 //!    to the pinned pre-fault-subsystem baseline, proving the injection
-//!    plumbing costs exactly zero bits when nothing is scheduled.
+//!    plumbing costs exactly zero bits when nothing is scheduled;
+//! 6. the campaign engine — a small sharded campaign must digest
+//!    identically at 1 thread, at N threads, and across a
+//!    kill-mid-campaign/resume-from-checkpoint cycle.
 //!
 //! Exit status is non-zero on any divergence, so CI can gate on it.
 
 use std::cell::RefCell;
+use std::path::Path;
 use std::process::ExitCode;
 use std::rc::Rc;
 
+use bench::campaign::{run as run_campaign, CampaignSpec, RunOptions};
 use bench::determinism::{day_hash, grid_hash};
 use bench::grid::{GridConfig, PolicyGrid};
 use bench::parallel::default_threads;
@@ -182,10 +187,93 @@ fn main() -> ExitCode {
         }
     }
 
+    // 6. Campaign engine: same spec, three execution schedules — serial,
+    //    wide, and killed-then-resumed — must render identical bytes.
+    if !campaign_agrees() {
+        ok = false;
+    }
+
     if ok {
-        println!("determinism: OK — bit-identical across threads, input order and telemetry");
+        println!(
+            "determinism: OK — bit-identical across threads, input order, telemetry and resume"
+        );
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Runs a three-shard campaign serial, wide, and killed+resumed; `true`
+/// when all three render byte-identical reports.
+fn campaign_agrees() -> bool {
+    let spec_text = "[campaign]\nname = \"determinism\"\nsites = \"AZ,CO,NC\"\n\
+                     months = \"Jan\"\ncheckpoint_every = 1\n";
+    let spec = match CampaignSpec::parse(spec_text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("determinism: FAIL — campaign spec rejected: {e}");
+            return false;
+        }
+    };
+    let scenarios = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let checkpoint = std::env::temp_dir()
+        .join(format!("solarcore_determinism_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&checkpoint);
+    let n = default_threads().max(2);
+
+    let serial = run_campaign(&spec, &scenarios, &RunOptions {
+        threads: 1,
+        ..RunOptions::default()
+    });
+    let wide = run_campaign(&spec, &scenarios, &RunOptions {
+        threads: n,
+        ..RunOptions::default()
+    });
+    let killed = run_campaign(&spec, &scenarios, &RunOptions {
+        threads: n,
+        checkpoint: Some(checkpoint.clone()),
+        // Two shards done before the abort: wave 1 checkpoints durably,
+        // wave 2 is lost in flight — so the resume genuinely restores
+        // rows *and* re-executes work.
+        kill_after: Some(2),
+    });
+    let resumed = run_campaign(&spec, &scenarios, &RunOptions {
+        threads: n,
+        checkpoint: Some(checkpoint.clone()),
+        kill_after: None,
+    });
+    let _ = std::fs::remove_file(&checkpoint);
+
+    let (Ok(serial), Ok(wide), Ok(killed), Ok(resumed)) = (serial, wide, killed, resumed) else {
+        eprintln!("determinism: FAIL — campaign run errored");
+        return false;
+    };
+    println!(
+        "determinism: campaign serial    digest {:016x}",
+        serial.digest()
+    );
+    println!(
+        "determinism: campaign threads={n} digest {:016x}",
+        wide.digest()
+    );
+    println!(
+        "determinism: campaign resumed@{} digest {:016x}",
+        killed.checkpointed,
+        resumed.digest()
+    );
+    let reference = serial.report_json().render();
+    let mut ok = true;
+    if wide.report_json().render() != reference {
+        eprintln!("determinism: FAIL — campaign diverges across thread counts");
+        ok = false;
+    }
+    if resumed.report_json().render() != reference {
+        eprintln!("determinism: FAIL — resumed campaign diverges from uninterrupted run");
+        ok = false;
+    }
+    if killed.complete || !resumed.complete {
+        eprintln!("determinism: FAIL — campaign kill/resume cycle misbehaved");
+        ok = false;
+    }
+    ok
 }

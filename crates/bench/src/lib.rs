@@ -41,6 +41,7 @@
 //! ```
 
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
+pub mod campaign;
 pub mod chaos;
 pub mod determinism;
 pub mod experiments;

@@ -1,5 +1,15 @@
-//! Result serialization and plain-text table rendering.
+//! Result serialization, canonical JSON rendering, and plain-text tables.
+//!
+//! Two JSON paths live here. [`write_json`] serializes through serde for
+//! the figure/table experiment artifacts. [`Json`] is the *canonical*
+//! renderer (same contract as `xtask/src/jsonout.rs`, which bench cannot
+//! depend on): sorted object keys, shortest-roundtrip float formatting,
+//! fixed two-space indentation, trailing newline. The campaign engine's
+//! checkpoints and `results/campaign_report.json` go through [`Json`]
+//! because resume-bit-identity needs a byte-stable encoding whose floats
+//! parse back to the exact same `f64` bits.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -20,6 +30,163 @@ pub fn write_json<T: Serialize>(
     let path = dir.join(format!("{name}.json"));
     fs::write(&path, serde_json::to_string_pretty(value)?)?;
     Ok(path)
+}
+
+/// A JSON value with deterministic, byte-stable rendering.
+///
+/// Object keys render sorted (the [`BTreeMap`] is the only object
+/// representation), floats use Rust's shortest-roundtrip `{}` formatting
+/// (integral values render without a fraction; non-finite become `null`),
+/// and indentation is fixed at two spaces — so two renders of the same
+/// value are byte-identical on every platform.
+///
+/// ```
+/// use bench::output::Json;
+///
+/// let doc = Json::obj(vec![
+///     ("zeta", Json::int(1)),
+///     ("alpha", Json::Num(0.5)),
+/// ]);
+/// assert_eq!(doc.render(), "{\n  \"alpha\": 0.5,\n  \"zeta\": 1\n}\n");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; non-finite values render as `null` (JSON has no ±∞/NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array, in insertion order.
+    Arr(Vec<Json>),
+    /// An object; keys render sorted because the map is ordered.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An object builder from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| ≤ 2^53).
+    #[allow(clippy::cast_precision_loss)]
+    pub fn int(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A `u64` rendered as a fixed-width hex string — the canonical form
+    /// for FNV-1a digests, which do not fit an `f64` exactly.
+    pub fn hex(n: u64) -> Json {
+        Json::Str(format!("{n:016x}"))
+    }
+
+    /// Renders the value as a pretty-printed document with a trailing
+    /// newline — the canonical byte form of every committed report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => write_num(out, *v),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Canonical float formatting: integral values render without a fraction,
+/// everything else uses the shortest-roundtrip `{}` form; non-finite
+/// values become `null`.
+#[allow(clippy::float_cmp)]
+fn write_num(out: &mut String, v: f64) {
+    use std::fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        // |v| < 1e15 keeps the cast exact, well inside i64 range.
+        #[allow(clippy::cast_possible_truncation)]
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A minimal fixed-width text table for terminal output.
@@ -105,6 +272,44 @@ mod tests {
         let mut t = TextTable::new(["a", "b", "c"]);
         t.row(["1"]);
         assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn canonical_keys_render_sorted_regardless_of_insertion_order() {
+        let a = Json::obj(vec![("zeta", Json::int(1)), ("alpha", Json::int(2))]);
+        let b = Json::obj(vec![("alpha", Json::int(2)), ("zeta", Json::int(1))]);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().find("alpha") < a.render().find("zeta"));
+    }
+
+    #[test]
+    fn canonical_floats_round_trip_exactly() {
+        // Shortest-roundtrip rendering followed by a parse must recover
+        // the exact bits — the property checkpoint/resume relies on.
+        for v in [0.7407, 1.0 / 3.0, 77.65432109876, f64::MIN_POSITIVE] {
+            let mut s = String::new();
+            write_num(&mut s, v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        let mut s = String::new();
+        write_num(&mut s, 27.0);
+        assert_eq!(s, "27");
+        s.clear();
+        write_num(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn hex_digests_are_fixed_width() {
+        assert_eq!(Json::hex(0x1f).render(), "\"000000000000001f\"\n");
+        assert_eq!(Json::hex(u64::MAX).render(), "\"ffffffffffffffff\"\n");
+    }
+
+    #[test]
+    fn canonical_strings_escape_controls_and_quotes() {
+        let j = Json::str("a\"b\\c\nd");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"\n");
     }
 
     #[test]

@@ -169,6 +169,15 @@ impl SimSetup {
     pub fn cache_stats(&self) -> pv::CacheStats {
         self.cache.stats()
     }
+
+    /// Consumes the setup and releases its PV solver memo, so a multi-day
+    /// caller can thread one warm cache through consecutive days via
+    /// [`DaySimulation::prepare_with_cache`]. The memo keys on exact
+    /// `(G, T, V)` bits and is bitwise-transparent, so reuse never changes
+    /// results — it only converts repeated solves into hits.
+    pub fn into_cache(self) -> pv::ArrayCache {
+        self.cache
+    }
 }
 
 impl DaySimulation {
@@ -216,6 +225,19 @@ impl DaySimulation {
     /// workload phases — and allocates a fresh PV solver memo, for reuse
     /// across [`Self::run_prepared`] calls.
     pub fn prepare(&self) -> SimSetup {
+        self.prepare_with_cache(pv::ArrayCache::new())
+    }
+
+    /// Like [`Self::prepare`], but seeds the setup with an existing PV
+    /// solver memo instead of a cold one. This is the multi-day reuse hook:
+    /// a campaign shard simulating consecutive days of one array threads
+    /// the cache forward ([`SimSetup::into_cache`] → `prepare_with_cache`)
+    /// so operating points recur across days as warm hits. The memo is
+    /// keyed on exact input bits and every miss delegates to the plain
+    /// solver, so a warm-started day is bit-identical to a cold one; the
+    /// cache is only meaningful for the same [`pv::PvArray`] the entries
+    /// were solved against, which is the caller's responsibility.
+    pub fn prepare_with_cache(&self, cache: pv::ArrayCache) -> SimSetup {
         let mut trace = EnvTrace::generate(&self.site, self.season, self.day);
         if let Some(plan) = &self.fault_plan {
             if plan.has_irradiance_faults() {
@@ -236,7 +258,7 @@ impl DaySimulation {
             faults_digest: self.faults_digest(),
             trace,
             phases,
-            cache: pv::ArrayCache::new(),
+            cache,
         }
     }
 

@@ -35,6 +35,7 @@
 )]
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
+pub mod calendar;
 pub mod error;
 pub mod geometry;
 pub mod season;
@@ -44,6 +45,7 @@ pub mod thermal;
 pub mod trace;
 pub mod weather;
 
+pub use calendar::{DayRange, Month};
 pub use error::EnvError;
 pub use season::Season;
 pub use site::{Site, SolarPotential};

@@ -1,0 +1,252 @@
+//! Streaming metric fold: constant-memory aggregation for sharded sweeps.
+//!
+//! A year-scale campaign runs thousands of simulated days; holding every
+//! day's telemetry stream until the end would make memory O(campaign).
+//! [`MetricFold`] is the alternative the ROADMAP's sharded sweeps call for:
+//! attach one per shard as a [`Sink`], let it fold each day-end
+//! [`CounterSnapshot`]/[`HistogramSnapshot`] into running [`Counter`]s and
+//! [`Histogram`]s via the associative `absorb`/`merge` family, and tally
+//! events/spans by name without retaining payloads. Folding per-shard folds
+//! into a campaign-level fold ([`MetricFold::merge`]) is associative and
+//! commutative, so shards may complete in any order — the aggregate is
+//! identical (the same guarantee `tests/merge_props.rs` property-tests for
+//! the underlying metrics). Memory stays O(distinct metric names), i.e.
+//! O(shards in flight), never O(campaign).
+//!
+//! Each arriving metric snapshot is treated as a **disjoint delta**: the
+//! emitting stream's instruments started from zero (true of
+//! `solarcore`'s per-day `DayInstruments`), so absorption is a plain sum.
+//! Storage is sorted-`Vec`, never `HashMap` — iteration order is part of
+//! the determinism contract, exactly as for
+//! [`AggregatingSink`](crate::AggregatingSink).
+
+use crate::metrics::{Counter, Histogram};
+use crate::record::{CounterSnapshot, HistogramSnapshot, Record};
+use crate::sink::{Sink, SinkError};
+
+/// Order-insensitive, constant-memory fold of metric snapshots.
+///
+/// ```
+/// use telemetry::{Histogram, MetricFold};
+///
+/// static BOUNDS: [u64; 3] = [1, 2, 4];
+/// let day = Histogram::new("newton_iters", &BOUNDS);
+/// day.record(3);
+///
+/// let mut shard = MetricFold::new();
+/// shard.absorb_histogram(&day.snapshot(0))?;
+///
+/// let mut campaign = MetricFold::new();
+/// campaign.merge(&shard)?;
+/// assert_eq!(campaign.histogram_snapshots()[0].count, 1);
+/// # Ok::<(), telemetry::SinkError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricFold {
+    /// Running histograms, sorted by name.
+    histograms: Vec<Histogram>,
+    /// Running counters, sorted by name.
+    counters: Vec<Counter>,
+    /// `(record name, occurrences)` tallies for events and spans, sorted.
+    tallies: Vec<(&'static str, u64)>,
+}
+
+impl MetricFold {
+    /// Creates an empty fold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one histogram snapshot in, registering the metric on first
+    /// sight (the snapshot's `&'static` bounds define the layout).
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError::SchemaMismatch`] if the name was already registered
+    /// with a different bucket layout; the fold is left unchanged.
+    pub fn absorb_histogram(&mut self, snap: &HistogramSnapshot) -> Result<(), SinkError> {
+        let idx = match self
+            .histograms
+            .binary_search_by(|h| h.name().cmp(snap.name))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                self.histograms.insert(i, Histogram::new(snap.name, snap.bounds));
+                i
+            }
+        };
+        self.histograms[idx].absorb(snap)
+    }
+
+    /// Folds one counter snapshot in, registering the name on first sight.
+    pub fn absorb_counter(&mut self, snap: &CounterSnapshot) {
+        let idx = match self.counters.binary_search_by(|c| c.name().cmp(snap.name)) {
+            Ok(i) => i,
+            Err(i) => {
+                self.counters.insert(i, Counter::new(snap.name));
+                i
+            }
+        };
+        self.counters[idx].absorb(snap);
+    }
+
+    /// Adds `n` occurrences of an event/span name to the tallies — the
+    /// same bookkeeping [`Sink::record`] does for live streams, exposed so
+    /// a fold can be rebuilt from a checkpoint.
+    pub fn tally(&mut self, name: &'static str, n: u64) {
+        match self.tallies.binary_search_by(|(t, _)| t.cmp(&name)) {
+            Ok(i) => self.tallies[i].1 = self.tallies[i].1.saturating_add(n),
+            Err(i) => self.tallies.insert(i, (name, n)),
+        }
+    }
+
+    /// Folds `other` into `self`. Associative and commutative, so
+    /// per-shard folds may be combined in any order.
+    ///
+    /// # Errors
+    ///
+    /// [`SinkError::SchemaMismatch`] if a histogram name appears in both
+    /// folds with different bucket layouts. Metrics folded before the
+    /// mismatch remain folded; the offending histogram does not.
+    pub fn merge(&mut self, other: &MetricFold) -> Result<(), SinkError> {
+        for h in &other.histograms {
+            self.absorb_histogram(&h.snapshot(0))?;
+        }
+        for c in &other.counters {
+            self.absorb_counter(&c.snapshot(0));
+        }
+        for &(name, n) in &other.tallies {
+            self.tally(name, n);
+        }
+        Ok(())
+    }
+
+    /// Snapshots of the running histograms, sorted by name (`seq` 0 — the
+    /// fold has no stream position).
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.histograms.iter().map(|h| h.snapshot(0)).collect()
+    }
+
+    /// Snapshots of the running counters, sorted by name.
+    pub fn counter_snapshots(&self) -> Vec<CounterSnapshot> {
+        self.counters.iter().map(|c| c.snapshot(0)).collect()
+    }
+
+    /// `(record name, occurrences)` tallies for events and spans, sorted.
+    pub fn tallies(&self) -> &[(&'static str, u64)] {
+        &self.tallies
+    }
+
+    /// `true` when nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.histograms.is_empty() && self.counters.is_empty() && self.tallies.is_empty()
+    }
+}
+
+impl Sink for MetricFold {
+    fn record(&mut self, record: &Record) -> Result<(), SinkError> {
+        match record {
+            Record::Event(_) | Record::Span(_) => {
+                self.tally(record.name(), 1);
+                Ok(())
+            }
+            Record::Counter(c) => {
+                self.absorb_counter(c);
+                Ok(())
+            }
+            Record::Histogram(h) => self.absorb_histogram(h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Event;
+    use crate::value::field;
+
+    static BOUNDS_A: [u64; 2] = [1, 2];
+    static BOUNDS_B: [u64; 2] = [1, 3];
+
+    fn hist(name: &'static str, bounds: &'static [u64], values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::new(name, bounds);
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot(0)
+    }
+
+    #[test]
+    fn snapshots_fold_as_disjoint_deltas() {
+        let mut fold = MetricFold::new();
+        fold.absorb_histogram(&hist("h", &BOUNDS_A, &[0, 2])).unwrap();
+        fold.absorb_histogram(&hist("h", &BOUNDS_A, &[5])).unwrap();
+        let snaps = fold.histogram_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].count, 3);
+        assert_eq!(snaps[0].sum, 7);
+        assert_eq!(snaps[0].max, 5);
+        assert_eq!(snaps[0].counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn mismatched_bounds_are_rejected() {
+        let mut fold = MetricFold::new();
+        fold.absorb_histogram(&hist("h", &BOUNDS_A, &[1])).unwrap();
+        let err = fold.absorb_histogram(&hist("h", &BOUNDS_B, &[1]));
+        assert_eq!(err, Err(SinkError::SchemaMismatch { name: "h" }));
+        // the registered histogram is untouched
+        assert_eq!(fold.histogram_snapshots()[0].count, 1);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut a = MetricFold::new();
+        let mut b = MetricFold::new();
+        a.absorb_histogram(&hist("h", &BOUNDS_A, &[0, 1])).unwrap();
+        a.absorb_counter(&CounterSnapshot {
+            name: "c",
+            seq: 0,
+            value: 3,
+        });
+        b.absorb_histogram(&hist("h", &BOUNDS_A, &[9])).unwrap();
+        b.tally("minute", 4);
+
+        let mut ab = MetricFold::new();
+        ab.merge(&a).unwrap();
+        ab.merge(&b).unwrap();
+        let mut ba = MetricFold::new();
+        ba.merge(&b).unwrap();
+        ba.merge(&a).unwrap();
+
+        assert_eq!(ab.histogram_snapshots(), ba.histogram_snapshots());
+        assert_eq!(ab.counter_snapshots(), ba.counter_snapshots());
+        assert_eq!(ab.tallies(), ba.tallies());
+        assert_eq!(ab.counter_snapshots()[0].value, 3);
+        assert_eq!(ab.tallies(), &[("minute", 4)]);
+    }
+
+    #[test]
+    fn sink_impl_routes_all_variants() {
+        let mut fold = MetricFold::new();
+        fold.record(&Record::Event(Event {
+            name: "minute",
+            minute: 450,
+            seq: 0,
+            fields: vec![field("budget_w", 1.0)],
+        }))
+        .unwrap();
+        fold.record(&Record::Counter(CounterSnapshot {
+            name: "c",
+            seq: 1,
+            value: 2,
+        }))
+        .unwrap();
+        fold.record(&Record::Histogram(hist("h", &BOUNDS_A, &[1])))
+            .unwrap();
+        assert!(!fold.is_empty());
+        assert_eq!(fold.tallies(), &[("minute", 1)]);
+        assert_eq!(fold.counter_snapshots()[0].value, 2);
+        assert_eq!(fold.histogram_snapshots()[0].count, 1);
+    }
+}

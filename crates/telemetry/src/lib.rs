@@ -8,11 +8,12 @@
 //!
 //! * [`Record`]s — [`Event`]s and [`Span`]s with typed [`Field`]s, plus
 //!   snapshots of [`Counter`]s and fixed-bucket [`Histogram`]s;
-//! * a pluggable [`Sink`] trait with four implementations: [`NullSink`]
+//! * a pluggable [`Sink`] trait with five implementations: [`NullSink`]
 //!   (benches), [`JsonlSink`] (runs, byte-deterministic JSON Lines),
 //!   [`RingSink`] (bounded in-memory collector keeping the most recent
-//!   records) and [`AggregatingSink`] (order-insensitive roll-ups for
-//!   `results/`);
+//!   records), [`AggregatingSink`] (order-insensitive roll-ups for
+//!   `results/`) and [`MetricFold`] (constant-memory streaming aggregation
+//!   for sharded campaigns);
 //! * a cheap, cloneable [`Telemetry`] handle that stamps every record with
 //!   the **simulation clock** (minute-of-day) and a monotonic sequence
 //!   number. There is no ambient time anywhere in this crate — no
@@ -63,12 +64,14 @@
 )]
 #![cfg_attr(test, allow(clippy::float_cmp))] // unit tests assert exact constructed values
 
+pub mod fold;
 pub mod handle;
 pub mod metrics;
 pub mod record;
 pub mod sink;
 pub mod value;
 
+pub use fold::MetricFold;
 pub use handle::Telemetry;
 pub use metrics::{Counter, Histogram};
 pub use record::{CounterSnapshot, Event, HistogramSnapshot, Record, Span};

@@ -52,6 +52,15 @@ impl Counter {
         self.add(other.get());
     }
 
+    /// Folds a snapshot taken from *another* stream into this counter —
+    /// the cross-stream analogue of [`Self::merge`], used by
+    /// [`MetricFold`](crate::MetricFold) to aggregate per-shard totals.
+    /// The snapshot is treated as a disjoint delta (each shard's counter
+    /// started from zero), so absorption is a plain saturating add.
+    pub fn absorb(&self, snap: &CounterSnapshot) {
+        self.add(snap.value);
+    }
+
     /// Snapshots the counter into a stream record.
     pub fn snapshot(&self, seq: u64) -> CounterSnapshot {
         CounterSnapshot {
@@ -150,6 +159,25 @@ impl Histogram {
             .set(self.count.get().saturating_add(other.count.get()));
         self.sum.set(self.sum.get().saturating_add(other.sum.get()));
         self.max.set(self.max.get().max(other.max.get()));
+        Ok(())
+    }
+
+    /// Folds a snapshot taken from *another* stream into this histogram
+    /// element-wise — the cross-stream analogue of [`Self::merge`], used by
+    /// [`MetricFold`](crate::MetricFold) to aggregate per-shard histograms
+    /// without holding the source [`Histogram`] alive. Like `merge`, the
+    /// fold is associative and commutative, and fails (without mutating
+    /// `self`) if the bucket layouts differ.
+    pub fn absorb(&self, snap: &HistogramSnapshot) -> Result<(), SinkError> {
+        if self.bounds != snap.bounds || self.counts.len() != snap.counts.len() {
+            return Err(SinkError::SchemaMismatch { name: snap.name });
+        }
+        for (mine, theirs) in self.counts.iter().zip(snap.counts.iter()) {
+            mine.set(mine.get().saturating_add(*theirs));
+        }
+        self.count.set(self.count.get().saturating_add(snap.count));
+        self.sum.set(self.sum.get().saturating_add(snap.sum));
+        self.max.set(self.max.get().max(snap.max));
         Ok(())
     }
 

@@ -19,6 +19,8 @@
 //! * [`graph`] — interprocedural passes over the workspace call graph:
 //!   bottom-up function summaries (SCC fixpoint), the seeds cross-check,
 //!   `parallel_map` closure-sharing proofs and the reachability report.
+//! * [`docs`] — documentation cross-reference pass: DESIGN.md §-anchors,
+//!   the EXPERIMENTS.md artifact catalog and the README crate map.
 //! * [`jsonout`] — the canonical sorted-key JSON renderer every committed
 //!   report artifact serializes through.
 //! * [`bench`](mod@bench) — the criterion harness driver and
@@ -26,6 +28,7 @@
 
 pub mod analyze;
 pub mod bench;
+pub mod docs;
 pub mod flow;
 pub mod graph;
 pub mod jsonout;

@@ -38,9 +38,18 @@
 //!   rows bit-transparent, zero false degradation trips) and rewriting
 //!   `results/chaos_report.json`; `--smoke` runs a two-scenario subset
 //!   with the same gates and writes nothing.
+//! * `campaign` — runs the year-scale sharded campaign engine on the
+//!   committed `campaigns/year_fleet.toml` spec, proves the report is
+//!   byte-identical across thread counts and across a kill/resume cycle,
+//!   and rewrites `results/campaign_report.json`; `--smoke` runs a
+//!   four-shard inline spec through the same gates and writes nothing.
+//! * `docs` — documentation cross-reference pass: every `§N` pointer
+//!   resolves to a DESIGN.md heading, every committed `results/*.json`
+//!   is catalogued in EXPERIMENTS.md, and the README crate map covers
+//!   every workspace crate.
 //! * `ci`   — the one-command verification gate, in dependency order:
-//!   lint → clippy → analyze → flow → graph → doc → build → test →
-//!   determinism → chaos smoke → bench smoke.
+//!   lint → docs → clippy → analyze → flow → graph → doc → build →
+//!   test → determinism → chaos smoke → campaign smoke → bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
@@ -51,7 +60,7 @@
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
-use xtask::{analyze, bench, flow, graph, lint};
+use xtask::{analyze, bench, docs, flow, graph, lint};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +76,8 @@ fn main() -> ExitCode {
         }
         Some("trace") => run_trace(),
         Some("chaos") => run_chaos(args.iter().any(|a| a == "--smoke")),
+        Some("campaign") => run_campaign(args.iter().any(|a| a == "--smoke")),
+        Some("docs") => run_docs(),
         Some("ci") => run_ci(),
         Some(other) => {
             eprintln!("unknown xtask command `{other}`");
@@ -82,8 +93,8 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo xtask <lint | analyze | flow [--bless] | graph | determinism | \
-         bench [--smoke] | trace | chaos [--smoke] | ci>"
+        "usage: cargo xtask <lint | docs | analyze | flow [--bless] | graph | determinism | \
+         bench [--smoke] | trace | chaos [--smoke] | campaign [--smoke] | ci>"
     );
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
@@ -98,8 +109,14 @@ fn print_usage() {
     );
     eprintln!("               (--smoke runs a two-scenario subset and writes nothing)");
     eprintln!(
-        "  ci           lint, clippy, analyze, flow, graph, doc, build, test, determinism, \
-         chaos smoke, bench smoke"
+        "  campaign     run the year-scale sharded campaign and write \
+         results/campaign_report.json"
+    );
+    eprintln!("               (--smoke runs a four-shard inline spec and writes nothing)");
+    eprintln!("  docs         check DESIGN.md anchors, the EXPERIMENTS.md catalog, the crate map");
+    eprintln!(
+        "  ci           lint, docs, clippy, analyze, flow, graph, doc, build, test, \
+         determinism, chaos smoke, campaign smoke, bench smoke"
     );
 }
 
@@ -143,6 +160,10 @@ fn finish(command: &str, result: Result<lint::Report, String>) -> ExitCode {
 
 fn run_lint() -> ExitCode {
     finish("lint", lint::run(&workspace_root()))
+}
+
+fn run_docs() -> ExitCode {
+    finish("docs", docs::run(&workspace_root()))
 }
 
 fn run_analyze() -> ExitCode {
@@ -319,12 +340,44 @@ fn run_chaos(smoke: bool) -> ExitCode {
     }
 }
 
+/// Runs the sharded campaign engine (a bench binary, so xtask does not
+/// link the simulation crates).
+fn run_campaign(smoke: bool) -> ExitCode {
+    let root = workspace_root();
+    let mode = if smoke { " --smoke" } else { "" };
+    println!("xtask campaign: running campaign{mode} (release)");
+    let mut args = vec!["run", "--release", "-q", "-p", "bench", "--bin", "campaign"];
+    if smoke {
+        args.extend(["--", "--smoke"]);
+    }
+    let status = Command::new("cargo")
+        .args(&args)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask campaign: determinism/resume gate failed (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask campaign: could not spawn cargo: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_ci() -> ExitCode {
     let root = workspace_root();
 
     // Static gates first: they are cheap and fail fast.
     println!("xtask ci: running xtask lint");
     if run_lint() != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    println!("xtask ci: running xtask docs");
+    if run_docs() != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 
@@ -400,6 +453,13 @@ fn run_ci() -> ExitCode {
     // (control transparency, zero false trips) on a two-scenario subset.
     println!("xtask ci: running xtask chaos --smoke");
     if run_chaos(true) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    // Campaign smoke: proves the sharded campaign engine's determinism
+    // and kill/resume gates on a four-shard inline spec.
+    println!("xtask ci: running xtask campaign --smoke");
+    if run_campaign(true) != ExitCode::SUCCESS {
         return ExitCode::FAILURE;
     }
 
