@@ -18,12 +18,17 @@
 //! `--smoke` runs a four-shard inline spec (including one armed fault
 //! scenario) through the same kill/resume agreement check and writes
 //! nothing — the CI-sized variant wired into `cargo xtask ci`.
+//!
+//! Full mode reports per-wave progress (completed/total shards, elapsed,
+//! ETA) on stderr after every checkpoint wave; `--quiet` suppresses it.
 
 use std::error::Error;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use bench::campaign::{compose_report, run, CampaignOutcome, CampaignSpec, RunOptions};
+use bench::campaign::{
+    compose_report, run, CampaignOutcome, CampaignSpec, RunOptions, WaveProgress,
+};
 use bench::parallel::default_threads;
 use bench::TextTable;
 
@@ -43,7 +48,8 @@ checkpoint_every = 1
 
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    match drive(smoke) {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    match drive(smoke, quiet) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -77,7 +83,21 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
-fn drive(smoke: bool) -> Result<bool, Box<dyn Error>> {
+/// Per-wave progress line (stderr, so report pipes stay clean).
+fn progress_line(p: &WaveProgress) {
+    let eta = p.eta_secs.map_or_else(|| "--".to_owned(), |s| format!("{s:.0}s"));
+    eprintln!(
+        "campaign: {}/{} shards done ({} this run) — {:.1}s elapsed, eta {eta}",
+        p.done, p.total, p.executed, p.elapsed_secs
+    );
+}
+
+fn drive(smoke: bool, quiet: bool) -> Result<bool, Box<dyn Error>> {
+    let progress: Option<fn(&WaveProgress)> = if quiet || smoke {
+        None
+    } else {
+        Some(progress_line)
+    };
     let (spec, label) = if smoke {
         (CampaignSpec::parse(SMOKE_SPEC)?, "smoke".to_owned())
     } else {
@@ -96,6 +116,7 @@ fn drive(smoke: bool) -> Result<bool, Box<dyn Error>> {
     let (serial, serial_s) = timed(|| {
         run(&spec, &scenarios, &RunOptions {
             threads: 1,
+            progress,
             ..RunOptions::default()
         })
     });
@@ -103,6 +124,7 @@ fn drive(smoke: bool) -> Result<bool, Box<dyn Error>> {
     let (wide, wide_s) = timed(|| {
         run(&spec, &scenarios, &RunOptions {
             threads,
+            progress,
             ..RunOptions::default()
         })
     });
@@ -118,11 +140,15 @@ fn drive(smoke: bool) -> Result<bool, Box<dyn Error>> {
         threads,
         checkpoint: Some(checkpoint.clone()),
         kill_after: Some(kill_at),
+        progress,
+        ..RunOptions::default()
     })?;
     let resumed = run(&spec, &scenarios, &RunOptions {
         threads,
         checkpoint: Some(checkpoint.clone()),
         kill_after: None,
+        progress,
+        ..RunOptions::default()
     })?;
     let _ = std::fs::remove_file(&checkpoint);
 

@@ -15,22 +15,28 @@
 //! row order + digest), the artifact `bench/tests/chaos_golden.rs` pins.
 //! `--smoke` runs a two-scenario, one-site, one-policy subset with the
 //! same gates and writes nothing — the CI-sized variant.
+//!
+//! Full mode reports per-cell progress (completed/total cells, elapsed,
+//! ETA) on stderr; `--quiet` suppresses it.
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use bench::campaign::WaveProgress;
 use bench::chaos::{
-    load_scenarios, report_digest, run_campaign, run_cell, scenarios_dir, sites_for, ChaosCell,
-    CAMPAIGN_POLICIES,
+    load_scenarios, report_digest, run_campaign_profiled, run_cell, scenarios_dir, sites_for,
+    ChaosCell, CAMPAIGN_POLICIES,
 };
 use bench::{write_json, TextTable};
+use telemetry::Profiler;
 
 /// Minimum PTP retention for the clean-control rows.
 const CONTROL_RETENTION_FLOOR: f64 = 0.999;
 
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    match run(smoke) {
+    let quiet = std::env::args().any(|a| a == "--quiet");
+    match run(smoke, quiet) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -40,7 +46,16 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(smoke: bool) -> Result<bool, Box<dyn std::error::Error>> {
+/// Per-cell progress line (stderr, so report pipes stay clean).
+fn progress_line(p: &WaveProgress) {
+    let eta = p.eta_secs.map_or_else(|| "--".to_owned(), |s| format!("{s:.0}s"));
+    eprintln!(
+        "chaos: {}/{} cells done — {:.1}s elapsed, eta {eta}",
+        p.done, p.total, p.elapsed_secs
+    );
+}
+
+fn run(smoke: bool, quiet: bool) -> Result<bool, Box<dyn std::error::Error>> {
     let scenarios = load_scenarios(&scenarios_dir())?;
     if scenarios.is_empty() {
         return Err("no scenarios found under scenarios/".into());
@@ -56,7 +71,8 @@ fn run(smoke: bool) -> Result<bool, Box<dyn std::error::Error>> {
         }
         rows
     } else {
-        let report = run_campaign(&scenarios)?;
+        let progress: Option<fn(&WaveProgress)> = if quiet { None } else { Some(progress_line) };
+        let report = run_campaign_profiled(&scenarios, &Profiler::disabled(), progress)?;
         let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
         let path = write_json(&dir, "chaos_report", &report)?;
         println!("chaos: wrote {}", path.display());

@@ -17,7 +17,11 @@
 //!    plumbing costs exactly zero bits when nothing is scheduled;
 //! 6. the campaign engine — a small sharded campaign must digest
 //!    identically at 1 thread, at N threads, and across a
-//!    kill-mid-campaign/resume-from-checkpoint cycle.
+//!    kill-mid-campaign/resume-from-checkpoint cycle;
+//! 7. the wall-clock profiler — arming it must not move a single bit:
+//!    a profiled day hashes to the pinned baseline, a profiled campaign
+//!    renders the same report bytes as an unprofiled one, and a profiled
+//!    chaos cell digests identically to its unprofiled twin.
 //!
 //! Exit status is non-zero on any divergence, so CI can gate on it.
 
@@ -27,13 +31,17 @@ use std::process::ExitCode;
 use std::rc::Rc;
 
 use bench::campaign::{run as run_campaign, CampaignSpec, RunOptions};
+use bench::chaos::{
+    load_scenarios, report_digest, run_cell, run_cell_profiled, scenarios_dir, sites_for,
+    CAMPAIGN_POLICIES,
+};
 use bench::determinism::{day_hash, grid_hash};
 use bench::grid::{GridConfig, PolicyGrid};
 use bench::parallel::default_threads;
 use faults::FaultPlan;
 use solarcore::{DaySimulation, Policy};
 use solarenv::{Season, Site};
-use telemetry::{JsonlSink, Telemetry};
+use telemetry::{JsonlSink, Profiler, Telemetry};
 use workloads::Mix;
 
 /// Day hash of the canonical AZ/Jul/HM2/MPPT&Opt run as of the PR that
@@ -193,6 +201,12 @@ fn main() -> ExitCode {
         ok = false;
     }
 
+    // 7. Profiler transparency: arming the wall-clock profiler must not
+    //    move a single bit of any deterministic artifact.
+    if !profiling_transparent() {
+        ok = false;
+    }
+
     if ok {
         println!(
             "determinism: OK — bit-identical across threads, input order, telemetry and resume"
@@ -236,11 +250,13 @@ fn campaign_agrees() -> bool {
         // wave 2 is lost in flight — so the resume genuinely restores
         // rows *and* re-executes work.
         kill_after: Some(2),
+        ..RunOptions::default()
     });
     let resumed = run_campaign(&spec, &scenarios, &RunOptions {
         threads: n,
         checkpoint: Some(checkpoint.clone()),
         kill_after: None,
+        ..RunOptions::default()
     });
     let _ = std::fs::remove_file(&checkpoint);
 
@@ -274,6 +290,125 @@ fn campaign_agrees() -> bool {
     if killed.complete || !resumed.complete {
         eprintln!("determinism: FAIL — campaign kill/resume cycle misbehaved");
         ok = false;
+    }
+    ok
+}
+
+/// §7 — the wall-clock profiler must be bit-transparent at every layer:
+/// day simulation (hash vs the pinned baseline), campaign engine (report
+/// bytes vs an unprofiled run), and chaos cell (row digest vs its
+/// unprofiled twin). Each profiled run must also actually record spans,
+/// so transparency is never vacuous.
+fn profiling_transparent() -> bool {
+    let mut ok = true;
+
+    // Day simulation under an armed profiler.
+    let prof = Profiler::enabled();
+    let profiled_day = DaySimulation::builder()
+        .site(Site::phoenix_az())
+        .season(Season::Jul)
+        .day(0)
+        .mix(Mix::hm2())
+        .policy(Policy::MpptOpt)
+        .profiler(prof.clone())
+        .build()
+        .ok()
+        .and_then(|sim| sim.run().ok())
+        .map(|result| day_hash(&result));
+    match profiled_day {
+        Some(h) => {
+            println!("determinism: profiled day       hash {h:016x}");
+            if h != BASELINE_DAY_HASH {
+                eprintln!(
+                    "determinism: FAIL — profiler perturbed the day simulation \
+                     ({h:016x} vs baseline {BASELINE_DAY_HASH:016x})"
+                );
+                ok = false;
+            }
+            if prof.tree().node_count() == 0 {
+                eprintln!("determinism: FAIL — armed profiler recorded no spans");
+                ok = false;
+            }
+        }
+        None => {
+            eprintln!("determinism: FAIL — profiled day simulation did not run");
+            ok = false;
+        }
+    }
+
+    // Campaign engine with and without profiling.
+    let spec_text = "[campaign]\nname = \"determinism\"\nsites = \"AZ,CO,NC\"\n\
+                     months = \"Jan\"\ncheckpoint_every = 1\n";
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let n = default_threads().max(2);
+    let outcomes = CampaignSpec::parse(spec_text).ok().and_then(|spec| {
+        let plain = run_campaign(&spec, &dir, &RunOptions {
+            threads: n,
+            ..RunOptions::default()
+        })
+        .ok()?;
+        let profiled = run_campaign(&spec, &dir, &RunOptions {
+            threads: n,
+            profile: true,
+            ..RunOptions::default()
+        })
+        .ok()?;
+        Some((plain, profiled))
+    });
+    match outcomes {
+        Some((plain, profiled)) => {
+            println!(
+                "determinism: profiled campaign  digest {:016x}",
+                profiled.digest()
+            );
+            if profiled.report_json().render() != plain.report_json().render() {
+                eprintln!("determinism: FAIL — profiling changed the campaign report bytes");
+                ok = false;
+            }
+            match &profiled.profile {
+                Some(p) if p.tree.node_count() > 0 => {}
+                _ => {
+                    eprintln!("determinism: FAIL — profiled campaign carried no span tree");
+                    ok = false;
+                }
+            }
+        }
+        None => {
+            eprintln!("determinism: FAIL — profiled campaign comparison did not run");
+            ok = false;
+        }
+    }
+
+    // One chaos cell with and without profiling.
+    let cell_prof = Profiler::enabled();
+    let cells = load_scenarios(&scenarios_dir()).ok().and_then(|scenarios| {
+        let scenario = scenarios.first()?;
+        let site = *sites_for(scenario).first()?;
+        let plain = run_cell(scenario, site, CAMPAIGN_POLICIES[0]).ok()?;
+        let profiled = run_cell_profiled(scenario, site, CAMPAIGN_POLICIES[0], &cell_prof).ok()?;
+        Some((plain, profiled))
+    });
+    match cells {
+        Some((plain, profiled)) => {
+            let (a, b) = (report_digest(&[plain]), report_digest(&[profiled]));
+            println!("determinism: profiled chaos     digest {b:016x}");
+            if a != b {
+                eprintln!("determinism: FAIL — profiling changed a chaos cell ({a:016x} vs {b:016x})");
+                ok = false;
+            }
+            if cell_prof.tree().node_count() == 0 {
+                eprintln!("determinism: FAIL — profiled chaos cell recorded no spans");
+                ok = false;
+            }
+        }
+        None => {
+            eprintln!("determinism: FAIL — profiled chaos comparison did not run");
+            ok = false;
+        }
+    }
+
+    if ok {
+        println!("determinism: profiler is bit-transparent (day, campaign, chaos)");
     }
     ok
 }

@@ -40,12 +40,13 @@ use solarcore::telemetry::{
 };
 use solarcore::{DaySimulation, Policy};
 use solarenv::{DayRange, Month, Site};
-use telemetry::{CounterSnapshot, HistogramSnapshot, MetricFold, Telemetry};
+use telemetry::{CounterSnapshot, HistogramSnapshot, MetricFold, ProfTree, Profiler, Stopwatch, Telemetry};
 use workloads::Mix;
 
 use crate::determinism::{day_hash, CanonicalHasher};
 use crate::output::Json;
 use crate::parallel::parallel_map;
+use crate::profile::{CampaignProfile, WaveWall};
 
 /// A campaign configuration error, with the 1-based line number for
 /// parse-time failures.
@@ -557,9 +558,36 @@ fn parse_hex(s: &str) -> Result<u64, CampaignError> {
 /// Propagates simulation configuration/run errors as strings (the form
 /// that crosses [`parallel_map`]'s thread boundary).
 pub fn run_shard(shard: &Shard, days: u32) -> Result<(ShardRow, MetricFold), String> {
+    run_shard_profiled(shard, days, false).map(|(row, fold, _)| (row, fold))
+}
+
+/// A profiled shard result: the deterministic row and metric fold, plus —
+/// when profiling was requested — the frozen span tree and the shard's
+/// total wall time in nanoseconds.
+pub type ProfiledShard = (ShardRow, MetricFold, Option<(ProfTree, u64)>);
+
+/// [`run_shard`] with an optional wall-clock profile attached.
+///
+/// When `profile` is true, the whole shard runs under a per-thread
+/// [`Profiler`] inside one [`schema::PROF_SHARD`] span, and the result
+/// carries the frozen span tree plus the shard's total wall time in
+/// nanoseconds. The profiler never touches telemetry, the fold, or the
+/// digest — rows are bit-identical either way (`determinism_check` §7
+/// proves it).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_shard`].
+pub fn run_shard_profiled(shard: &Shard, days: u32, profile: bool) -> Result<ProfiledShard, String> {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    let prof = if profile {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
+    };
+    let watch = Stopwatch::new();
     let fold = Rc::new(RefCell::new(MetricFold::new()));
     let mut cache = pv::ArrayCache::new();
     let mut h = CanonicalHasher::default();
@@ -571,30 +599,34 @@ pub fn run_shard(shard: &Shard, days: u32) -> Result<(ShardRow, MetricFold), Str
     let mut energy_available_wh = 0.0;
 
     let range = DayRange::new(shard.month, days);
-    for day in range.day_indices() {
-        let mut builder = DaySimulation::builder()
-            .site(shard.site.clone())
-            .season(shard.month.anchor())
-            .day(day)
-            .mix(shard.mix.clone())
-            .policy(shard.policy)
-            .telemetry(Telemetry::attached(fold.clone()));
-        if let Some(plan) = &shard.plan {
-            builder = builder.fault_plan(plan.clone());
-        }
-        let sim = builder.build().map_err(|e| e.to_string())?;
-        let setup = sim.prepare_with_cache(cache);
-        let result = sim.run_prepared(&setup).map_err(|e| e.to_string())?;
-        cache = setup.into_cache();
+    {
+        let _shard_span = prof.scope(schema::PROF_SHARD);
+        for day in range.day_indices() {
+            let mut builder = DaySimulation::builder()
+                .site(shard.site.clone())
+                .season(shard.month.anchor())
+                .day(day)
+                .mix(shard.mix.clone())
+                .policy(shard.policy)
+                .telemetry(Telemetry::attached(fold.clone()))
+                .profiler(prof.clone());
+            if let Some(plan) = &shard.plan {
+                builder = builder.fault_plan(plan.clone());
+            }
+            let sim = builder.build().map_err(|e| e.to_string())?;
+            let setup = sim.prepare_with_cache(cache);
+            let result = sim.run_prepared(&setup).map_err(|e| e.to_string())?;
+            cache = setup.into_cache();
 
-        h.u64(u64::from(day));
-        h.u64(day_hash(&result));
-        ptp += result.solar_instructions();
-        utilization += result.utilization();
-        effective_fraction += result.effective_fraction();
-        tracking_error += result.mean_tracking_error();
-        energy_drawn_wh += result.energy_drawn().get();
-        energy_available_wh += result.energy_available().get();
+            h.u64(u64::from(day));
+            h.u64(day_hash(&result));
+            ptp += result.solar_instructions();
+            utilization += result.utilization();
+            effective_fraction += result.effective_fraction();
+            tracking_error += result.mean_tracking_error();
+            energy_drawn_wh += result.energy_drawn().get();
+            energy_available_wh += result.energy_available().get();
+        }
     }
 
     // Every simulation (and its Telemetry handle) is dropped, so this is
@@ -619,7 +651,8 @@ pub fn run_shard(shard: &Shard, days: u32) -> Result<(ShardRow, MetricFold), Str
         energy_drawn_wh,
         energy_available_wh,
     };
-    Ok((row, fold))
+    let prof_out = profile.then(|| (prof.tree(), watch.elapsed_ns()));
+    Ok((row, fold, prof_out))
 }
 
 // ---- aggregate (de)serialization --------------------------------------
@@ -812,6 +845,31 @@ pub struct RunOptions {
     /// shards have completed, *without* checkpointing the in-flight wave —
     /// exactly what `kill -9` mid-wave loses.
     pub kill_after: Option<usize>,
+    /// Collect a wall-clock [`CampaignProfile`] (merged span tree, per-wave
+    /// pool analysis). Profiling never touches rows, aggregate, or digest —
+    /// `determinism_check` §7 proves the report bytes are identical.
+    pub profile: bool,
+    /// Invoked after every completed wave with cumulative progress and an
+    /// ETA (a plain `fn` pointer so the options stay `Clone + Default`).
+    /// `None` stays silent — the default for tests and library callers.
+    pub progress: Option<fn(&WaveProgress)>,
+}
+
+/// Cumulative progress snapshot handed to [`RunOptions::progress`] after
+/// every completed wave.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveProgress {
+    /// Completed shards so far, resumed rows included.
+    pub done: usize,
+    /// Total shards in the spec.
+    pub total: usize,
+    /// Shards executed by this invocation (resumed rows excluded).
+    pub executed: usize,
+    /// Wall-clock seconds since this invocation started.
+    pub elapsed_secs: f64,
+    /// Estimated seconds remaining (`elapsed / executed × remaining`),
+    /// `None` until the first shard has executed.
+    pub eta_secs: Option<f64>,
 }
 
 /// The result of an engine invocation.
@@ -835,6 +893,9 @@ pub struct CampaignOutcome {
     pub checkpointed: usize,
     /// `false` when `kill_after` aborted the run.
     pub complete: bool,
+    /// Wall-clock profile of this invocation when [`RunOptions::profile`]
+    /// was set — never folded into [`CampaignOutcome::report_json`].
+    pub profile: Option<CampaignProfile>,
 }
 
 impl CampaignOutcome {
@@ -983,17 +1044,56 @@ pub fn run(
     let mut checkpointed = resumed_from;
     let mut done = resumed_from;
     let days = spec.days_per_month;
+    let mut profile = opts.profile.then(|| CampaignProfile {
+        threads,
+        ..CampaignProfile::default()
+    });
+    let run_watch = Stopwatch::new();
     while done < shards.len() {
         let wave_end = (done + spec.checkpoint_every).min(shards.len());
         let wave: Vec<Shard> = shards[done..wave_end].to_vec();
-        let results = parallel_map(wave, threads, |shard| run_shard(shard, days));
+        let wave_len = wave.len();
+        let profiling = profile.is_some();
+        let wave_watch = Stopwatch::new();
+        let results =
+            parallel_map(wave, threads, |shard| run_shard_profiled(shard, days, profiling));
+        let wave_ns = wave_watch.elapsed_ns();
+        let mut sum_shard_ns = 0u64;
+        let mut max_shard_ns = 0u64;
         for result in results {
-            let (row, fold) = result?;
+            let (row, fold, shard_prof) = result?;
             aggregate.merge(&fold)?;
+            if let (Some(p), Some((tree, wall_ns))) = (profile.as_mut(), shard_prof) {
+                sum_shard_ns = sum_shard_ns.saturating_add(wall_ns);
+                max_shard_ns = max_shard_ns.max(wall_ns);
+                p.shard_walls.push((row.index, wall_ns));
+                p.tree.merge(&tree);
+            }
             executed.push(row.index);
             rows.push(row);
         }
+        if let Some(p) = profile.as_mut() {
+            p.waves.push(WaveWall {
+                shards: wave_len,
+                wall_ns: wave_ns,
+                sum_shard_ns,
+                max_shard_ns,
+            });
+        }
         done = wave_end;
+        if let Some(report) = opts.progress {
+            let elapsed_secs = run_watch.elapsed_secs();
+            #[allow(clippy::cast_precision_loss)] // shard counts are tiny
+            let eta_secs = (!executed.is_empty())
+                .then(|| elapsed_secs / executed.len() as f64 * (shards.len() - done) as f64);
+            report(&WaveProgress {
+                done,
+                total: shards.len(),
+                executed: executed.len(),
+                elapsed_secs,
+                eta_secs,
+            });
+        }
         let killed = opts.kill_after.is_some_and(|k| done >= k);
         if !killed {
             if let Some(path) = &opts.checkpoint {
@@ -1011,6 +1111,7 @@ pub fn run(
                 resumed_from,
                 checkpointed,
                 complete: false,
+                profile,
             });
         }
     }
@@ -1024,6 +1125,7 @@ pub fn run(
         resumed_from,
         checkpointed,
         complete: true,
+        profile,
     })
 }
 

@@ -23,11 +23,13 @@ use faults::{parse_scenario, FaultPlan};
 use serde::Serialize;
 use serde_json::Value;
 use solarcore::engine::DayResult;
+use solarcore::telemetry::schema;
 use solarcore::{DaySimulation, Policy};
 use solarenv::{Season, Site};
-use telemetry::{JsonlSink, Telemetry};
+use telemetry::{JsonlSink, Profiler, Stopwatch, Telemetry};
 use workloads::Mix;
 
+use crate::campaign::WaveProgress;
 use crate::determinism::CanonicalHasher;
 
 /// The policies the campaign exercises (the two MPPT allocators the paper
@@ -201,6 +203,25 @@ pub fn run_cell(
     site_code: &str,
     policy: Policy,
 ) -> Result<ChaosCell, Box<dyn Error>> {
+    run_cell_profiled(scenario, site_code, policy, &Profiler::disabled())
+}
+
+/// [`run_cell`] under a caller-owned [`Profiler`]: the whole cell (clean
+/// twin + armed run) nests inside one [`schema::PROF_CHAOS_CELL`] span and
+/// both simulations carry the profiler through their engine seams. The
+/// profiler is wall-clock only — cell metrics and the campaign digest are
+/// bit-identical with profiling armed (`determinism_check` §7).
+///
+/// # Errors
+///
+/// Same failure modes as [`run_cell`].
+pub fn run_cell_profiled(
+    scenario: &ChaosScenario,
+    site_code: &str,
+    policy: Policy,
+    prof: &Profiler,
+) -> Result<ChaosCell, Box<dyn Error>> {
+    let _cell_span = prof.scope(schema::PROF_CHAOS_CELL);
     let site = site_from_code(site_code)?;
     let season = season_from_hint(scenario.plan.season_hint())?;
     let day = scenario.plan.day_hint().unwrap_or(0);
@@ -211,6 +232,7 @@ pub fn run_cell(
             .day(day)
             .mix(Mix::hm2())
             .policy(policy)
+            .profiler(prof.clone())
     };
 
     let clean: DayResult = builder().build()?.run()?;
@@ -267,11 +289,45 @@ pub fn sites_for(scenario: &ChaosScenario) -> Vec<&str> {
 ///
 /// Propagates the first cell failure.
 pub fn run_campaign(scenarios: &[ChaosScenario]) -> Result<ChaosReport, Box<dyn Error>> {
+    run_campaign_profiled(scenarios, &Profiler::disabled(), None)
+}
+
+/// [`run_campaign`] under a caller-owned [`Profiler`], with optional
+/// per-cell progress reporting (a chaos "wave" is one cell, so
+/// [`WaveProgress::executed`] always equals [`WaveProgress::done`]).
+///
+/// # Errors
+///
+/// Propagates the first cell failure.
+pub fn run_campaign_profiled(
+    scenarios: &[ChaosScenario],
+    prof: &Profiler,
+    progress: Option<fn(&WaveProgress)>,
+) -> Result<ChaosReport, Box<dyn Error>> {
+    let total: usize = scenarios
+        .iter()
+        .map(|s| sites_for(s).len() * CAMPAIGN_POLICIES.len())
+        .sum();
+    let watch = Stopwatch::new();
     let mut rows = Vec::new();
     for scenario in scenarios {
         for site in sites_for(scenario) {
             for policy in CAMPAIGN_POLICIES {
-                rows.push(run_cell(scenario, site, policy)?);
+                rows.push(run_cell_profiled(scenario, site, policy, prof)?);
+                if let Some(report) = progress {
+                    let done = rows.len();
+                    let elapsed_secs = watch.elapsed_secs();
+                    #[allow(clippy::cast_precision_loss)] // cell counts are tiny
+                    let eta_secs = (done > 0)
+                        .then(|| elapsed_secs / done as f64 * (total - done) as f64);
+                    report(&WaveProgress {
+                        done,
+                        total,
+                        executed: done,
+                        elapsed_secs,
+                        eta_secs,
+                    });
+                }
             }
         }
     }

@@ -48,6 +48,8 @@ pub mod experiments;
 pub mod grid;
 pub mod output;
 pub mod parallel;
+pub mod profile;
+pub mod tdiff;
 pub mod trace_report;
 
 pub use grid::{DaySummary, GridConfig, PolicyGrid};

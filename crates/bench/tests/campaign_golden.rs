@@ -65,12 +65,14 @@ fn load_report() -> Value {
             threads,
             checkpoint: Some(checkpoint.clone()),
             kill_after: Some(serial.rows.len() / 2),
+            ..RunOptions::default()
         })
         .expect("killed run returns");
         let resumed = run(&spec, &scenarios, &RunOptions {
             threads,
             checkpoint: Some(checkpoint.clone()),
             kill_after: None,
+            ..RunOptions::default()
         })
         .expect("resume runs");
         let _ = std::fs::remove_file(&checkpoint);

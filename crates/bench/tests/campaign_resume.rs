@@ -58,12 +58,14 @@ proptest! {
             threads: 1,
             checkpoint: Some(checkpoint.clone()),
             kill_after: Some(k),
+            ..RunOptions::default()
         })
         .expect("killed run returns");
         let resumed = run(&spec, &scenarios, &RunOptions {
             threads: 1,
             checkpoint: Some(checkpoint.clone()),
             kill_after: None,
+            ..RunOptions::default()
         })
         .expect("resume runs");
         let _ = std::fs::remove_file(&checkpoint);
@@ -103,6 +105,7 @@ fn tampered_checkpoint_rows_survive_resume_verbatim() {
         threads: 1,
         checkpoint: Some(checkpoint.clone()),
         kill_after: Some(2),
+        ..RunOptions::default()
     })
     .expect("killed run returns");
 
@@ -120,6 +123,7 @@ fn tampered_checkpoint_rows_survive_resume_verbatim() {
         threads: 1,
         checkpoint: Some(checkpoint.clone()),
         kill_after: None,
+        ..RunOptions::default()
     })
     .expect("resume runs");
     let _ = std::fs::remove_file(&checkpoint);

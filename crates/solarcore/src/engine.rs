@@ -17,7 +17,7 @@ use powertrain::{
 use pv::generator::PvGenerator;
 use pv::units::{Volts, WattHours, Watts};
 use solarenv::{EnvTrace, Season, Site};
-use telemetry::{field, Telemetry};
+use telemetry::{field, Profiler, Telemetry};
 use workloads::{Mix, PhaseTrace};
 
 use crate::adapter::LoadTuner;
@@ -107,6 +107,7 @@ pub struct DaySimulation {
     sensor: IvSensor,
     solver_cache: bool,
     telemetry: Telemetry,
+    profiler: Profiler,
     fault_plan: Option<FaultPlan>,
     degrade: Option<DegradeConfig>,
 }
@@ -127,6 +128,7 @@ pub struct DaySimulationBuilder {
     sensor: IvSensor,
     solver_cache: bool,
     telemetry: Telemetry,
+    profiler: Profiler,
     fault_plan: Option<FaultPlan>,
     degrade: Option<DegradeConfig>,
 }
@@ -198,6 +200,7 @@ impl DaySimulation {
             sensor: IvSensor::ideal(),
             solver_cache: true,
             telemetry: Telemetry::disabled(),
+            profiler: Profiler::disabled(),
             fault_plan: None,
             degrade: None,
         }
@@ -238,6 +241,7 @@ impl DaySimulation {
     /// cache is only meaningful for the same [`pv::PvArray`] the entries
     /// were solved against, which is the caller's responsibility.
     pub fn prepare_with_cache(&self, cache: pv::ArrayCache) -> SimSetup {
+        let _prof = self.profiler.scope(schema::PROF_PREPARE);
         let mut trace = EnvTrace::generate(&self.site, self.season, self.day);
         if let Some(plan) = &self.fault_plan {
             if plan.has_irradiance_faults() {
@@ -291,6 +295,12 @@ impl DaySimulation {
                 reason: "SimSetup was prepared under a different fault plan",
             });
         }
+        // Wall-clock profiling of the day (fenced: measurements never
+        // touch simulated state; a disabled handle costs one branch).
+        let prof = &self.profiler;
+        prof.set_minute(setup.trace.samples().first().map_or(0, |s| s.minute_of_day));
+        let _prof_day = prof.scope(schema::PROF_RUN_DAY);
+
         let trace = &setup.trace;
         let phases = &setup.phases;
 
@@ -378,6 +388,7 @@ impl DaySimulation {
         let mut records = Vec::with_capacity(trace.samples().len());
         for (t, sample) in trace.samples().iter().enumerate() {
             tel.set_minute(sample.minute_of_day);
+            prof.set_minute(sample.minute_of_day);
             let minute = sample.minute_of_day;
             if let Some(plan) = plan {
                 controller.set_sensor_minute(minute);
@@ -443,7 +454,10 @@ impl DaySimulation {
                 PowerSource::Solar => match self.policy {
                     Policy::FixedPower(budget_cap) => {
                         if force_track || t % self.config.tracking_interval_minutes as usize == 0 {
-                            let moves = allocate_budget(&mut chip, budget_cap)?;
+                            let moves = {
+                                let _prof_tpr = prof.scope(schema::PROF_TPR_ALLOC);
+                                allocate_budget(&mut chip, budget_cap)?
+                            };
                             if let Some(plan) = plan.filter(|p| p.has_core_faults()) {
                                 // The fill ungates everything; re-impose
                                 // the availability mask (monotone: only
@@ -535,7 +549,10 @@ impl DaySimulation {
                                 Some(f) => f.fallback_budget(budget),
                                 None => Watts::ZERO,
                             };
-                            allocate_budget(&mut chip, fallback)?;
+                            {
+                                let _prof_tpr = prof.scope(schema::PROF_TPR_ALLOC);
+                                allocate_budget(&mut chip, fallback)?;
+                            }
                             if let Some(plan) = plan.filter(|p| p.has_core_faults()) {
                                 enforce_plan_mask(plan, minute, &mut chip)?;
                             }
@@ -547,13 +564,16 @@ impl DaySimulation {
                                 || t % self.config.tracking_interval_minutes as usize == 0
                                 || controller.needs_retrack(&op)
                             {
-                                let report = controller.track(&mut TrackingRig {
-                                    array,
-                                    env,
-                                    converter: &mut converter,
-                                    chip: &mut chip,
-                                    tuner: &mut tuner,
-                                })?;
+                                let report = {
+                                    let _prof_track = prof.scope(schema::PROF_MPPT_TRACK);
+                                    controller.track(&mut TrackingRig {
+                                        array,
+                                        env,
+                                        converter: &mut converter,
+                                        chip: &mut chip,
+                                        tuner: &mut tuner,
+                                    })?
+                                };
                                 force_track = false;
                                 if tel.is_enabled() {
                                     instruments.track_rounds.record(u64::from(report.rounds));
@@ -781,6 +801,17 @@ impl DaySimulationBuilder {
         self
     }
 
+    /// Attaches a wall-clock profiler (default: disabled). An armed handle
+    /// measures the prepare/run/TPR/MPPT phases into its span tree
+    /// ([`telemetry::prof`]). Profiling is strictly fenced from simulated
+    /// state: nothing it measures feeds any result, record or digest, so a
+    /// profiled run is bit-identical to an unprofiled one
+    /// (`determinism_check` §7 pins exactly that).
+    pub fn profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
     /// Arms a chaos-scenario fault plan (default: disarmed). An armed plan
     /// drives every injection seam — sensor disturbances, converter
     /// derating and actuator lag, ATS overrides, core throttles/losses and
@@ -868,6 +899,7 @@ impl DaySimulationBuilder {
             sensor: self.sensor,
             solver_cache: self.solver_cache,
             telemetry: self.telemetry,
+            profiler: self.profiler,
             fault_plan: self.fault_plan,
             degrade: self.degrade,
         })

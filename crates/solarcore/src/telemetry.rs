@@ -120,6 +120,30 @@ pub mod schema {
     /// Fields: [`DWELL_MINUTES`], [`REJECTS`].
     pub const EVENT_DEGRADE_EXIT: &str = "degrade_exit";
 
+    /// Wall-clock profiler span: trace/phase generation
+    /// ([`DaySimulation::prepare`](crate::DaySimulation::prepare)).
+    pub const PROF_PREPARE: &str = "prepare";
+
+    /// Wall-clock profiler span: one full simulated day
+    /// ([`DaySimulation::run_prepared`](crate::DaySimulation::run_prepared)).
+    pub const PROF_RUN_DAY: &str = "run_day";
+
+    /// Wall-clock profiler span: one TPR budget reallocation
+    /// ([`allocate_budget`](crate::engine::allocate_budget) under a
+    /// Fixed-Power budget or the degraded fallback).
+    pub const PROF_TPR_ALLOC: &str = "tpr_alloc";
+
+    /// Wall-clock profiler span: one MPPT tracking invocation.
+    pub const PROF_MPPT_TRACK: &str = "mppt_track";
+
+    /// Wall-clock profiler span: one campaign shard (opened by
+    /// `bench::campaign`, nested above [`PROF_RUN_DAY`]).
+    pub const PROF_SHARD: &str = "shard";
+
+    /// Wall-clock profiler span: one chaos campaign cell (opened by
+    /// `bench::chaos`, nested above [`PROF_RUN_DAY`]).
+    pub const PROF_CHAOS_CELL: &str = "chaos_cell";
+
     /// Counter of PV generator MPP oracle queries.
     pub const COUNTER_MPP_QUERIES: &str = "mpp_queries";
 

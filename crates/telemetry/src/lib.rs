@@ -16,9 +16,16 @@
 //!   for sharded campaigns);
 //! * a cheap, cloneable [`Telemetry`] handle that stamps every record with
 //!   the **simulation clock** (minute-of-day) and a monotonic sequence
-//!   number. There is no ambient time anywhere in this crate — no
-//!   `SystemTime`, no `Instant` — so instrumented simulations stay bitwise
-//!   deterministic (the PR-2 contract); `cargo xtask analyze` enforces this.
+//!   number. Ambient time is confined to exactly one module — the
+//!   wall-clock [`prof`]iler, which is fenced so nothing it measures can
+//!   flow into a record, a digest, or any simulated value — so instrumented
+//!   simulations stay bitwise deterministic (the PR-2 contract);
+//!   `cargo xtask analyze` enforces the fence (the sole `Instant` waiver is
+//!   `crates/telemetry/src/prof.rs` in `xtask/lint-allow.txt`);
+//! * a hierarchical wall-clock [`Profiler`] ([`prof`]): scoped [`ProfSpan`]
+//!   guards aggregate into a per-thread span tree ([`ProfTree`]) whose
+//!   *structure* (shape, call counts, sim-minute attribution) is
+//!   deterministic while wall times stay quarantined as machine-dependent.
 //!
 //! The concrete schema emitted by the simulation engine (record names,
 //! field names, units) is documented in `solarcore::telemetry::schema` and
@@ -67,13 +74,15 @@
 pub mod fold;
 pub mod handle;
 pub mod metrics;
+pub mod prof;
 pub mod record;
 pub mod sink;
 pub mod value;
 
 pub use fold::MetricFold;
 pub use handle::Telemetry;
-pub use metrics::{Counter, Histogram};
+pub use metrics::{quantile_from_buckets, Counter, Histogram};
+pub use prof::{ProfNode, ProfSpan, ProfTree, Profiler, Stopwatch, TraceEvent};
 pub use record::{CounterSnapshot, Event, HistogramSnapshot, Record, Span};
 pub use sink::{AggregatingSink, JsonlSink, NullSink, RingSink, Sink, SinkError};
 pub use value::{field, Field, Value};

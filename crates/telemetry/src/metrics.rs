@@ -193,6 +193,64 @@ impl Histogram {
             max: self.max(),
         }
     }
+
+    /// The `q`-quantile estimate from the bucket edges
+    /// ([`quantile_from_buckets`]), with the overflow bucket tightened to
+    /// the recorded [`Self::max`]. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let counts: Vec<u64> = self.counts.iter().map(Cell::get).collect();
+        let v = quantile_from_buckets(self.bounds, &counts, q)?;
+        Some(v.min(self.max()))
+    }
+
+    /// Median estimate (`quantile(0.50)`).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate (`quantile(0.90)`).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate (`quantile(0.99)`).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+}
+
+/// The `q`-quantile estimate of a fixed-bucket distribution: the inclusive
+/// upper bound of the first bucket whose cumulative count reaches rank
+/// `ceil(q · total)` (the conventional conservative bucket estimate —
+/// exact when every observation in the bucket equals its bound, an upper
+/// bound otherwise). Observations in the overflow bucket (the
+/// `counts[bounds.len()]` tail) have no upper edge and report
+/// [`u64::MAX`]; [`Histogram::quantile`] tightens that to the recorded
+/// max. Returns `None` for an empty distribution, a `q` outside `(0, 1]`,
+/// or a `counts`/`bounds` length mismatch.
+///
+/// This free-function form exists for artifact analysis (`tdiff`): parsed
+/// reports carry bounds as owned vectors and cannot rebuild a
+/// [`Histogram`], whose bounds are `&'static`.
+pub fn quantile_from_buckets(bounds: &[u64], counts: &[u64], q: f64) -> Option<u64> {
+    if counts.len() != bounds.len() + 1 || !(q > 0.0 && q <= 1.0) {
+        return None;
+    }
+    let total: u64 = counts.iter().fold(0, |acc, &c| acc.saturating_add(c));
+    if total == 0 {
+        return None;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    // ranks are bucket counts (≪ 2^53); ceil of a non-negative product
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cumulative = cumulative.saturating_add(c);
+        if cumulative >= rank {
+            return Some(bounds.get(i).copied().unwrap_or(u64::MAX));
+        }
+    }
+    Some(u64::MAX)
 }
 
 #[cfg(test)]
@@ -225,6 +283,49 @@ mod tests {
         assert_eq!(snap.count, 7);
         assert_eq!(snap.sum, 115);
         assert_eq!(snap.max, 100);
+    }
+
+    #[test]
+    fn quantiles_walk_the_bucket_edges() {
+        let h = Histogram::new("h", &[1, 2, 4, 8]);
+        // 60× in (..=1), 30× in (..=2), 9× in (..=4), 1× in (..=8).
+        for _ in 0..60 {
+            h.record(1);
+        }
+        for _ in 0..30 {
+            h.record(2);
+        }
+        for _ in 0..9 {
+            h.record(3);
+        }
+        h.record(8);
+        assert_eq!(h.p50(), Some(1)); // rank 50 of 100 lands in bucket ..=1
+        assert_eq!(h.p90(), Some(2)); // rank 90 exactly exhausts ..=2
+        assert_eq!(h.p99(), Some(4)); // rank 99 lands in ..=4
+        assert_eq!(h.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new("h", &[10]);
+        assert_eq!(h.p50(), None, "empty distribution has no quantiles");
+        h.record(3);
+        assert_eq!(h.quantile(0.0), None, "q must be in (0, 1]");
+        assert_eq!(h.quantile(1.5), None);
+        assert_eq!(h.p50(), Some(3), "overflow-free quantile tightens to max");
+        // A single overflow observation: the free function saturates, the
+        // histogram accessor tightens to the recorded max.
+        h.record(99);
+        assert_eq!(quantile_from_buckets(&[10], &[1, 1], 1.0), Some(u64::MAX));
+        assert_eq!(h.quantile(1.0), Some(99));
+    }
+
+    #[test]
+    fn free_quantile_validates_shape() {
+        assert_eq!(quantile_from_buckets(&[1, 2], &[1, 1], 0.5), None);
+        // total 3 → rank 2 lands in the second bucket (..=2).
+        assert_eq!(quantile_from_buckets(&[1, 2], &[1, 1, 1], 0.5), Some(2));
+        assert_eq!(quantile_from_buckets(&[], &[5], 0.5), Some(u64::MAX));
     }
 
     #[test]

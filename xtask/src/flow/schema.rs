@@ -208,10 +208,13 @@ fn find_schema_mod(tokens: &[Token]) -> Option<usize> {
 /// If an emission site starts at token `i`, returns its description, the
 /// index of its first argument token, and its source line.
 fn emission_at(tokens: &[Token], i: usize) -> Option<(String, usize, usize)> {
-    // `.event(` / `.span(` — a stream emission through a handle.
+    // `.event(` / `.span(` — a stream emission through a handle — and
+    // `.scope(` — a profiler span whose name keys the merged span tree.
     if tokens[i].is_op(".") {
         let name = tokens.get(i + 1).and_then(Token::ident)?;
-        if (name == "event" || name == "span") && tokens.get(i + 2).is_some_and(|t| t.is_op("(")) {
+        if (name == "event" || name == "span" || name == "scope")
+            && tokens.get(i + 2).is_some_and(|t| t.is_op("("))
+        {
             return Some((format!("`.{name}(..)` emission"), i + 3, tokens[i + 1].line));
         }
         return None;
@@ -292,6 +295,25 @@ mod tests {
         let (sites, v) = check(&src, &schema());
         assert_eq!(sites, 3);
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn profiler_scopes_are_emission_sites() {
+        let conforming = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(p: &Profiler) {\n    let _s = p.scope(schema::SPAN_TRACK);\n}\n",
+        );
+        let (sites, v) = check(&conforming, &schema());
+        assert_eq!(sites, 1);
+        assert!(v.is_empty(), "{v:?}");
+
+        let literal = SourceFile::parse(
+            "crates/solarcore/src/engine.rs",
+            "fn f(p: &Profiler) {\n    let _s = p.scope(\"track\");\n}\n",
+        );
+        let (sites, v) = check(&literal, &schema());
+        assert_eq!(sites, 1);
+        assert_eq!(v.len(), 1, "{v:?}");
     }
 
     #[test]

@@ -43,13 +43,24 @@
 //!   byte-identical across thread counts and across a kill/resume cycle,
 //!   and rewrites `results/campaign_report.json`; `--smoke` runs a
 //!   four-shard inline spec through the same gates and writes nothing.
+//! * `profile` — runs the year-scale campaign under the hierarchical
+//!   wall-clock profiler and writes `results/profile_report.json`
+//!   (deterministic structural section + machine-dependent wall section)
+//!   plus flamegraph/Chrome-trace renders under `target/`; `--smoke`
+//!   proves structural byte-stability and bit-transparency on the
+//!   four-shard spec and writes nothing.
+//! * `tdiff` — schema-aware diff of two telemetry/profile/campaign
+//!   artifacts: counters by relative delta, histograms by quantile
+//!   profile, span trees structurally and by wall-time thresholds;
+//!   non-zero exit on any regression.
 //! * `docs` — documentation cross-reference pass: every `§N` pointer
 //!   resolves to a DESIGN.md heading, every committed `results/*.json`
 //!   is catalogued in EXPERIMENTS.md, and the README crate map covers
 //!   every workspace crate.
 //! * `ci`   — the one-command verification gate, in dependency order:
 //!   lint → docs → clippy → analyze → flow → graph → doc → build →
-//!   test → determinism → chaos smoke → campaign smoke → bench smoke.
+//!   test → determinism → chaos smoke → campaign smoke → profile smoke →
+//!   tdiff self-check → bench smoke.
 //!
 //! Exit status is non-zero when any pass finds a violation, so all
 //! commands can gate CI directly.
@@ -77,6 +88,14 @@ fn main() -> ExitCode {
         Some("trace") => run_trace(),
         Some("chaos") => run_chaos(args.iter().any(|a| a == "--smoke")),
         Some("campaign") => run_campaign(args.iter().any(|a| a == "--smoke")),
+        Some("profile") => run_profile(args.iter().any(|a| a == "--smoke")),
+        Some("tdiff") => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => run_tdiff(a, b),
+            _ => {
+                eprintln!("usage: cargo xtask tdiff <a.json> <b.json>");
+                ExitCode::FAILURE
+            }
+        },
         Some("docs") => run_docs(),
         Some("ci") => run_ci(),
         Some(other) => {
@@ -94,7 +113,8 @@ fn main() -> ExitCode {
 fn print_usage() {
     eprintln!(
         "usage: cargo xtask <lint | docs | analyze | flow [--bless] | graph | determinism | \
-         bench [--smoke] | trace | chaos [--smoke] | campaign [--smoke] | ci>"
+         bench [--smoke] | trace | chaos [--smoke] | campaign [--smoke] | profile [--smoke] | \
+         tdiff <a> <b> | ci>"
     );
     eprintln!("  lint         run the repo-specific static-analysis passes");
     eprintln!("  analyze      run dimensional, determinism and exhaustiveness analysis");
@@ -113,10 +133,16 @@ fn print_usage() {
          results/campaign_report.json"
     );
     eprintln!("               (--smoke runs a four-shard inline spec and writes nothing)");
+    eprintln!(
+        "  profile      run the year-scale campaign profiled and write \
+         results/profile_report.json"
+    );
+    eprintln!("               (--smoke proves byte-stability/transparency and writes nothing)");
+    eprintln!("  tdiff        schema-aware diff of two telemetry/profile/campaign artifacts");
     eprintln!("  docs         check DESIGN.md anchors, the EXPERIMENTS.md catalog, the crate map");
     eprintln!(
         "  ci           lint, docs, clippy, analyze, flow, graph, doc, build, test, \
-         determinism, chaos smoke, campaign smoke, bench smoke"
+         determinism, chaos smoke, campaign smoke, profile smoke, tdiff self-check, bench smoke"
     );
 }
 
@@ -367,6 +393,65 @@ fn run_campaign(smoke: bool) -> ExitCode {
     }
 }
 
+/// Runs the wall-clock profile report (a bench binary, so xtask does not
+/// link the simulation crates).
+fn run_profile(smoke: bool) -> ExitCode {
+    let root = workspace_root();
+    let mode = if smoke { " --smoke" } else { "" };
+    println!("xtask profile: running profile_report{mode} (release)");
+    let mut args = vec![
+        "run",
+        "--release",
+        "-q",
+        "-p",
+        "bench",
+        "--bin",
+        "profile_report",
+    ];
+    if smoke {
+        args.extend(["--", "--smoke"]);
+    }
+    let status = Command::new("cargo")
+        .args(&args)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask profile: transparency/stability gate failed (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask profile: could not spawn cargo: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Diffs two artifacts via the bench `tdiff` binary; non-zero exit on
+/// any regression.
+fn run_tdiff(a: &str, b: &str) -> ExitCode {
+    let root = workspace_root();
+    println!("xtask tdiff: comparing {a} vs {b} (release)");
+    let status = Command::new("cargo")
+        .args([
+            "run", "--release", "-q", "-p", "bench", "--bin", "tdiff", "--", a, b,
+        ])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(_) => {
+            eprintln!("xtask tdiff: regressions found (see output above)");
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("xtask tdiff: could not spawn cargo: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn run_ci() -> ExitCode {
     let root = workspace_root();
 
@@ -460,6 +545,24 @@ fn run_ci() -> ExitCode {
     // and kill/resume gates on a four-shard inline spec.
     println!("xtask ci: running xtask campaign --smoke");
     if run_campaign(true) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    // Profile smoke: proves the wall-clock profiler's structural section
+    // is byte-stable across thread counts and that profiling leaves the
+    // campaign report bytes untouched.
+    println!("xtask ci: running xtask profile --smoke");
+    if run_profile(true) != ExitCode::SUCCESS {
+        return ExitCode::FAILURE;
+    }
+
+    // tdiff self-check: the committed campaign report diffed against
+    // itself must report zero findings — proves the comparison engine
+    // parses the real artifact and that "identical" means identical.
+    println!("xtask ci: running xtask tdiff (campaign report self-check)");
+    if run_tdiff("results/campaign_report.json", "results/campaign_report.json")
+        != ExitCode::SUCCESS
+    {
         return ExitCode::FAILURE;
     }
 
